@@ -1,0 +1,282 @@
+//! On-chip K/V buffers with residency tracking (§VI).
+//!
+//! SPRINT deliberately avoids double buffering ("to avoid the doubled
+//! cost of memory capacity"); incoming vectors go to a small staging
+//! buffer and replace a resident entry. Each CORELET keeps
+//! look-up tables recording which key/value vectors are present; this
+//! type models that lookup plus an LRU replacement policy over the
+//! finite capacity.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::AcceleratorError;
+
+/// What happened on an insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Eviction {
+    /// The key was already resident (refreshed its recency).
+    AlreadyResident,
+    /// Inserted into a free slot.
+    Inserted,
+    /// Inserted by evicting another key.
+    Evicted(usize),
+}
+
+/// A finite K/V buffer tracking resident key indices with LRU
+/// replacement.
+///
+/// # Example
+///
+/// ```
+/// use sprint_accelerator::{Eviction, KvBuffer};
+///
+/// # fn main() -> Result<(), sprint_accelerator::AcceleratorError> {
+/// let mut buf = KvBuffer::new(2)?;
+/// assert_eq!(buf.insert(7), Eviction::Inserted);
+/// assert_eq!(buf.insert(9), Eviction::Inserted);
+/// assert_eq!(buf.insert(7), Eviction::AlreadyResident);
+/// // 9 is now least recently used:
+/// assert_eq!(buf.insert(11), Eviction::Evicted(9));
+/// assert!(buf.contains(7) && buf.contains(11) && !buf.contains(9));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KvBuffer {
+    capacity: usize,
+    /// Key -> last-use stamp (the per-CORELET lookup table).
+    /// Exact-LRU eviction picks the smallest stamp.
+    stamps: HashMap<usize, u64>,
+    /// Lazy min-heap of (stamp, key); stale entries are skipped at
+    /// eviction time, keeping touches O(log n).
+    #[serde(skip, default)]
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PartialEq for KvBuffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+            && self.stamps == other.stamps
+            && self.hits == other.hits
+            && self.misses == other.misses
+            && self.evictions == other.evictions
+    }
+}
+
+impl Eq for KvBuffer {}
+
+impl KvBuffer {
+    /// Creates a buffer holding at most `capacity` vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::InvalidConfig`] for zero capacity.
+    pub fn new(capacity: usize) -> Result<Self, AcceleratorError> {
+        if capacity == 0 {
+            return Err(AcceleratorError::InvalidConfig {
+                name: "buffer capacity",
+                value: 0,
+            });
+        }
+        Ok(KvBuffer {
+            capacity,
+            stamps: HashMap::new(),
+            heap: BinaryHeap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        })
+    }
+
+    /// Capacity in vectors.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident vectors.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Whether `key` is resident (the lookup-table check).
+    pub fn contains(&self, key: usize) -> bool {
+        self.stamps.contains_key(&key)
+    }
+
+    /// Residency hits observed by [`KvBuffer::touch`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Residency misses observed by [`KvBuffer::touch`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Records a use of `key`: refreshes recency and counts hit/miss.
+    /// Returns whether the key was resident.
+    pub fn touch(&mut self, key: usize) -> bool {
+        if self.contains(key) {
+            self.refresh(key);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts `key`, evicting the LRU entry if full.
+    pub fn insert(&mut self, key: usize) -> Eviction {
+        if self.contains(key) {
+            self.refresh(key);
+            return Eviction::AlreadyResident;
+        }
+        if self.stamps.len() < self.capacity {
+            self.refresh(key);
+            return Eviction::Inserted;
+        }
+        // Pop lazily until a live (stamp-matching) entry surfaces.
+        let victim = loop {
+            let Reverse((stamp, key)) = self
+                .heap
+                .pop()
+                .expect("full buffer retains at least one live heap entry");
+            if self.stamps.get(&key) == Some(&stamp) {
+                break key;
+            }
+        };
+        self.stamps.remove(&victim);
+        self.refresh(key);
+        self.evictions += 1;
+        Eviction::Evicted(victim)
+    }
+
+    /// Empties the buffer (new attention head).
+    pub fn clear(&mut self) {
+        self.stamps.clear();
+        self.heap.clear();
+    }
+
+    fn refresh(&mut self, key: usize) {
+        self.clock += 1;
+        self.stamps.insert(key, self.clock);
+        self.heap.push(Reverse((self.clock, key)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_rejects_zero_capacity() {
+        assert!(KvBuffer::new(0).is_err());
+    }
+
+    #[test]
+    fn inserts_up_to_capacity_without_eviction() {
+        let mut buf = KvBuffer::new(3).unwrap();
+        assert_eq!(buf.insert(1), Eviction::Inserted);
+        assert_eq!(buf.insert(2), Eviction::Inserted);
+        assert_eq!(buf.insert(3), Eviction::Inserted);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.evictions(), 0);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        let mut buf = KvBuffer::new(2).unwrap();
+        buf.insert(1);
+        buf.insert(2);
+        buf.touch(1); // 2 becomes LRU
+        assert_eq!(buf.insert(3), Eviction::Evicted(2));
+    }
+
+    #[test]
+    fn touch_counts_hits_and_misses() {
+        let mut buf = KvBuffer::new(2).unwrap();
+        buf.insert(5);
+        assert!(buf.touch(5));
+        assert!(!buf.touch(6));
+        assert_eq!(buf.hits(), 1);
+        assert_eq!(buf.misses(), 1);
+    }
+
+    #[test]
+    fn clear_empties_residency() {
+        let mut buf = KvBuffer::new(2).unwrap();
+        buf.insert(1);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(!buf.contains(1));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut buf = KvBuffer::new(2).unwrap();
+        buf.insert(1);
+        buf.insert(2);
+        assert_eq!(buf.insert(1), Eviction::AlreadyResident);
+        assert_eq!(buf.len(), 2);
+        // 2 is LRU now.
+        assert_eq!(buf.insert(3), Eviction::Evicted(2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_len_never_exceeds_capacity(
+            keys in proptest::collection::vec(0usize..32, 0..200),
+            cap in 1usize..16,
+        ) {
+            let mut buf = KvBuffer::new(cap).unwrap();
+            for k in keys {
+                buf.insert(k);
+                prop_assert!(buf.len() <= cap);
+            }
+        }
+
+        #[test]
+        fn prop_recent_window_is_resident(
+            keys in proptest::collection::vec(0usize..64, 1..100),
+            cap in 1usize..8,
+        ) {
+            let mut buf = KvBuffer::new(cap).unwrap();
+            for k in &keys {
+                buf.insert(*k);
+            }
+            // The last `cap` *distinct* keys must be resident.
+            let mut seen = Vec::new();
+            for k in keys.iter().rev() {
+                if !seen.contains(k) {
+                    seen.push(*k);
+                }
+                if seen.len() == cap {
+                    break;
+                }
+            }
+            for k in seen {
+                prop_assert!(buf.contains(k), "recently used {k} evicted");
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! One CORELET: QK-PU, softmax unit, V-PU and its K/V buffer (§VI).
+
+use serde::{Deserialize, Serialize};
+
+use sprint_energy::Cycles;
+
+use crate::{AcceleratorError, KvBuffer};
+
+/// Static configuration of one CORELET (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreletConfig {
+    /// MAC lanes in the QK-PU and V-PU (1-D 64-way in the paper).
+    pub mac_lanes: usize,
+    /// Divider lanes in the softmax unit (2 in the paper).
+    pub dividers: usize,
+    /// K/V buffer capacity in vectors (per CORELET).
+    pub kv_capacity: usize,
+    /// Pipeline latency of one softmax division (cycles).
+    pub divider_latency: Cycles,
+}
+
+impl Default for CoreletConfig {
+    fn default() -> Self {
+        CoreletConfig {
+            mac_lanes: 64,
+            dividers: 2,
+            kv_capacity: 128,
+            divider_latency: Cycles::new(8),
+        }
+    }
+}
+
+impl CoreletConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::InvalidConfig`] for zero lanes,
+    /// dividers or capacity.
+    pub fn validate(&self) -> Result<(), AcceleratorError> {
+        for (name, v) in [
+            ("mac_lanes", self.mac_lanes),
+            ("dividers", self.dividers),
+            ("kv_capacity", self.kv_capacity),
+        ] {
+            if v == 0 {
+                return Err(AcceleratorError::InvalidConfig { name, value: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// Cycles to dot one `d`-element token through a 64-way MAC array.
+    pub fn cycles_per_token(&self, d: usize) -> Cycles {
+        Cycles::new(d.div_ceil(self.mac_lanes) as u64)
+    }
+}
+
+/// Per-query stage timing of one CORELET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryTiming {
+    /// QK-PU span including data-miss stalls.
+    pub qk: Cycles,
+    /// Softmax unit cycles (LUT lookups + pipelined divisions).
+    pub softmax: Cycles,
+    /// V-PU cycles.
+    pub vpu: Cycles,
+    /// Stall cycles contained in `qk` (waiting for fetched vectors
+    /// after the rotating pointer ran out of resident work).
+    pub stall: Cycles,
+}
+
+impl QueryTiming {
+    /// The pipeline bottleneck stage: with queries streaming through
+    /// the three-stage pipeline, throughput is set by the slowest
+    /// stage (§VI "in a pipelined manner").
+    pub fn bottleneck(&self) -> Cycles {
+        self.qk.max(self.softmax).max(self.vpu)
+    }
+
+    /// Sum of all stages (the unpipelined latency of this query).
+    pub fn total(&self) -> Cycles {
+        self.qk + self.softmax + self.vpu
+    }
+}
+
+/// One CORELET with its residency-tracking K/V buffer and counters.
+///
+/// # Example
+///
+/// ```
+/// use sprint_accelerator::{Corelet, CoreletConfig};
+/// use sprint_energy::Cycles;
+///
+/// # fn main() -> Result<(), sprint_accelerator::AcceleratorError> {
+/// let mut c = Corelet::new(CoreletConfig::default())?;
+/// let t = c.process_query(&[0, 4, 8], 64, (Cycles::new(40), Cycles::new(52)))?;
+/// assert!(t.qk >= Cycles::new(3), "three tokens, one cycle each, plus stalls");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Corelet {
+    config: CoreletConfig,
+    buffer: KvBuffer,
+    macs: u64,
+    softmax_ops: u64,
+    stall_cycles: Cycles,
+    busy_cycles: Cycles,
+}
+
+impl Corelet {
+    /// Creates a CORELET.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn new(config: CoreletConfig) -> Result<Self, AcceleratorError> {
+        config.validate()?;
+        Ok(Corelet {
+            config,
+            buffer: KvBuffer::new(config.kv_capacity)?,
+            macs: 0,
+            softmax_ops: 0,
+            stall_cycles: Cycles::ZERO,
+            busy_cycles: Cycles::ZERO,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CoreletConfig {
+        self.config
+    }
+
+    /// Residency buffer (read-only view).
+    pub fn buffer(&self) -> &KvBuffer {
+        &self.buffer
+    }
+
+    /// Total 64-way MAC operations issued.
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Total softmax element operations.
+    pub fn softmax_ops(&self) -> u64 {
+        self.softmax_ops
+    }
+
+    /// Accumulated stall cycles.
+    pub fn stall_cycles(&self) -> Cycles {
+        self.stall_cycles
+    }
+
+    /// Accumulated busy cycles (bottleneck-stage time).
+    pub fn busy_cycles(&self) -> Cycles {
+        self.busy_cycles
+    }
+
+    /// Clears the buffer and starts a new head.
+    pub fn start_new_head(&mut self) {
+        self.buffer.clear();
+    }
+
+    /// Processes one query's assigned tokens.
+    ///
+    /// `fetch_window` is `(first_arrival, last_arrival)` for vectors
+    /// that miss the buffer: the memory subsystem delivers misses
+    /// evenly across the window. Tokens already resident are computed
+    /// first (the rotating-pointer bypass: "the computations for the
+    /// next available key vector can proceed until the data miss is
+    /// handled").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::InvalidConfig`] if `d` is zero.
+    pub fn process_query(
+        &mut self,
+        assigned: &[usize],
+        d: usize,
+        fetch_window: (Cycles, Cycles),
+    ) -> Result<QueryTiming, AcceleratorError> {
+        if d == 0 {
+            return Err(AcceleratorError::InvalidConfig {
+                name: "embedding d",
+                value: 0,
+            });
+        }
+        let n = assigned.len();
+        if n == 0 {
+            return Ok(QueryTiming::default());
+        }
+        let cpt = self.config.cycles_per_token(d);
+
+        // Residency check: hits compute immediately, misses arrive
+        // across the fetch window.
+        let mut resident = 0usize;
+        let mut misses = 0usize;
+        for &token in assigned {
+            if self.buffer.touch(token) {
+                resident += 1;
+            } else {
+                misses += 1;
+                self.buffer.insert(token);
+            }
+        }
+
+        // Rotating-pointer schedule: consume resident tokens first,
+        // then fetched tokens as they arrive.
+        let (first, last) = fetch_window;
+        let mut clock = Cycles::ZERO;
+        for _ in 0..resident {
+            clock += cpt;
+        }
+        if misses > 0 {
+            let window = last.saturating_sub(first);
+            let gap = Cycles::new(window.as_u64() / misses as u64);
+            for m in 0..misses {
+                let arrival = first + gap * m as u64;
+                clock = clock.max(arrival);
+                clock += cpt;
+            }
+        }
+        let qk = clock;
+        let pure_compute = cpt * n as u64;
+        let stall = qk.saturating_sub(pure_compute);
+
+        // Softmax: one LUT-pair lookup per token, divisions pipelined
+        // over the divider lanes, plus the divider fill latency.
+        let softmax = Cycles::new(n as u64)
+            + Cycles::new(n.div_ceil(self.config.dividers) as u64)
+            + self.config.divider_latency;
+        // V-PU mirrors the QK-PU shape (no input stalls: by the time
+        // probabilities exist, vectors are on chip).
+        let vpu = pure_compute;
+
+        self.macs += 2 * (n as u64) * d.div_ceil(self.config.mac_lanes) as u64;
+        self.softmax_ops += n as u64;
+        self.stall_cycles += stall;
+        let timing = QueryTiming {
+            qk,
+            softmax,
+            vpu,
+            stall,
+        };
+        self.busy_cycles += timing.bottleneck();
+        Ok(timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corelet(capacity: usize) -> Corelet {
+        Corelet::new(CoreletConfig {
+            kv_capacity: capacity,
+            ..CoreletConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CoreletConfig {
+            mac_lanes: 0,
+            ..CoreletConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CoreletConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn cycles_per_token_rounds_up() {
+        let c = CoreletConfig::default();
+        assert_eq!(c.cycles_per_token(64), Cycles::new(1));
+        assert_eq!(c.cycles_per_token(65), Cycles::new(2));
+        assert_eq!(c.cycles_per_token(1), Cycles::new(1));
+    }
+
+    #[test]
+    fn empty_query_is_free() {
+        let mut c = corelet(8);
+        let t = c
+            .process_query(&[], 64, (Cycles::ZERO, Cycles::ZERO))
+            .unwrap();
+        assert_eq!(t, QueryTiming::default());
+    }
+
+    #[test]
+    fn cold_query_stalls_on_fetches() {
+        let mut c = corelet(32);
+        // 4 tokens, all misses, arriving between cycles 40 and 64.
+        let t = c
+            .process_query(&[0, 1, 2, 3], 64, (Cycles::new(40), Cycles::new(64)))
+            .unwrap();
+        assert!(t.stall > Cycles::ZERO, "cold misses must stall");
+        assert!(t.qk >= Cycles::new(40));
+    }
+
+    #[test]
+    fn warm_query_has_no_stall() {
+        let mut c = corelet(32);
+        c.process_query(&[0, 1, 2, 3], 64, (Cycles::new(40), Cycles::new(64)))
+            .unwrap();
+        let t = c
+            .process_query(&[0, 1, 2, 3], 64, (Cycles::new(40), Cycles::new(64)))
+            .unwrap();
+        assert_eq!(t.stall, Cycles::ZERO, "resident tokens never stall");
+        assert_eq!(t.qk, Cycles::new(4));
+    }
+
+    #[test]
+    fn rotating_pointer_overlaps_compute_with_fetch() {
+        let mut c = corelet(64);
+        // Warm 30 tokens.
+        let warm: Vec<usize> = (0..30).collect();
+        c.process_query(&warm, 64, (Cycles::ZERO, Cycles::ZERO))
+            .unwrap();
+        // Now 30 resident + 2 misses arriving at cycles 10 and 20:
+        // the resident work (30 cycles) hides both arrivals entirely.
+        let mut q: Vec<usize> = (0..30).collect();
+        q.push(100);
+        q.push(101);
+        let t = c
+            .process_query(&q, 64, (Cycles::new(10), Cycles::new(20)))
+            .unwrap();
+        assert_eq!(t.stall, Cycles::ZERO, "arrivals hidden behind resident work");
+        assert_eq!(t.qk, Cycles::new(32));
+    }
+
+    #[test]
+    fn tiny_buffer_causes_capacity_misses() {
+        let mut small = corelet(2);
+        let mut large = corelet(64);
+        let tokens: Vec<usize> = (0..16).collect();
+        for c in [&mut small, &mut large] {
+            c.process_query(&tokens, 64, (Cycles::new(10), Cycles::new(50)))
+                .unwrap();
+            c.process_query(&tokens, 64, (Cycles::new(10), Cycles::new(50)))
+                .unwrap();
+        }
+        assert!(
+            small.buffer().misses() > large.buffer().misses(),
+            "capacity pressure must show up as misses"
+        );
+    }
+
+    #[test]
+    fn softmax_uses_divider_parallelism() {
+        let mut c = corelet(64);
+        let tokens: Vec<usize> = (0..8).collect();
+        let t = c
+            .process_query(&tokens, 64, (Cycles::ZERO, Cycles::ZERO))
+            .unwrap();
+        // 8 lookups + ceil(8/2) divisions + fill latency 8.
+        assert_eq!(t.softmax, Cycles::new(8 + 4 + 8));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = corelet(64);
+        c.process_query(&[0, 1], 64, (Cycles::ZERO, Cycles::ZERO))
+            .unwrap();
+        c.process_query(&[2, 3], 64, (Cycles::ZERO, Cycles::ZERO))
+            .unwrap();
+        assert_eq!(c.macs(), 2 * 2 + 2 * 2, "qk + vpu macs per token");
+        assert_eq!(c.softmax_ops(), 4);
+        assert!(c.busy_cycles() > Cycles::ZERO);
+    }
+
+    #[test]
+    fn new_head_clears_residency() {
+        let mut c = corelet(8);
+        c.process_query(&[0, 1], 64, (Cycles::ZERO, Cycles::ZERO))
+            .unwrap();
+        c.start_new_head();
+        assert!(c.buffer().is_empty());
+    }
+
+    #[test]
+    fn zero_embedding_is_rejected() {
+        let mut c = corelet(8);
+        assert!(c
+            .process_query(&[0], 0, (Cycles::ZERO, Cycles::ZERO))
+            .is_err());
+    }
+}

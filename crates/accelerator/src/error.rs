@@ -1,0 +1,53 @@
+//! The crate error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the accelerator model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcceleratorError {
+    /// A configuration value was zero or out of range.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: usize,
+    },
+    /// Per-query inputs disagree on sequence length or count.
+    LengthMismatch {
+        /// What was compared.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Found length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for AcceleratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcceleratorError::InvalidConfig { name, value } => {
+                write!(f, "invalid accelerator configuration: {name} = {value}")
+            }
+            AcceleratorError::LengthMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what} has length {found}, expected {expected}"),
+        }
+    }
+}
+
+impl Error for AcceleratorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<AcceleratorError>();
+    }
+}

@@ -1,0 +1,331 @@
+//! Whole-head execution across CORELETs (§VI/§VII).
+//!
+//! One query at a time is broadcast to every CORELET; each CORELET
+//! processes its token-interleaved share of the unpruned keys, and the
+//! per-query delay is the **worst CORELET's** bottleneck-stage time
+//! ("we report the delay of each self-attention layer as the
+//! worst-case delay across the N CORELETs").
+
+use serde::{Deserialize, Serialize};
+
+use sprint_energy::Cycles;
+
+use crate::{assign_tokens, Corelet, CoreletConfig, AcceleratorError, MappingPolicy};
+
+/// Configuration of a multi-CORELET head pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Number of CORELETs (1/2/4 for S/M/L-SPRINT).
+    pub corelets: usize,
+    /// Per-CORELET configuration.
+    pub corelet: CoreletConfig,
+    /// Token-to-CORELET mapping policy.
+    pub policy: MappingPolicy,
+    /// Cycles from issuing a fetch to the first vector landing
+    /// (thresholding handshake + first read).
+    pub fetch_first_latency: Cycles,
+    /// Additional cycles per further fetched vector (bandwidth bound).
+    pub fetch_per_vector: Cycles,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            corelets: 2,
+            corelet: CoreletConfig::default(),
+            policy: MappingPolicy::Interleaved,
+            fetch_first_latency: Cycles::new(48),
+            fetch_per_vector: Cycles::new(4),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::InvalidConfig`] for zero CORELETs
+    /// plus per-CORELET validation errors.
+    pub fn validate(&self) -> Result<(), AcceleratorError> {
+        if self.corelets == 0 {
+            return Err(AcceleratorError::InvalidConfig {
+                name: "corelets",
+                value: 0,
+            });
+        }
+        self.corelet.validate()
+    }
+}
+
+/// Aggregate statistics of one head execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeadStats {
+    /// Per-query worst-CORELET bottleneck cycles.
+    pub query_cycles: Vec<Cycles>,
+    /// Total head delay (sum of per-query worst-CORELET cycles).
+    pub total_cycles: Cycles,
+    /// Total stall cycles across CORELETs.
+    pub stall_cycles: Cycles,
+    /// Total 64-way MAC operations.
+    pub macs: u64,
+    /// Total softmax element operations.
+    pub softmax_ops: u64,
+    /// K/V buffer misses (fetches from main memory).
+    pub buffer_misses: u64,
+    /// K/V buffer hits (spatial-locality reuse).
+    pub buffer_hits: u64,
+}
+
+impl HeadStats {
+    /// Fraction of token touches served from on-chip buffers.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.buffer_hits + self.buffer_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.buffer_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Executes attention heads over a set of CORELETs.
+///
+/// # Example
+///
+/// ```
+/// use sprint_accelerator::{HeadPipeline, PipelineConfig};
+///
+/// # fn main() -> Result<(), sprint_accelerator::AcceleratorError> {
+/// let mut pipe = HeadPipeline::new(PipelineConfig::default())?;
+/// let kept: Vec<Vec<usize>> = vec![vec![0, 1, 2, 3]; 8];
+/// let stats = pipe.run_head(&kept, 16, 64)?;
+/// assert_eq!(stats.query_cycles.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HeadPipeline {
+    config: PipelineConfig,
+    corelets: Vec<Corelet>,
+}
+
+impl HeadPipeline {
+    /// Creates the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn new(config: PipelineConfig) -> Result<Self, AcceleratorError> {
+        config.validate()?;
+        let corelets = (0..config.corelets)
+            .map(|_| Corelet::new(config.corelet))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(HeadPipeline { config, corelets })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// Read access to the CORELETs (buffer states, counters).
+    pub fn corelets(&self) -> &[Corelet] {
+        &self.corelets
+    }
+
+    /// Runs one head: `kept_per_query[i]` lists the unpruned key
+    /// indices of query `i`; `seq_len` is the full sequence length;
+    /// `d` the embedding size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-CORELET errors.
+    pub fn run_head(
+        &mut self,
+        kept_per_query: &[Vec<usize>],
+        seq_len: usize,
+        d: usize,
+    ) -> Result<HeadStats, AcceleratorError> {
+        if seq_len == 0 {
+            return Err(AcceleratorError::InvalidConfig {
+                name: "seq_len",
+                value: 0,
+            });
+        }
+        for c in &mut self.corelets {
+            c.start_new_head();
+        }
+        let hits_before: u64 = self.corelets.iter().map(|c| c.buffer().hits()).sum();
+        let misses_before: u64 = self.corelets.iter().map(|c| c.buffer().misses()).sum();
+        let stalls_before: Cycles = self.corelets.iter().map(Corelet::stall_cycles).sum();
+        let macs_before: u64 = self.corelets.iter().map(Corelet::macs).sum();
+        let softmax_before: u64 = self.corelets.iter().map(Corelet::softmax_ops).sum();
+
+        let mut query_cycles = Vec::with_capacity(kept_per_query.len());
+        let mut total = Cycles::ZERO;
+        for kept in kept_per_query {
+            if kept.is_empty() {
+                // Padded query: skipped by the 2-D sequence reduction.
+                query_cycles.push(Cycles::ZERO);
+                continue;
+            }
+            let assignment =
+                assign_tokens(kept, self.config.corelets, self.config.policy, seq_len);
+            let mut worst = Cycles::ZERO;
+            for (corelet, tokens) in self.corelets.iter_mut().zip(&assignment) {
+                // Estimate this CORELET's fetch window from its own
+                // miss count (peek residency without counting).
+                let miss_estimate = tokens
+                    .iter()
+                    .filter(|&&t| !corelet.buffer().contains(t))
+                    .count() as u64;
+                let first = self.config.fetch_first_latency;
+                let last = first + self.config.fetch_per_vector * miss_estimate;
+                let timing = corelet.process_query(tokens, d, (first, last))?;
+                worst = worst.max(timing.bottleneck());
+            }
+            query_cycles.push(worst);
+            total += worst;
+        }
+
+        let hits: u64 = self.corelets.iter().map(|c| c.buffer().hits()).sum();
+        let misses: u64 = self.corelets.iter().map(|c| c.buffer().misses()).sum();
+        let stalls: Cycles = self.corelets.iter().map(Corelet::stall_cycles).sum();
+        let macs: u64 = self.corelets.iter().map(Corelet::macs).sum();
+        let softmax: u64 = self.corelets.iter().map(Corelet::softmax_ops).sum();
+        Ok(HeadStats {
+            query_cycles,
+            total_cycles: total,
+            stall_cycles: stalls.saturating_sub(stalls_before),
+            macs: macs - macs_before,
+            softmax_ops: softmax - softmax_before,
+            buffer_misses: misses - misses_before,
+            buffer_hits: hits - hits_before,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Clustered masks drifting slowly — the Fig. 2 structure.
+    fn clustered_masks(queries: usize, seq_len: usize, cluster: usize) -> Vec<Vec<usize>> {
+        (0..queries)
+            .map(|i| {
+                let start = (i * 2) % (seq_len - cluster);
+                (start..start + cluster).collect()
+            })
+            .collect()
+    }
+
+    fn config(corelets: usize, policy: MappingPolicy, capacity: usize) -> PipelineConfig {
+        PipelineConfig {
+            corelets,
+            policy,
+            corelet: CoreletConfig {
+                kv_capacity: capacity,
+                ..CoreletConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn validation_rejects_zero_corelets() {
+        assert!(HeadPipeline::new(config(0, MappingPolicy::Interleaved, 8)).is_err());
+    }
+
+    #[test]
+    fn total_is_sum_of_query_worst_cases() {
+        let mut pipe = HeadPipeline::new(config(2, MappingPolicy::Interleaved, 64)).unwrap();
+        let masks = clustered_masks(6, 64, 16);
+        let stats = pipe.run_head(&masks, 64, 64).unwrap();
+        let sum: Cycles = stats.query_cycles.iter().copied().sum();
+        assert_eq!(stats.total_cycles, sum);
+    }
+
+    #[test]
+    fn interleaving_beats_sequential_on_clustered_masks() {
+        let masks = clustered_masks(16, 128, 24);
+        let mut seq = HeadPipeline::new(config(4, MappingPolicy::Sequential, 64)).unwrap();
+        let mut int = HeadPipeline::new(config(4, MappingPolicy::Interleaved, 64)).unwrap();
+        let seq_stats = seq.run_head(&masks, 128, 64).unwrap();
+        let int_stats = int.run_head(&masks, 128, 64).unwrap();
+        assert!(
+            int_stats.total_cycles < seq_stats.total_cycles,
+            "interleaved {} vs sequential {}",
+            int_stats.total_cycles,
+            seq_stats.total_cycles
+        );
+    }
+
+    #[test]
+    fn spatial_locality_turns_into_buffer_hits() {
+        let mut pipe = HeadPipeline::new(config(2, MappingPolicy::Interleaved, 128)).unwrap();
+        let masks = clustered_masks(32, 128, 24);
+        let stats = pipe.run_head(&masks, 128, 64).unwrap();
+        assert!(
+            stats.hit_rate() > 0.7,
+            "slow-drifting clusters should mostly hit: {}",
+            stats.hit_rate()
+        );
+    }
+
+    #[test]
+    fn smaller_buffers_lower_hit_rate_and_raise_stalls() {
+        let masks = clustered_masks(32, 256, 48);
+        let mut big = HeadPipeline::new(config(2, MappingPolicy::Interleaved, 256)).unwrap();
+        let mut small = HeadPipeline::new(config(2, MappingPolicy::Interleaved, 8)).unwrap();
+        let big_stats = big.run_head(&masks, 256, 64).unwrap();
+        let small_stats = small.run_head(&masks, 256, 64).unwrap();
+        assert!(small_stats.hit_rate() < big_stats.hit_rate());
+        assert!(small_stats.stall_cycles >= big_stats.stall_cycles);
+        assert!(small_stats.total_cycles >= big_stats.total_cycles);
+    }
+
+    #[test]
+    fn padded_queries_cost_nothing() {
+        let mut pipe = HeadPipeline::new(config(2, MappingPolicy::Interleaved, 64)).unwrap();
+        let mut masks = clustered_masks(4, 64, 8);
+        masks.push(Vec::new());
+        masks.push(Vec::new());
+        let stats = pipe.run_head(&masks, 64, 64).unwrap();
+        assert_eq!(stats.query_cycles[4], Cycles::ZERO);
+        assert_eq!(stats.query_cycles[5], Cycles::ZERO);
+    }
+
+    #[test]
+    fn more_corelets_do_not_slow_a_head_down() {
+        let masks = clustered_masks(16, 256, 64);
+        let mut one = HeadPipeline::new(config(1, MappingPolicy::Interleaved, 256)).unwrap();
+        let mut four = HeadPipeline::new(config(4, MappingPolicy::Interleaved, 64)).unwrap();
+        let s1 = one.run_head(&masks, 256, 64).unwrap();
+        let s4 = four.run_head(&masks, 256, 64).unwrap();
+        assert!(
+            s4.total_cycles <= s1.total_cycles,
+            "4 CORELETs {} vs 1 CORELET {}",
+            s4.total_cycles,
+            s1.total_cycles
+        );
+    }
+
+    #[test]
+    fn run_head_resets_buffers_between_heads() {
+        let mut pipe = HeadPipeline::new(config(2, MappingPolicy::Interleaved, 64)).unwrap();
+        let masks = clustered_masks(8, 64, 16);
+        let a = pipe.run_head(&masks, 64, 64).unwrap();
+        let b = pipe.run_head(&masks, 64, 64).unwrap();
+        assert_eq!(
+            a.buffer_misses, b.buffer_misses,
+            "identical heads behave identically after reset"
+        );
+    }
+
+    #[test]
+    fn zero_seq_len_is_rejected() {
+        let mut pipe = HeadPipeline::new(config(1, MappingPolicy::Interleaved, 8)).unwrap();
+        assert!(pipe.run_head(&[], 0, 64).is_err());
+    }
+}

@@ -1,0 +1,575 @@
+//! Dense, pruned and quantized self-attention (§II-A, §VI).
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::dot;
+use crate::{
+    quantize_matrix, softmax_exact, softmax_masked, AttentionError, Matrix, PruneDecision,
+    SoftmaxLut,
+};
+
+/// The "sufficiently large negative value" placed in padded positions
+/// before the softmax (§II-C3). Passing it through softmax drives the
+/// probability of padded positions to zero.
+pub const MASK_NEG: f32 = -1.0e9;
+
+/// Configuration of one attention head.
+///
+/// # Example
+///
+/// ```
+/// use sprint_attention::AttentionConfig;
+///
+/// let cfg = AttentionConfig::new(64);
+/// assert!((cfg.scale() - 0.125).abs() < 1e-6); // 1/sqrt(64)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttentionConfig {
+    d: usize,
+    scale: f32,
+}
+
+impl AttentionConfig {
+    /// Creates a head configuration with the conventional
+    /// `1 / sqrt(d)` score scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "embedding size must be non-zero");
+        AttentionConfig {
+            d,
+            scale: 1.0 / (d as f32).sqrt(),
+        }
+    }
+
+    /// Creates a head configuration with an explicit score scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero or the scale is not finite and positive.
+    pub fn with_scale(d: usize, scale: f32) -> Self {
+        assert!(d > 0, "embedding size must be non-zero");
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        AttentionConfig { d, scale }
+    }
+
+    /// Embedding size of the head.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Score scaling factor.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+}
+
+/// A prefix padding mask: the first `live` tokens are real, the rest
+/// are padding (the gray stripes of Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaddingMask {
+    total: usize,
+    live: usize,
+}
+
+impl PaddingMask {
+    /// Creates a mask of `total` tokens with the first `live` real.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidDimension`] if `live > total`
+    /// or `total == 0`.
+    pub fn new(total: usize, live: usize) -> Result<Self, AttentionError> {
+        if total == 0 {
+            return Err(AttentionError::InvalidDimension {
+                name: "total",
+                value: total,
+            });
+        }
+        if live > total {
+            return Err(AttentionError::InvalidDimension {
+                name: "live",
+                value: live,
+            });
+        }
+        Ok(PaddingMask { total, live })
+    }
+
+    /// Mask with no padding.
+    pub fn full(total: usize) -> Self {
+        PaddingMask { total, live: total }
+    }
+
+    /// Whether token `i` is a real (non-padded) token.
+    pub fn is_live(&self, i: usize) -> bool {
+        i < self.live
+    }
+
+    /// Number of real tokens.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total sequence length including padding.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Fraction of the sequence that is padding.
+    pub fn padded_fraction(&self) -> f64 {
+        (self.total - self.live) as f64 / self.total as f64
+    }
+}
+
+/// The full intermediate state of one attention head evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttentionOutput {
+    /// Raw (scaled) scores `Q × Kᵀ`, `s_q × s_k`. Pruned/masked entries
+    /// hold `f32::NEG_INFINITY`.
+    pub scores: Matrix,
+    /// Row-wise softmax probabilities, `s_q × s_k`.
+    pub probs: Matrix,
+    /// Attention values `probs × V`, `s_q × d_v`.
+    pub output: Matrix,
+}
+
+fn check_shapes(q: &Matrix, k: &Matrix, v: &Matrix) -> Result<(), AttentionError> {
+    if q.cols() != k.cols() {
+        return Err(AttentionError::ShapeMismatch {
+            op: "attention q/k embedding",
+            left: q.shape(),
+            right: k.shape(),
+        });
+    }
+    if k.rows() != v.rows() {
+        return Err(AttentionError::ShapeMismatch {
+            op: "attention k/v sequence",
+            left: k.shape(),
+            right: v.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Reference dense self-attention in `f32`:
+/// `softmax(scale · Q Kᵀ) × V`.
+///
+/// # Errors
+///
+/// Returns [`AttentionError::ShapeMismatch`] when `Q`/`K` embedding
+/// sizes differ or `K`/`V` sequence lengths differ.
+pub fn dense_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    cfg: &AttentionConfig,
+) -> Result<AttentionOutput, AttentionError> {
+    check_shapes(q, k, v)?;
+    let (s_q, s_k) = (q.rows(), k.rows());
+    let mut scores = Matrix::zeros(s_q, s_k)?;
+    for i in 0..s_q {
+        for j in 0..s_k {
+            scores.set(i, j, cfg.scale() * dot(q.row(i), k.row(j)));
+        }
+    }
+    let mut probs = Matrix::zeros(s_q, s_k)?;
+    for i in 0..s_q {
+        let p = softmax_exact(scores.row(i));
+        probs.row_mut(i).copy_from_slice(&p);
+    }
+    let output = probs.matmul(v)?;
+    Ok(AttentionOutput {
+        scores,
+        probs,
+        output,
+    })
+}
+
+/// Runtime-pruned self-attention (Eq. 3): scores below `threshold` are
+/// removed before the softmax; padded positions are removed everywhere.
+///
+/// Returns the attention state together with the per-query
+/// [`PruneDecision`]s (padded keys count as pruned; padded queries get
+/// an all-pruned decision and an all-zero output row, matching the
+/// two-dimensional sequence reduction of §VI).
+///
+/// # Errors
+///
+/// Shape errors as in [`dense_attention`]; additionally the padding
+/// mask, when given, must cover exactly `k.rows()` tokens.
+pub fn pruned_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    cfg: &AttentionConfig,
+    threshold: f32,
+    padding: Option<&PaddingMask>,
+) -> Result<(AttentionOutput, Vec<PruneDecision>), AttentionError> {
+    check_shapes(q, k, v)?;
+    if let Some(p) = padding {
+        if p.total() != k.rows() {
+            return Err(AttentionError::ShapeMismatch {
+                op: "padding mask",
+                left: (p.total(), 1),
+                right: (k.rows(), 1),
+            });
+        }
+    }
+    let (s_q, s_k) = (q.rows(), k.rows());
+    let mut scores = Matrix::zeros(s_q, s_k)?;
+    let mut probs = Matrix::zeros(s_q, s_k)?;
+    let mut decisions = Vec::with_capacity(s_q);
+    for i in 0..s_q {
+        let query_live = padding.map_or(true, |p| p.is_live(i.min(p.total() - 1)));
+        if !query_live {
+            // Padded query: everything pruned, zero output row.
+            for j in 0..s_k {
+                scores.set(i, j, f32::NEG_INFINITY);
+            }
+            decisions.push(PruneDecision::new(vec![true; s_k]));
+            continue;
+        }
+        let mut row_scores = vec![0.0f32; s_k];
+        for (j, rs) in row_scores.iter_mut().enumerate() {
+            let key_live = padding.map_or(true, |p| p.is_live(j));
+            *rs = if key_live {
+                cfg.scale() * dot(q.row(i), k.row(j))
+            } else {
+                MASK_NEG
+            };
+        }
+        let mut decision = PruneDecision::from_scores(&row_scores, threshold);
+        if let Some(p) = padding {
+            decision.apply_padding(p.live());
+        }
+        for (j, s) in row_scores.iter().enumerate() {
+            scores.set(
+                i,
+                j,
+                if decision.is_pruned(j) {
+                    f32::NEG_INFINITY
+                } else {
+                    *s
+                },
+            );
+        }
+        let keep: Vec<bool> = (0..s_k).map(|j| decision.is_kept(j)).collect();
+        let p = softmax_masked(&row_scores, &keep)?;
+        probs.row_mut(i).copy_from_slice(&p);
+        decisions.push(decision);
+    }
+    let output = probs.matmul(v)?;
+    Ok((
+        AttentionOutput {
+            scores,
+            probs,
+            output,
+        },
+        decisions,
+    ))
+}
+
+/// Result of the quantized (hardware) attention datapath.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedAttentionOutput {
+    /// Recomputed scores (dequantized from the 8-bit × 8-bit integer
+    /// dot products). Pruned entries hold `f32::NEG_INFINITY`.
+    pub scores: Matrix,
+    /// 8-bit-resolution probabilities from the two-LUT softmax unit.
+    pub probs: Matrix,
+    /// Final attention values (16-bit accumulation, dequantized).
+    pub output: Matrix,
+}
+
+/// The SPRINT on-chip digital datapath: 8-bit Q/K/V, 12-bit softmax
+/// inputs via the two-LUT unit, 16-bit attention outputs (§VI).
+///
+/// When `decisions` is given (the binary pruning vectors coming back
+/// from the in-memory thresholding), only kept keys are computed —
+/// this is the "on-chip recompute" half of SPRINT. With `None`, the
+/// full dense computation is performed in quantized arithmetic (the
+/// iso-precision baseline accelerator).
+///
+/// # Errors
+///
+/// Shape errors as in [`dense_attention`]; a decision slice, when
+/// given, must contain one decision of length `k.rows()` per query.
+pub fn quantized_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    cfg: &AttentionConfig,
+    decisions: Option<&[PruneDecision]>,
+) -> Result<QuantizedAttentionOutput, AttentionError> {
+    check_shapes(q, k, v)?;
+    let (s_q, s_k) = (q.rows(), k.rows());
+    if let Some(ds) = decisions {
+        if ds.len() != s_q {
+            return Err(AttentionError::ShapeMismatch {
+                op: "pruning decisions per query",
+                left: (ds.len(), 1),
+                right: (s_q, 1),
+            });
+        }
+        if let Some(d) = ds.iter().find(|d| d.len() != s_k) {
+            return Err(AttentionError::ShapeMismatch {
+                op: "pruning decision length",
+                left: (d.len(), 1),
+                right: (s_k, 1),
+            });
+        }
+    }
+
+    // 8-bit quantization of the operand matrices (per-tensor symmetric).
+    let qq = quantize_matrix(q, 8)?;
+    let qk = quantize_matrix(k, 8)?;
+    let qv = quantize_matrix(v, 8)?;
+    let score_lsb = qq.params().step() * qk.params().step() * cfg.scale();
+
+    let mut scores = Matrix::zeros(s_q, s_k)?;
+    for i in 0..s_q {
+        for j in 0..s_k {
+            let kept = decisions.map_or(true, |ds| ds[i].is_kept(j));
+            if !kept {
+                scores.set(i, j, f32::NEG_INFINITY);
+                continue;
+            }
+            // Integer MAC: i8 x i8 accumulated in i32 (the QK-PU).
+            let acc: i32 = qq
+                .code_row(i)
+                .iter()
+                .zip(qk.code_row(j))
+                .map(|(&a, &b)| a * b)
+                .sum();
+            scores.set(i, j, acc as f32 * score_lsb);
+        }
+    }
+
+    // Softmax with 12-bit inputs via the two-LUT unit. The range is the
+    // largest finite score offset seen in this head.
+    let mut max_offset = 1.0f32;
+    for i in 0..s_q {
+        let row = scores.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if max == f32::NEG_INFINITY {
+            continue;
+        }
+        for &s in row {
+            if s != f32::NEG_INFINITY {
+                max_offset = max_offset.max(max - s);
+            }
+        }
+    }
+    let unit = SoftmaxLut::new(max_offset.max(1e-3))?;
+    let mut probs = Matrix::zeros(s_q, s_k)?;
+    for i in 0..s_q {
+        let p = unit.probabilities(scores.row(i))?;
+        probs.row_mut(i).copy_from_slice(&p);
+    }
+
+    // V-PU: 8-bit probabilities x 8-bit values, 16-bit accumulation.
+    let out_lsb = qv.params().step() / 255.0;
+    let mut output = Matrix::zeros(s_q, v.cols())?;
+    for i in 0..s_q {
+        for c in 0..v.cols() {
+            let mut acc: i32 = 0;
+            for j in 0..s_k {
+                let p_code = (probs.get(i, j) * 255.0).round() as i32;
+                if p_code == 0 {
+                    continue;
+                }
+                acc += p_code * qv.code(j, c);
+            }
+            // Final attention value kept in 16 bits.
+            let acc16 = acc.clamp(i32::from(i16::MIN), i32::from(i16::MAX));
+            output.set(i, c, acc16 as f32 * out_lsb);
+        }
+    }
+
+    Ok(QuantizedAttentionOutput {
+        scores,
+        probs,
+        output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_qkv() -> (Matrix, Matrix, Matrix) {
+        let q = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.5, 0.5, 0.0, 0.0],
+        ])
+        .unwrap();
+        let k = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let v = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        (q, k, v)
+    }
+
+    #[test]
+    fn config_defaults_to_inverse_sqrt_scale() {
+        let cfg = AttentionConfig::new(64);
+        assert_eq!(cfg.d(), 64);
+        assert!((cfg.scale() - 1.0 / 8.0).abs() < 1e-7);
+        let explicit = AttentionConfig::with_scale(64, 1.0);
+        assert_eq!(explicit.scale(), 1.0);
+    }
+
+    #[test]
+    fn padding_mask_validation_and_queries() {
+        assert!(PaddingMask::new(0, 0).is_err());
+        assert!(PaddingMask::new(4, 5).is_err());
+        let m = PaddingMask::new(8, 6).unwrap();
+        assert!(m.is_live(5));
+        assert!(!m.is_live(6));
+        assert!((m.padded_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(PaddingMask::full(4).padded_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dense_attention_rows_are_distributions() {
+        let (q, k, v) = small_qkv();
+        let out = dense_attention(&q, &k, &v, &AttentionConfig::new(4)).unwrap();
+        for i in 0..3 {
+            let sum: f32 = out.probs.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(out.output.shape(), (3, 4));
+    }
+
+    #[test]
+    fn dense_attention_prefers_aligned_key() {
+        let (q, k, v) = small_qkv();
+        let out = dense_attention(&q, &k, &v, &AttentionConfig::new(4)).unwrap();
+        // Query 0 aligns with key 0; its probability must dominate.
+        assert!(out.probs.get(0, 0) > out.probs.get(0, 1));
+        assert!(out.probs.get(0, 0) > out.probs.get(0, 2));
+    }
+
+    #[test]
+    fn dense_attention_shape_errors() {
+        let q = Matrix::zeros(2, 3).unwrap();
+        let k = Matrix::zeros(2, 4).unwrap();
+        let v = Matrix::zeros(2, 4).unwrap();
+        assert!(dense_attention(&q, &k, &v, &AttentionConfig::new(3)).is_err());
+        let k2 = Matrix::zeros(2, 3).unwrap();
+        let v2 = Matrix::zeros(3, 3).unwrap();
+        assert!(dense_attention(&q, &k2, &v2, &AttentionConfig::new(3)).is_err());
+    }
+
+    #[test]
+    fn pruned_attention_with_low_threshold_matches_dense() {
+        let (q, k, v) = small_qkv();
+        let cfg = AttentionConfig::new(4);
+        let dense = dense_attention(&q, &k, &v, &cfg).unwrap();
+        let (pruned, decisions) =
+            pruned_attention(&q, &k, &v, &cfg, -1e30, None).unwrap();
+        for i in 0..3 {
+            assert!(decisions[i].kept_count() == 3, "nothing pruned");
+            for j in 0..3 {
+                assert!((dense.probs.get(i, j) - pruned.probs.get(i, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_attention_removes_low_scores() {
+        let (q, k, v) = small_qkv();
+        let cfg = AttentionConfig::with_scale(4, 1.0);
+        // Scores for query 0 are [1, 0, 0]; threshold 0.5 keeps only key 0.
+        let (out, decisions) = pruned_attention(&q, &k, &v, &cfg, 0.5, None).unwrap();
+        assert_eq!(decisions[0].kept_indices(), vec![0]);
+        assert!((out.probs.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(out.probs.get(0, 1), 0.0);
+        assert_eq!(out.scores.get(0, 1), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pruned_attention_respects_padding() {
+        let (q, k, v) = small_qkv();
+        let cfg = AttentionConfig::new(4);
+        let pad = PaddingMask::new(3, 2).unwrap();
+        let (out, decisions) =
+            pruned_attention(&q, &k, &v, &cfg, -1e30, Some(&pad)).unwrap();
+        // Key 2 is padding: pruned for every live query.
+        assert!(decisions[0].is_pruned(2));
+        assert!(decisions[1].is_pruned(2));
+        // Query 2 is padding: fully pruned, zero output row.
+        assert_eq!(decisions[2].kept_count(), 0);
+        assert!(out.output.row(2).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pruned_attention_rejects_wrong_mask_length() {
+        let (q, k, v) = small_qkv();
+        let cfg = AttentionConfig::new(4);
+        let pad = PaddingMask::new(5, 2).unwrap();
+        assert!(pruned_attention(&q, &k, &v, &cfg, 0.0, Some(&pad)).is_err());
+    }
+
+    #[test]
+    fn quantized_attention_tracks_dense_reference() {
+        let (q, k, v) = small_qkv();
+        let cfg = AttentionConfig::new(4);
+        let dense = dense_attention(&q, &k, &v, &cfg).unwrap();
+        let hw = quantized_attention(&q, &k, &v, &cfg, None).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (dense.probs.get(i, j) - hw.probs.get(i, j)).abs() < 0.03,
+                    "probs diverge at ({i},{j})"
+                );
+            }
+            for c in 0..4 {
+                assert!(
+                    (dense.output.get(i, c) - hw.output.get(i, c)).abs() < 0.05,
+                    "outputs diverge at ({i},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_attention_honours_decisions() {
+        let (q, k, v) = small_qkv();
+        let cfg = AttentionConfig::new(4);
+        let decisions = vec![
+            PruneDecision::new(vec![false, true, true]),
+            PruneDecision::new(vec![true, false, true]),
+            PruneDecision::new(vec![false, false, true]),
+        ];
+        let hw = quantized_attention(&q, &k, &v, &cfg, Some(&decisions)).unwrap();
+        assert_eq!(hw.scores.get(0, 1), f32::NEG_INFINITY);
+        assert!((hw.probs.get(0, 0) - 1.0).abs() < 1e-3);
+        assert_eq!(hw.probs.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn quantized_attention_validates_decision_shape() {
+        let (q, k, v) = small_qkv();
+        let cfg = AttentionConfig::new(4);
+        let bad_count = vec![PruneDecision::new(vec![false; 3])];
+        assert!(quantized_attention(&q, &k, &v, &cfg, Some(&bad_count)).is_err());
+        let bad_len = vec![
+            PruneDecision::new(vec![false; 2]),
+            PruneDecision::new(vec![false; 2]),
+            PruneDecision::new(vec![false; 2]),
+        ];
+        assert!(quantized_attention(&q, &k, &v, &cfg, Some(&bad_len)).is_err());
+    }
+}

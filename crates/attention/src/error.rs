@@ -1,0 +1,95 @@
+//! The crate error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the attention substrate.
+///
+/// All public fallible functions in this crate return this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttentionError {
+    /// A matrix was constructed from rows of unequal length, or with a
+    /// zero dimension where one is not allowed.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        found: usize,
+    },
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// A dimension argument was zero or otherwise out of range.
+    InvalidDimension {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: usize,
+    },
+    /// A quantization parameter was invalid (non-positive scale or
+    /// unsupported bit width).
+    InvalidQuantization(String),
+    /// An empty input where at least one element is required.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for AttentionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttentionError::RaggedRows {
+                expected,
+                row,
+                found,
+            } => write!(
+                f,
+                "row {row} has length {found}, expected {expected} to match the first row"
+            ),
+            AttentionError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            AttentionError::InvalidDimension { name, value } => {
+                write!(f, "invalid dimension {name} = {value}")
+            }
+            AttentionError::InvalidQuantization(msg) => {
+                write!(f, "invalid quantization parameters: {msg}")
+            }
+            AttentionError::EmptyInput(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl Error for AttentionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = AttentionError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<AttentionError>();
+    }
+}

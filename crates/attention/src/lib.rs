@@ -1,0 +1,44 @@
+//! Self-attention math substrate for the SPRINT reproduction.
+//!
+//! Implements the arithmetic layer of the paper (§II-A background and the
+//! §VI on-chip datapath): a small row-major [`Matrix`] type, symmetric
+//! fixed-point quantization for the 8-bit QK/V datapath (12-bit softmax
+//! inputs, 16-bit attention outputs), exact and hardware (two-LUT)
+//! softmax, dense reference attention, learned-threshold runtime pruning
+//! in the style of LeOPArd, and the agreement metrics used by the
+//! accuracy studies of Figs. 5 and 9.
+//!
+//! # Example
+//!
+//! ```
+//! use sprint_attention::{Matrix, dense_attention, AttentionConfig};
+//!
+//! # fn main() -> Result<(), sprint_attention::AttentionError> {
+//! let d = 4;
+//! let q = Matrix::from_rows(&[vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]])?;
+//! let k = q.clone();
+//! let v = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]])?;
+//! let out = dense_attention(&q, &k, &v, &AttentionConfig::new(d))?;
+//! assert_eq!(out.output.rows(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod attention;
+mod error;
+mod fixed;
+mod matrix;
+mod metrics;
+mod pruning;
+mod softmax;
+
+pub use attention::{
+    dense_attention, pruned_attention, quantized_attention, AttentionConfig, AttentionOutput,
+    PaddingMask, QuantizedAttentionOutput, MASK_NEG,
+};
+pub use error::AttentionError;
+pub use fixed::{dequantize, quantize_matrix, quantize_value, QuantParams, QuantizedMatrix};
+pub use matrix::Matrix;
+pub use metrics::{kl_divergence, mean_abs_error, prune_set_overlap, top1_agreement};
+pub use pruning::{calibrate_threshold, pruning_stats, PruneDecision, PruningStats, ThresholdSet};
+pub use softmax::{softmax_exact, softmax_masked, SoftmaxLut};

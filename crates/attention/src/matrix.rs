@@ -1,0 +1,380 @@
+//! A small row-major `f32` matrix, sized for attention heads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::AttentionError;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// Sized for single attention heads (`s × d` with `s ≤ 4096`, `d = 64`
+/// in the paper), so it favours simplicity over BLAS-grade performance.
+///
+/// # Example
+///
+/// ```
+/// use sprint_attention::Matrix;
+///
+/// # fn main() -> Result<(), sprint_attention::AttentionError> {
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.get(1, 0), 3.0);
+/// let t = m.transposed();
+/// assert_eq!(t.get(0, 1), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidDimension`] if either dimension
+    /// is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, AttentionError> {
+        if rows == 0 {
+            return Err(AttentionError::InvalidDimension {
+                name: "rows",
+                value: rows,
+            });
+        }
+        if cols == 0 {
+            return Err(AttentionError::InvalidDimension {
+                name: "cols",
+                value: cols,
+            });
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Creates a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::EmptyInput`] for an empty slice and
+    /// [`AttentionError::RaggedRows`] if rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self, AttentionError> {
+        let first = rows.first().ok_or(AttentionError::EmptyInput("rows"))?;
+        let cols = first.len();
+        if cols == 0 {
+            return Err(AttentionError::InvalidDimension {
+                name: "cols",
+                value: 0,
+            });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(AttentionError::RaggedRows {
+                    expected: cols,
+                    row: i,
+                    found: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::ShapeMismatch`] if `data.len() != rows * cols`,
+    /// or [`AttentionError::InvalidDimension`] for zero dimensions.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, AttentionError> {
+        if rows == 0 || cols == 0 {
+            return Err(AttentionError::InvalidDimension {
+                name: if rows == 0 { "rows" } else { "cols" },
+                value: 0,
+            });
+        }
+        if data.len() != rows * cols {
+            return Err(AttentionError::ShapeMismatch {
+                op: "from_vec",
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns a mutable slice of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns column `c` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "column {c} out of bounds");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Returns the whole backing buffer in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data: vec![0.0; self.data.len()],
+        };
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::ShapeMismatch`] unless
+    /// `self.cols() == rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, AttentionError> {
+        if self.cols != rhs.rows {
+            return Err(AttentionError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            data: vec![0.0; self.rows * rhs.cols],
+        };
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    #[must_use]
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Maximum absolute value over all elements (0.0 for all-zero data).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product of unequal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_has_requested_shape() {
+        let m = Matrix::zeros(3, 5).unwrap();
+        assert_eq!(m.shape(), (3, 5));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_dimensions_are_rejected() {
+        assert!(Matrix::zeros(0, 3).is_err());
+        assert!(Matrix::zeros(3, 0).is_err());
+        assert!(Matrix::from_vec(2, 0, vec![]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(err, AttentionError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let id = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert_eq!(m.matmul(&id).unwrap(), m);
+        assert_eq!(id.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3).unwrap();
+        let b = Matrix::zeros(2, 3).unwrap();
+        assert!(matches!(
+            a.matmul(&b).unwrap_err(),
+            AttentionError::ShapeMismatch { op: "matmul", .. }
+        ));
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let m = Matrix::from_rows(&[vec![1.0, -2.0]]).unwrap();
+        let n = m.map(f32::abs);
+        assert_eq!(n.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let m = Matrix::from_rows(&[vec![1.0, -7.5, 3.0]]).unwrap();
+        assert_eq!(m.max_abs(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2).unwrap();
+        let _ = m.get(2, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_against_naive(
+            a_rows in 1usize..5, inner in 1usize..5, b_cols in 1usize..5,
+            seed in 0u64..1000
+        ) {
+            // Deterministic pseudo-random fill from the seed.
+            let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xff51afd7ed558ccd);
+                ((x >> 40) as f32 / 16777216.0) - 0.5
+            };
+            let a = Matrix::from_vec(a_rows, inner, (0..a_rows*inner).map(|_| next()).collect()).unwrap();
+            let b = Matrix::from_vec(inner, b_cols, (0..inner*b_cols).map(|_| next()).collect()).unwrap();
+            let c = a.matmul(&b).unwrap();
+            for r in 0..a_rows {
+                for cc in 0..b_cols {
+                    let naive: f32 = (0..inner).map(|k| a.get(r, k) * b.get(k, cc)).sum();
+                    prop_assert!((c.get(r, cc) - naive).abs() < 1e-4);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_transpose_preserves_elements(rows in 1usize..6, cols in 1usize..6) {
+            let data: Vec<f32> = (0..rows*cols).map(|i| i as f32).collect();
+            let m = Matrix::from_vec(rows, cols, data).unwrap();
+            let t = m.transposed();
+            for r in 0..rows {
+                for c in 0..cols {
+                    prop_assert_eq!(m.get(r, c), t.get(c, r));
+                }
+            }
+        }
+    }
+}

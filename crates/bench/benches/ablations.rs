@@ -1,0 +1,29 @@
+//! Criterion bench regenerating the design-choice ablations
+//! (threshold margin, MLC depth, ADC choice, double buffering,
+//! residency policy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = sprint_bench::bench_scale();
+    for r in sprint_core::ablations::all(&scale).expect("ablations run") {
+        println!("{r}");
+    }
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("counting_ablations", |b| {
+        b.iter(|| {
+            black_box(sprint_core::ablations::adc_design());
+            black_box(sprint_core::ablations::double_buffering(&scale));
+            black_box(sprint_core::ablations::residency_policy(&scale));
+        })
+    });
+    group.bench_function("margin_sweep", |b| {
+        b.iter(|| black_box(sprint_core::ablations::margin_sweep(&scale).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

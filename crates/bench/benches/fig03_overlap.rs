@@ -1,0 +1,22 @@
+//! Criterion bench regenerating Fig. 3 (observed vs random overlap).
+//!
+//! The fallible accuracy-class drivers run once for the printed rows
+//! and are then measured end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = sprint_bench::bench_scale();
+    let once = sprint_core::experiments::fig3(&scale).expect("fig3 runs");
+    println!("{once}");
+    let mut group = c.benchmark_group("fig03_overlap");
+    group.sample_size(10);
+    group.bench_function("fig3", |b| {
+        b.iter(|| black_box(sprint_core::experiments::fig3(&scale).expect("fig3 runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Fig. 5 (accuracy vs in-memory score
+//! bits). Runs the full functional pipeline — analog thresholding with
+//! b-bit quantized comparison plus 8-bit recompute — per point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = sprint_bench::bench_scale();
+    let once = sprint_core::experiments::fig5(&scale).expect("fig5 runs");
+    println!("{once}");
+    let mut group = c.benchmark_group("fig05_bits_sensitivity");
+    group.sample_size(10);
+    group.bench_function("fig5", |b| {
+        b.iter(|| black_box(sprint_core::experiments::fig5(&scale).expect("fig5 runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench regenerating Fig. 8.
+//!
+//! The measured closure is the full experiment driver, so the bench
+//! doubles as a regression harness for the artifact itself: the rows
+//! are printed once per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = sprint_bench::bench_scale();
+    let once = sprint_core::experiments::fig8(&scale);
+    println!("{once}");
+    let mut group = c.benchmark_group("fig08_imbalance");
+    group.sample_size(10);
+    group.bench_function("fig8(&scale)", |b| {
+        b.iter(|| black_box(sprint_core::experiments::fig8(&scale)))
+    });
+    group.finish();
+    let _ = scale;
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

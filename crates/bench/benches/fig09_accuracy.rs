@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig. 9 (the four accuracy scenarios
+//! across the six real-model proxies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = sprint_bench::bench_scale();
+    let once = sprint_core::experiments::fig9(&scale).expect("fig9 runs");
+    println!("{once}");
+    let mut group = c.benchmark_group("fig09_accuracy");
+    group.sample_size(10);
+    group.bench_function("fig9", |b| {
+        b.iter(|| black_box(sprint_core::experiments::fig9(&scale).expect("fig9 runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

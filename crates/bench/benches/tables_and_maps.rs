@@ -1,0 +1,38 @@
+//! Criterion bench regenerating the configuration artifacts: Tables I
+//! and II, the Fig. 2 pruning map, the Fig. 14 area model and the
+//! motivation ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = sprint_bench::bench_scale();
+    println!("{}", sprint_core::experiments::tab1());
+    println!("{}", sprint_core::experiments::tab2());
+    println!("{}", sprint_core::experiments::fig14());
+    println!(
+        "{}",
+        sprint_core::experiments::fig2(&scale).expect("fig2 runs")
+    );
+    println!("{}", sprint_core::experiments::extras(&scale));
+
+    let mut group = c.benchmark_group("tables_and_maps");
+    group.sample_size(10);
+    group.bench_function("tab1_tab2_fig14", |b| {
+        b.iter(|| {
+            black_box(sprint_core::experiments::tab1());
+            black_box(sprint_core::experiments::tab2());
+            black_box(sprint_core::experiments::fig14());
+        })
+    });
+    group.bench_function("fig2_map", |b| {
+        b.iter(|| black_box(sprint_core::experiments::fig2(&scale).expect("fig2 runs")))
+    });
+    group.bench_function("extras", |b| {
+        b.iter(|| black_box(sprint_core::experiments::extras(&scale)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run -p sprint-bench --bin report --release            # everything
+//! cargo run -p sprint-bench --bin report --release fig11     # one artifact
+//! cargo run -p sprint-bench --bin report --release -- --json # machine readable
+//! cargo run -p sprint-bench --bin report --release -- --quick
+//! ```
+
+use sprint_core::experiments::{self, Scale};
+use sprint_core::ExperimentResult;
+
+fn run_one(id: &str, scale: &Scale) -> Result<Vec<ExperimentResult>, Box<dyn std::error::Error>> {
+    Ok(match id {
+        "tab1" => vec![experiments::tab1()],
+        "tab2" => vec![experiments::tab2()],
+        "tab3" => vec![experiments::tab3(scale)],
+        "fig1" => vec![experiments::fig1(scale)],
+        "fig2" => vec![experiments::fig2(scale)?],
+        "fig3" => vec![experiments::fig3(scale)?],
+        "fig5" => vec![experiments::fig5(scale)?],
+        "fig8" => vec![experiments::fig8(scale)],
+        "fig9" => vec![experiments::fig9(scale)?],
+        "fig10" => vec![experiments::fig10(scale)],
+        "fig11" => vec![experiments::fig11(scale)],
+        "fig12" => vec![experiments::fig12(scale)],
+        "fig13" => vec![experiments::fig13(scale)],
+        "fig14" => vec![experiments::fig14()],
+        "ffn" => vec![experiments::ffn_table(scale)],
+        "extras" => vec![experiments::extras(scale)],
+        "ablations" => sprint_core::ablations::all(scale)?,
+        "all" => experiments::all(scale)?,
+        other => return Err(format!("unknown experiment id: {other}").into()),
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let mut results = Vec::new();
+    if ids.is_empty() {
+        results.extend(run_one("all", &scale)?);
+    } else {
+        for id in ids {
+            results.extend(run_one(id, &scale)?);
+        }
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&results)?);
+    } else {
+        for r in &results {
+            println!("{r}");
+            println!();
+        }
+    }
+    Ok(())
+}

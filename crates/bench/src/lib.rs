@@ -1,0 +1,33 @@
+//! Shared helpers for the SPRINT benchmark harness.
+//!
+//! The criterion benches (one per paper table/figure) and the `report`
+//! binary both drive the experiment drivers in
+//! [`sprint_core::experiments`]; this crate only holds the scale
+//! presets they share.
+
+use sprint_core::experiments::Scale;
+
+/// The scale benches run at: large enough to show the paper's shapes,
+/// small enough for criterion's repeated sampling.
+pub fn bench_scale() -> Scale {
+    Scale {
+        seq_cap: 512,
+        accuracy_seq: 96,
+        seed: 0xbe4c,
+    }
+}
+
+/// The full paper scale used by the report binary.
+pub fn report_scale() -> Scale {
+    Scale::full()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(bench_scale().seq_cap < report_scale().seq_cap);
+    }
+}

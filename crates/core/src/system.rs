@@ -1,0 +1,339 @@
+//! The functional end-to-end SPRINT system (Fig. 7 dataflow).
+//!
+//! Runs actual numbers through the full pipeline: quantized key MSBs in
+//! transposable ReRAM, analog thresholding with noise, the memory
+//! controller's SLD/selective fetch, and the on-chip 8-bit recompute
+//! datapath. Used by the accuracy studies (Figs. 5 and 9) and the
+//! integration tests; the performance figures use the counting
+//! simulator instead (same split as the paper).
+
+use serde::{Deserialize, Serialize};
+
+use sprint_attention::{
+    quantized_attention, softmax_exact, AttentionError, Matrix, PruneDecision,
+};
+use sprint_memory::{MemoryController, MemoryError, MemoryStats};
+use sprint_reram::{InMemoryPruner, NoiseModel, PruneHardwareStats, ReramError, ThresholdSpec};
+use sprint_workloads::HeadTrace;
+
+use crate::SprintConfig;
+
+/// Errors from the end-to-end system (any substrate can fail).
+#[derive(Debug)]
+pub enum SystemError {
+    /// Attention math error.
+    Attention(AttentionError),
+    /// ReRAM substrate error.
+    Reram(ReramError),
+    /// Memory subsystem error.
+    Memory(MemoryError),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Attention(e) => write!(f, "attention: {e}"),
+            SystemError::Reram(e) => write!(f, "reram: {e}"),
+            SystemError::Memory(e) => write!(f, "memory: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<AttentionError> for SystemError {
+    fn from(e: AttentionError) -> Self {
+        SystemError::Attention(e)
+    }
+}
+
+impl From<ReramError> for SystemError {
+    fn from(e: ReramError) -> Self {
+        SystemError::Reram(e)
+    }
+}
+
+impl From<MemoryError> for SystemError {
+    fn from(e: MemoryError) -> Self {
+        SystemError::Memory(e)
+    }
+}
+
+/// The output of one functional head execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemOutput {
+    /// Final attention values (`s × d`).
+    pub output: Matrix,
+    /// The in-memory pruning decisions actually applied.
+    pub decisions: Vec<PruneDecision>,
+    /// ReRAM-side operation counters.
+    pub prune_stats: PruneHardwareStats,
+    /// Memory-controller statistics (fetches, reuse, commands).
+    pub memory_stats: MemoryStats,
+}
+
+/// The functional SPRINT system for one configuration.
+///
+/// # Example
+///
+/// ```
+/// use sprint_core::{SprintConfig, SprintSystem};
+/// use sprint_reram::{NoiseModel, ThresholdSpec};
+/// use sprint_workloads::{ModelConfig, TraceGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = ModelConfig::vit_base().trace_spec().with_seq_len(48);
+/// let trace = TraceGenerator::new(3).generate(&spec)?;
+/// let mut sys = SprintSystem::new(SprintConfig::small(), NoiseModel::ideal(), 1);
+/// let out = sys.run_head(&trace, &ThresholdSpec::default(), true)?;
+/// assert_eq!(out.output.rows(), 48);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SprintSystem {
+    config: SprintConfig,
+    noise: NoiseModel,
+    seed: u64,
+}
+
+impl SprintSystem {
+    /// Creates a system with the given hardware configuration and
+    /// analog noise model.
+    pub fn new(config: SprintConfig, noise: NoiseModel, seed: u64) -> Self {
+        SprintSystem {
+            config,
+            noise,
+            seed,
+        }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &SprintConfig {
+        &self.config
+    }
+
+    /// Runs one head end to end.
+    ///
+    /// With `recompute == true` (SPRINT proper) the surviving scores
+    /// are recomputed in the 8-bit digital datapath; with `false`
+    /// ("SPRINT w/o recompute", Fig. 9 third bar) the approximate
+    /// analog scores feed the softmax directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors.
+    pub fn run_head(
+        &mut self,
+        trace: &HeadTrace,
+        spec: &ThresholdSpec,
+        recompute: bool,
+    ) -> Result<SystemOutput, SystemError> {
+        let live = trace.live_tokens();
+        let s = trace.seq_len();
+        let threshold = trace.threshold();
+
+        // In-memory pruning over the live region only (the 2-D
+        // reduction filters padded rows/columns before memory ever
+        // sees them).
+        let q_live = submatrix(trace.q(), live)?;
+        let k_live = submatrix(trace.k(), live)?;
+        let mut pruner = InMemoryPruner::new(
+            &q_live,
+            &k_live,
+            trace.config().scale(),
+            self.noise,
+            self.seed,
+        )?;
+
+        let mut controller =
+            MemoryController::new(self.config.memory_geometry(), self.config.timing)?;
+        controller.start_new_head();
+
+        let mut decisions = Vec::with_capacity(s);
+        let mut approx_rows: Vec<Vec<f32>> = Vec::with_capacity(live);
+        for i in 0..live {
+            let outcome = pruner.prune_query(q_live.row(i), threshold, spec)?;
+            // Extend the live-region decision to the full sequence:
+            // padded keys are always pruned.
+            let mut pruned = vec![true; s];
+            for j in 0..live {
+                pruned[j] = outcome.decision.is_pruned(j);
+            }
+            controller.process_query(&pruned[..live])?;
+            let mut row = vec![f32::NEG_INFINITY; s];
+            for j in 0..live {
+                if !pruned[j] {
+                    row[j] = outcome.approx_scores[j];
+                }
+            }
+            approx_rows.push(row);
+            decisions.push(PruneDecision::new(pruned));
+        }
+        for _ in live..s {
+            decisions.push(PruneDecision::new(vec![true; s]));
+        }
+
+        let output = if recompute {
+            // On-chip recompute: full-precision (8-bit datapath) scores
+            // for every surviving key.
+            quantized_attention(
+                trace.q(),
+                trace.k(),
+                trace.v(),
+                &trace.config(),
+                Some(&decisions),
+            )?
+            .output
+        } else {
+            // No recompute: the approximate in-memory scores drive the
+            // softmax and weighted sum directly.
+            let mut out = Matrix::zeros(s, trace.v().cols())?;
+            for (i, row) in approx_rows.iter().enumerate() {
+                let probs = softmax_exact(row);
+                for c in 0..trace.v().cols() {
+                    let mut acc = 0.0f32;
+                    for (j, &p) in probs.iter().enumerate() {
+                        if p > 0.0 {
+                            acc += p * trace.v().get(j, c);
+                        }
+                    }
+                    out.set(i, c, acc);
+                }
+            }
+            out
+        };
+
+        Ok(SystemOutput {
+            output,
+            decisions,
+            prune_stats: pruner.stats(),
+            memory_stats: controller.stats(),
+        })
+    }
+}
+
+/// The first `rows` rows of `m` as an owned matrix.
+fn submatrix(m: &Matrix, rows: usize) -> Result<Matrix, AttentionError> {
+    let mut out = Matrix::zeros(rows, m.cols())?;
+    for r in 0..rows {
+        out.row_mut(r).copy_from_slice(m.row(r));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_attention::pruned_attention;
+    use sprint_workloads::{ModelConfig, TraceGenerator};
+
+    fn small_trace() -> HeadTrace {
+        let spec = ModelConfig::bert_base().trace_spec().with_seq_len(64);
+        TraceGenerator::new(17).generate(&spec).unwrap()
+    }
+
+    #[test]
+    fn ideal_system_matches_digital_reference_decisions_closely() {
+        let trace = small_trace();
+        let mut sys = SprintSystem::new(SprintConfig::small(), NoiseModel::ideal(), 5);
+        let out = sys
+            .run_head(&trace, &ThresholdSpec::default(), true)
+            .unwrap();
+        // With ideal analog hardware the only divergence from the
+        // digital reference is the 4-bit MSB approximation; the kept
+        // sets must still agree on the overwhelming majority of keys.
+        let reference = trace.reference_decisions();
+        let live = trace.live_tokens();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..live {
+            for j in 0..live {
+                total += 1;
+                if out.decisions[i].is_pruned(j) == reference[i].is_pruned(j) {
+                    agree += 1;
+                }
+            }
+        }
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.9, "decision agreement {rate}");
+    }
+
+    #[test]
+    fn recompute_output_tracks_pruned_reference() {
+        let trace = small_trace();
+        let mut sys = SprintSystem::new(SprintConfig::small(), NoiseModel::ideal(), 5);
+        let out = sys
+            .run_head(&trace, &ThresholdSpec::default(), true)
+            .unwrap();
+        let (reference, _) = pruned_attention(
+            trace.q(),
+            trace.k(),
+            trace.v(),
+            &trace.config(),
+            trace.threshold(),
+            Some(&trace.padding()),
+        )
+        .unwrap();
+        let mae = sprint_attention::mean_abs_error(&out.output, &reference.output).unwrap();
+        assert!(mae < 0.1, "recomputed output off by {mae}");
+    }
+
+    #[test]
+    fn no_recompute_is_worse_than_recompute() {
+        let trace = small_trace();
+        let noise = NoiseModel::default();
+        let (reference, _) = pruned_attention(
+            trace.q(),
+            trace.k(),
+            trace.v(),
+            &trace.config(),
+            f32::MIN,
+            Some(&trace.padding()),
+        )
+        .unwrap();
+        let mut sys_a = SprintSystem::new(SprintConfig::small(), noise, 5);
+        let with = sys_a
+            .run_head(&trace, &ThresholdSpec::default(), true)
+            .unwrap();
+        let mut sys_b = SprintSystem::new(SprintConfig::small(), noise, 5);
+        let without = sys_b
+            .run_head(&trace, &ThresholdSpec::default(), false)
+            .unwrap();
+        let err_with =
+            sprint_attention::mean_abs_error(&with.output, &reference.output).unwrap();
+        let err_without =
+            sprint_attention::mean_abs_error(&without.output, &reference.output).unwrap();
+        assert!(
+            err_without > err_with,
+            "no-recompute ({err_without}) must be worse than recompute ({err_with})"
+        );
+    }
+
+    #[test]
+    fn memory_stats_show_spatial_reuse() {
+        let trace = small_trace();
+        let mut sys = SprintSystem::new(SprintConfig::small(), NoiseModel::ideal(), 5);
+        let out = sys
+            .run_head(&trace, &ThresholdSpec::default(), true)
+            .unwrap();
+        let stats = out.memory_stats;
+        assert!(stats.reused_vectors > stats.fetched_vectors,
+            "locality should dominate: reused {} vs fetched {}",
+            stats.reused_vectors, stats.fetched_vectors);
+        assert_eq!(stats.queries as usize, trace.live_tokens());
+    }
+
+    #[test]
+    fn padded_queries_produce_zero_rows() {
+        let trace = small_trace();
+        let mut sys = SprintSystem::new(SprintConfig::small(), NoiseModel::ideal(), 5);
+        let out = sys
+            .run_head(&trace, &ThresholdSpec::default(), true)
+            .unwrap();
+        for i in trace.live_tokens()..trace.seq_len() {
+            assert!(out.output.row(i).iter().all(|&x| x == 0.0), "row {i}");
+            assert_eq!(out.decisions[i].kept_count(), 0);
+        }
+    }
+}

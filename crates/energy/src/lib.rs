@@ -1,0 +1,37 @@
+//! Energy, latency and area cost models for the SPRINT accelerator.
+//!
+//! This crate reproduces the cost-model layer of the SPRINT paper
+//! (MICRO 2022): the per-operation energies of Table II, the hardware
+//! configurations of Table I, the memory timing constraints of §V
+//! (including the new `tAxTh` constraint for in-memory thresholding),
+//! and the area/floorplan model of Fig. 14 and Table III.
+//!
+//! The paper's own evaluation methodology multiplies *operation counts*
+//! gathered by a performance simulator with post-layout unit energies;
+//! the types here are the "unit energies" half of that methodology.
+//!
+//! # Example
+//!
+//! ```
+//! use sprint_energy::{UnitEnergies, Category, EnergyBreakdown};
+//!
+//! let units = UnitEnergies::default();
+//! let mut bd = EnergyBreakdown::new();
+//! // Fetch 10 key vectors of 64 bytes each from ReRAM:
+//! bd.charge(Category::ReramRead, units.reram_read_bits(10 * 64 * 8));
+//! // And compute 10 64-tap dot products on the QK-PU:
+//! bd.charge(Category::QkPu, units.qk_pu_dot_product * 10.0);
+//! assert!(bd.total().as_pj() > 0.0);
+//! ```
+
+mod area;
+mod breakdown;
+mod energy;
+mod timing;
+mod units;
+
+pub use area::{dennard_scale, AreaModel, ComponentArea};
+pub use breakdown::{Category, EnergyBreakdown};
+pub use energy::Energy;
+pub use timing::{Cycles, TimingParams, DEFAULT_CLOCK_HZ};
+pub use units::{AdcCostModel, UnitEnergies};

@@ -1,0 +1,116 @@
+//! The crate error type.
+
+use std::error::Error;
+use std::fmt;
+
+use sprint_energy::Cycles;
+
+use crate::MemoryCommand;
+
+/// Errors produced by the memory subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemoryError {
+    /// Geometry parameter out of range.
+    InvalidGeometry {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: usize,
+    },
+    /// Timing parameter set failed validation.
+    InvalidTiming(String),
+    /// A command was issued before its earliest legal cycle.
+    TimingViolation {
+        /// The offending command.
+        command: MemoryCommand,
+        /// Cycle it was issued at.
+        issued: Cycles,
+        /// Earliest legal cycle.
+        earliest: Cycles,
+        /// Which constraint was violated.
+        constraint: &'static str,
+    },
+    /// A command referenced a bank/row/column outside the geometry.
+    AddressOutOfRange {
+        /// What was addressed.
+        what: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound.
+        bound: usize,
+    },
+    /// A column access was issued to a bank with no (or another) open row.
+    RowNotOpen {
+        /// Bank index.
+        bank: usize,
+    },
+    /// `ReadP` issued with no in-flight thresholding operation.
+    NoThresholdingInFlight,
+    /// Vector length mismatch (pruning vectors across queries).
+    LengthMismatch {
+        /// What was compared.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Found length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::InvalidGeometry { name, value } => {
+                write!(f, "invalid memory geometry: {name} = {value}")
+            }
+            MemoryError::InvalidTiming(msg) => write!(f, "invalid timing parameters: {msg}"),
+            MemoryError::TimingViolation {
+                command,
+                issued,
+                earliest,
+                constraint,
+            } => write!(
+                f,
+                "{command:?} issued at {issued} before earliest legal {earliest} ({constraint})"
+            ),
+            MemoryError::AddressOutOfRange { what, index, bound } => {
+                write!(f, "{what} index {index} out of range (< {bound})")
+            }
+            MemoryError::RowNotOpen { bank } => {
+                write!(f, "column access to bank {bank} with no matching open row")
+            }
+            MemoryError::NoThresholdingInFlight => {
+                write!(f, "ReadP issued with no in-flight in-memory thresholding")
+            }
+            MemoryError::LengthMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what} has length {found}, expected {expected}"),
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MemoryError>();
+    }
+
+    #[test]
+    fn display_names_the_constraint() {
+        let e = MemoryError::TimingViolation {
+            command: MemoryCommand::ReadP,
+            issued: Cycles::new(3),
+            earliest: Cycles::new(11),
+            constraint: "tAxTh",
+        };
+        assert!(e.to_string().contains("tAxTh"));
+    }
+}

@@ -1,0 +1,62 @@
+//! The SPRINT memory subsystem (§V).
+//!
+//! Models the off-chip ReRAM main memory side of SPRINT:
+//!
+//! * [`MemoryGeometry`] — channel/bank/row layout with the paper's
+//!   non-interleaved key organization: each key vector occupies one
+//!   memory-mat column, and **adjacent key vectors are distributed
+//!   across different channels** for bandwidth under spatially-local
+//!   fetch patterns;
+//! * [`MemoryCommand`] — conventional ACT/PRE/RD/WR plus the paper's
+//!   two new commands, [`MemoryCommand::CopyQ`] (ship query MSBs to the
+//!   in-memory query buffer; sets a start bit to trigger thresholding)
+//!   and [`MemoryCommand::ReadP`] (collect the binary pruning vector);
+//! * [`TimingChecker`] — validates command streams against
+//!   tRCD/tRP/tCL/tRRD/tFAW and the new `tAxTh` constraint between a
+//!   triggering `CopyQ` and the earliest `ReadP`;
+//! * [`SldEngine`] — spatial-locality detection (Eqs. 4–5), splitting
+//!   each pruning vector into *memory requests* (kept, not on chip)
+//!   and *locality hits* (kept, already on chip);
+//! * [`MemoryRequestGenerator`] / [`KeyIndexGenerator`] — the per-
+//!   channel MRG/KIG engines with their base register + shared
+//!   up-counter address generation;
+//! * [`ChannelScheduler`] and [`MemoryController`] — an FR-FCFS-style
+//!   backend and the frontend orchestration of the
+//!   threshold-fetch-compute flow, with cycle and energy accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use sprint_memory::{MemoryController, MemoryGeometry};
+//! use sprint_energy::TimingParams;
+//!
+//! # fn main() -> Result<(), sprint_memory::MemoryError> {
+//! let mut mc = MemoryController::new(MemoryGeometry::default(), TimingParams::default())?;
+//! // Query 0 keeps keys 0 and 5; everything is a cold miss.
+//! let mut pruned = vec![true; 8];
+//! pruned[0] = false;
+//! pruned[5] = false;
+//! let outcome = mc.process_query(&pruned)?;
+//! assert_eq!(outcome.fetched_keys, vec![0, 5]);
+//! assert!(outcome.reused_keys.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+mod command;
+mod controller;
+mod engines;
+mod error;
+mod layout;
+mod scheduler;
+mod sld;
+mod timing;
+
+pub use command::{CommandTrace, MemoryCommand, TimedCommand};
+pub use controller::{MemoryController, MemoryStats, QueryOutcome};
+pub use engines::{KeyAddress, KeyIndexGenerator, MemoryRequestGenerator};
+pub use error::MemoryError;
+pub use layout::{KeyLocation, MemoryGeometry};
+pub use scheduler::{ChannelScheduler, ScheduleResult};
+pub use sld::{SldEngine, SldSplit};
+pub use timing::TimingChecker;

@@ -1,0 +1,438 @@
+//! The MLC ReRAM crossbar array (Fig. 4, Eq. 2).
+//!
+//! Values are stored as signed integer codes on multi-level cells
+//! (4 bits/cell per the robustness analysis the paper cites). Analog
+//! vector-matrix multiplication drives the input vector on the
+//! wordlines through DACs and sums column currents; the model applies
+//! per-cell programming variation (fixed at write time) and additive
+//! per-operation output noise from a [`NoiseModel`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{NoiseModel, ReramError};
+
+/// A `rows × cols` ReRAM crossbar of signed MLC cells.
+///
+/// # Example
+///
+/// ```
+/// use sprint_reram::{CrossbarArray, NoiseModel};
+///
+/// # fn main() -> Result<(), sprint_reram::ReramError> {
+/// let mut xb = CrossbarArray::new(4, 2, 4, NoiseModel::ideal(), 1)?;
+/// xb.program_column(0, &[1, 2, 3, 4])?;
+/// xb.program_column(1, &[-1, 0, 1, 0])?;
+/// let out = xb.vmm(&[1, 1, 1, 1])?;
+/// assert_eq!(out, vec![10.0, 0.0]); // ideal analog equals digital
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    cell_bits: u32,
+    /// Programmed integer codes, column-major (`cols × rows`).
+    codes: Vec<i32>,
+    /// Effective analog weight of each cell (code × (1 + variation)),
+    /// column-major.
+    weights: Vec<f64>,
+    noise: NoiseModel,
+    rng: StdRngState,
+    vmm_count: u64,
+}
+
+/// Serializable wrapper holding the RNG seed/stream; the RNG itself is
+/// reconstructed on deserialize.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StdRngState {
+    seed: u64,
+    #[serde(skip, default = "none_rng")]
+    rng: Option<StdRng>,
+}
+
+fn none_rng() -> Option<StdRng> {
+    None
+}
+
+impl StdRngState {
+    fn new(seed: u64) -> Self {
+        StdRngState {
+            seed,
+            rng: Some(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        let seed = self.seed;
+        self.rng.get_or_insert_with(|| StdRng::seed_from_u64(seed))
+    }
+}
+
+/// Box-Muller standard normal (no `rand_distr` in the offline set).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl CrossbarArray {
+    /// Creates an unprogrammed crossbar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidGeometry`] for zero dimensions and
+    /// [`ReramError::InvalidParameter`] for unsupported cell widths
+    /// (1–8 bits are modelled; the paper uses 4).
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        cell_bits: u32,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> Result<Self, ReramError> {
+        if rows == 0 {
+            return Err(ReramError::InvalidGeometry {
+                name: "rows",
+                value: rows,
+            });
+        }
+        if cols == 0 {
+            return Err(ReramError::InvalidGeometry {
+                name: "cols",
+                value: cols,
+            });
+        }
+        if !(1..=8).contains(&cell_bits) {
+            return Err(ReramError::InvalidParameter(format!(
+                "cell_bits {cell_bits} outside 1..=8"
+            )));
+        }
+        Ok(CrossbarArray {
+            rows,
+            cols,
+            cell_bits,
+            codes: vec![0; rows * cols],
+            weights: vec![0.0; rows * cols],
+            noise,
+            rng: StdRngState::new(seed),
+            vmm_count: 0,
+        })
+    }
+
+    /// Number of wordlines (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bitlines (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Bits per cell.
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// Largest storable signed code.
+    pub fn code_max(&self) -> i32 {
+        (1 << (self.cell_bits - 1)) - 1
+    }
+
+    /// Smallest storable signed code.
+    pub fn code_min(&self) -> i32 {
+        -(1 << (self.cell_bits - 1))
+    }
+
+    /// Number of analog vector-matrix operations performed so far
+    /// (energy accounting hook).
+    pub fn vmm_count(&self) -> u64 {
+        self.vmm_count
+    }
+
+    /// Programs `values` into column `col`, one code per row.
+    ///
+    /// Programming applies the noise model's per-cell variation to the
+    /// effective analog weight; the digital code is stored exactly
+    /// (cells are verified at write time, variation shows at read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::IndexOutOfRange`] for a bad column,
+    /// [`ReramError::LengthMismatch`] for a wrong vector length, or
+    /// [`ReramError::CodeOutOfRange`] for codes outside the cell range.
+    pub fn program_column(&mut self, col: usize, values: &[i32]) -> Result<(), ReramError> {
+        if col >= self.cols {
+            return Err(ReramError::IndexOutOfRange {
+                what: "column",
+                index: col,
+                bound: self.cols,
+            });
+        }
+        if values.len() != self.rows {
+            return Err(ReramError::LengthMismatch {
+                what: "column vector",
+                expected: self.rows,
+                found: values.len(),
+            });
+        }
+        for &v in values {
+            if v < self.code_min() || v > self.code_max() {
+                return Err(ReramError::CodeOutOfRange {
+                    code: v,
+                    bits: self.cell_bits,
+                });
+            }
+        }
+        let sigma = self.noise.programming_sigma();
+        for (r, &v) in values.iter().enumerate() {
+            let idx = col * self.rows + r;
+            self.codes[idx] = v;
+            let variation = if sigma > 0.0 {
+                1.0 + sigma * normal(self.rng.rng())
+            } else {
+                1.0
+            };
+            self.weights[idx] = v as f64 * variation;
+        }
+        Ok(())
+    }
+
+    /// Returns the digitally stored codes of column `col`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::IndexOutOfRange`] for a bad column.
+    pub fn column_codes(&self, col: usize) -> Result<Vec<i32>, ReramError> {
+        if col >= self.cols {
+            return Err(ReramError::IndexOutOfRange {
+                what: "column",
+                index: col,
+                bound: self.cols,
+            });
+        }
+        Ok(self.codes[col * self.rows..(col + 1) * self.rows].to_vec())
+    }
+
+    /// Analog vector-matrix multiplication (Eq. 2): drives `input`
+    /// codes on the wordlines and returns one analog output per column,
+    /// in code units, including programming variation and output noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::LengthMismatch`] unless
+    /// `input.len() == rows`.
+    pub fn vmm(&mut self, input: &[i32]) -> Result<Vec<f64>, ReramError> {
+        if input.len() != self.rows {
+            return Err(ReramError::LengthMismatch {
+                what: "input vector",
+                expected: self.rows,
+                found: input.len(),
+            });
+        }
+        self.vmm_count += 1;
+        let full_scale = self.full_scale(input);
+        let sigma = self.noise.relative_sigma() * full_scale;
+        let mut out = Vec::with_capacity(self.cols);
+        for c in 0..self.cols {
+            let weights = &self.weights[c * self.rows..(c + 1) * self.rows];
+            let mut acc = 0.0f64;
+            for (w, &x) in weights.iter().zip(input) {
+                acc += w * x as f64;
+            }
+            if sigma > 0.0 {
+                acc += sigma * normal(self.rng.rng());
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+
+    /// The exact digital dot products the analog operation
+    /// approximates (no variation, no noise). Reference for tests and
+    /// for computing approximation error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::LengthMismatch`] unless
+    /// `input.len() == rows`.
+    pub fn exact_vmm(&self, input: &[i32]) -> Result<Vec<i64>, ReramError> {
+        if input.len() != self.rows {
+            return Err(ReramError::LengthMismatch {
+                what: "input vector",
+                expected: self.rows,
+                found: input.len(),
+            });
+        }
+        Ok((0..self.cols)
+            .map(|c| {
+                self.codes[c * self.rows..(c + 1) * self.rows]
+                    .iter()
+                    .zip(input)
+                    .map(|(&w, &x)| w as i64 * x as i64)
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Full-scale analog output for the given input drive: the worst
+    /// case |Σ input_i · w_i| with every cell at the code extreme.
+    /// Noise is proportional to this, matching how ADC-equivalent
+    /// accuracy is specified against the converter's full range.
+    pub fn full_scale(&self, input: &[i32]) -> f64 {
+        let drive: f64 = input.iter().map(|&x| (x as f64).abs()).sum();
+        drive * self.code_max() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ideal_array(rows: usize, cols: usize) -> CrossbarArray {
+        CrossbarArray::new(rows, cols, 4, NoiseModel::ideal(), 42).unwrap()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(CrossbarArray::new(0, 4, 4, NoiseModel::ideal(), 0).is_err());
+        assert!(CrossbarArray::new(4, 0, 4, NoiseModel::ideal(), 0).is_err());
+        assert!(CrossbarArray::new(4, 4, 0, NoiseModel::ideal(), 0).is_err());
+        assert!(CrossbarArray::new(4, 4, 9, NoiseModel::ideal(), 0).is_err());
+    }
+
+    #[test]
+    fn four_bit_cells_store_minus8_to_7() {
+        let xb = ideal_array(2, 2);
+        assert_eq!(xb.code_min(), -8);
+        assert_eq!(xb.code_max(), 7);
+    }
+
+    #[test]
+    fn programming_validates_inputs() {
+        let mut xb = ideal_array(3, 2);
+        assert!(xb.program_column(2, &[0, 0, 0]).is_err());
+        assert!(xb.program_column(0, &[0, 0]).is_err());
+        assert!(xb.program_column(0, &[8, 0, 0]).is_err());
+        assert!(xb.program_column(0, &[-9, 0, 0]).is_err());
+        assert!(xb.program_column(0, &[-8, 7, 0]).is_ok());
+    }
+
+    #[test]
+    fn ideal_vmm_equals_exact() {
+        let mut xb = ideal_array(8, 3);
+        xb.program_column(0, &[1, -2, 3, -4, 5, -6, 7, -8]).unwrap();
+        xb.program_column(1, &[7; 8]).unwrap();
+        xb.program_column(2, &[0; 8]).unwrap();
+        let input = vec![1, 2, 3, 4, 5, 6, 7, -8];
+        let analog = xb.vmm(&input).unwrap();
+        let exact = xb.exact_vmm(&input).unwrap();
+        for (a, e) in analog.iter().zip(&exact) {
+            assert_eq!(*a, *e as f64, "ideal analog must be exact");
+        }
+        assert_eq!(xb.vmm_count(), 1);
+    }
+
+    #[test]
+    fn column_codes_round_trip() {
+        let mut xb = ideal_array(4, 2);
+        let v = vec![3, -8, 7, 0];
+        xb.program_column(1, &v).unwrap();
+        assert_eq!(xb.column_codes(1).unwrap(), v);
+        assert!(xb.column_codes(2).is_err());
+    }
+
+    #[test]
+    fn vmm_validates_input_length() {
+        let mut xb = ideal_array(4, 2);
+        assert!(xb.vmm(&[1, 2]).is_err());
+        assert!(xb.exact_vmm(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn noisy_vmm_stays_within_expected_band() {
+        let noise = NoiseModel::equivalent_bits(5).unwrap();
+        let mut xb = CrossbarArray::new(64, 16, 4, noise, 7).unwrap();
+        for c in 0..16 {
+            let col: Vec<i32> = (0..64).map(|r| ((r + c) % 15) as i32 - 7).collect();
+            xb.program_column(c, &col).unwrap();
+        }
+        let input: Vec<i32> = (0..64).map(|r| (r % 15) as i32 - 7).collect();
+        let exact = xb.exact_vmm(&input).unwrap();
+        let fs = xb.full_scale(&input);
+        // Mean over many noisy reads converges to near the exact value
+        // (programming variation adds a static offset of ~1%).
+        let reps = 200;
+        let mut mean = vec![0.0f64; 16];
+        for _ in 0..reps {
+            let out = xb.vmm(&input).unwrap();
+            for (m, o) in mean.iter_mut().zip(&out) {
+                *m += o / reps as f64;
+            }
+        }
+        for (c, (&m, &e)) in mean.iter().zip(&exact).enumerate() {
+            let tol = 0.04 * fs.max(1.0);
+            assert!(
+                (m - e as f64).abs() < tol,
+                "col {c}: mean {m} vs exact {e} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_scale_tracks_equivalent_bits() {
+        // More equivalent bits -> tighter spread around exact.
+        let spread = |bits: u32| -> f64 {
+            // No programming variation for this test.
+            let nm = NoiseModel::from_sigmas(
+                NoiseModel::equivalent_bits(bits).unwrap().relative_sigma(),
+                0.0,
+            )
+            .unwrap();
+            let mut xb = CrossbarArray::new(64, 1, 4, nm, 3).unwrap();
+            xb.program_column(0, &[5; 64]).unwrap();
+            let input = vec![5; 64];
+            let exact = xb.exact_vmm(&input).unwrap()[0] as f64;
+            let mut sq = 0.0;
+            let n = 300;
+            for _ in 0..n {
+                let o = xb.vmm(&input).unwrap()[0];
+                sq += (o - exact) * (o - exact);
+            }
+            (sq / n as f64).sqrt()
+        };
+        let s3 = spread(3);
+        let s6 = spread(6);
+        assert!(s3 > 4.0 * s6, "3-bit spread {s3} vs 6-bit {s6}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ideal_vmm_matches_naive(
+            rows in 1usize..32,
+            cols in 1usize..8,
+            seed in 0u64..100,
+        ) {
+            let mut xb = CrossbarArray::new(rows, cols, 4, NoiseModel::ideal(), seed).unwrap();
+            let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
+            let mut next_code = || {
+                state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+                ((state % 16) as i32) - 8
+            };
+            for c in 0..cols {
+                let col: Vec<i32> = (0..rows).map(|_| next_code()).collect();
+                xb.program_column(c, &col).unwrap();
+            }
+            let input: Vec<i32> = (0..rows).map(|_| next_code()).collect();
+            let analog = xb.vmm(&input).unwrap();
+            let exact = xb.exact_vmm(&input).unwrap();
+            for (a, e) in analog.iter().zip(&exact) {
+                prop_assert_eq!(*a, *e as f64);
+            }
+        }
+    }
+}

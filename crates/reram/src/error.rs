@@ -1,0 +1,85 @@
+//! The crate error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the ReRAM substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReramError {
+    /// An array was configured with an invalid geometry.
+    InvalidGeometry {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: usize,
+    },
+    /// A vector length does not match the array geometry.
+    LengthMismatch {
+        /// What was being accessed.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        found: usize,
+    },
+    /// A column or row index is out of range.
+    IndexOutOfRange {
+        /// What index.
+        what: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound.
+        bound: usize,
+    },
+    /// A code does not fit the cell's bit width.
+    CodeOutOfRange {
+        /// The code value.
+        code: i32,
+        /// Cell bit width.
+        bits: u32,
+    },
+    /// Invalid model parameter (noise sigma, bit width, margin...).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for ReramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReramError::InvalidGeometry { name, value } => {
+                write!(f, "invalid array geometry: {name} = {value}")
+            }
+            ReramError::LengthMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what} has length {found}, expected {expected}"),
+            ReramError::IndexOutOfRange { what, index, bound } => {
+                write!(f, "{what} index {index} out of range (< {bound})")
+            }
+            ReramError::CodeOutOfRange { code, bits } => {
+                write!(f, "code {code} does not fit a signed {bits}-bit cell")
+            }
+            ReramError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for ReramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ReramError::CodeOutOfRange { code: 9, bits: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4-bit"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ReramError>();
+    }
+}

@@ -1,0 +1,781 @@
+//! The in-memory thresholding engine (§III-B "In-memory thresholding
+//! dataflow").
+//!
+//! Key vectors live column-wise in transposable arrays, 4 MSBs per
+//! element. To prune for a query: the memory controller ships the
+//! query's MSB nibbles (CopyQ), a low-precision DAC drives them on the
+//! wordlines, every column develops an analog dot product, analog
+//! comparators check each against the threshold voltage, and a row of
+//! 1-bit ADCs emits the binary pruning vector (ReadP). Scores land in
+//! the analog domain only — no multi-bit ADC anywhere on this path.
+
+use serde::{Deserialize, Serialize};
+
+use sprint_attention::{quantize_matrix, Matrix, PruneDecision, QuantParams};
+
+use crate::{NoiseModel, ReramError, TransposableArray};
+
+/// Columns per transposable array (Table I: 64 × 128).
+const ARRAY_COLS: usize = 128;
+/// Wordlines per transposable array (Table I).
+const ARRAY_ROWS: usize = 64;
+
+/// How the analog score is compared against the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdSpec {
+    /// `Some(b)`: quantize the in-memory score to `b` bits before the
+    /// comparison (Eq. 3's `Score_R^b`, the Fig. 5 sensitivity knob).
+    /// `None`: pure analog comparison (SPRINT's actual design — the
+    /// comparator sees the continuous analog value plus noise).
+    pub score_bits: Option<u32>,
+    /// Safety margin subtracted from the threshold, as a fraction of
+    /// the analog full scale ("a modest negative margin on top of Th",
+    /// §III-A). Positive values prune less and protect borderline keys.
+    pub margin_fraction: f64,
+}
+
+impl Default for ThresholdSpec {
+    /// The paper's design point: analog comparator, no extra margin.
+    fn default() -> Self {
+        ThresholdSpec {
+            score_bits: None,
+            margin_fraction: 0.0,
+        }
+    }
+}
+
+impl ThresholdSpec {
+    /// Analog comparison with a 3σ noise margin for the given model —
+    /// enough that noise alone almost never falsely prunes a key the
+    /// digital threshold keeps.
+    pub fn analog_with_noise_margin(noise: &NoiseModel) -> Self {
+        ThresholdSpec {
+            score_bits: None,
+            margin_fraction: 3.0 * noise.relative_sigma(),
+        }
+    }
+
+    /// Quantized-score comparison with `bits` bits (Fig. 5 study).
+    pub fn quantized(bits: u32) -> Self {
+        ThresholdSpec {
+            score_bits: Some(bits),
+            margin_fraction: 0.0,
+        }
+    }
+}
+
+/// Operation counters for energy accounting (§VII methodology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PruneHardwareStats {
+    /// Analog in-memory vector-matrix operations (per array tile).
+    pub in_memory_ops: u64,
+    /// Individual analog comparator firings (one per key column).
+    pub comparator_firings: u64,
+    /// DAC wordline conversions (one per query element per row tile).
+    pub dac_conversions: u64,
+    /// Transposed reads of stored key vectors.
+    pub transposed_reads: u64,
+    /// Queries thresholded.
+    pub queries_pruned: u64,
+}
+
+/// The outcome of in-memory thresholding for one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruneOutcome {
+    /// The binary pruning vector (`true` = pruned), as shipped back to
+    /// the memory controller by `ReadP`.
+    pub decision: PruneDecision,
+    /// The approximate scores the analog path produced, converted back
+    /// to real score units. These are what "SPRINT w/o recompute"
+    /// would feed the softmax (Fig. 9's third bar).
+    pub approx_scores: Vec<f32>,
+}
+
+/// The complete in-memory pruning engine over one attention head's
+/// key matrix.
+///
+/// # Example
+///
+/// ```
+/// use sprint_attention::Matrix;
+/// use sprint_reram::{InMemoryPruner, NoiseModel, ThresholdSpec};
+///
+/// # fn main() -> Result<(), sprint_reram::ReramError> {
+/// let k = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+/// let q = Matrix::from_rows(&[vec![1.0, 0.0]]).unwrap();
+/// let mut pruner = InMemoryPruner::new(&q, &k, 1.0, NoiseModel::ideal(), 1)?;
+/// let out = pruner.prune_query(q.row(0), 0.5, &ThresholdSpec::default())?;
+/// assert!(out.decision.is_kept(0));
+/// assert!(out.decision.is_pruned(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct InMemoryPruner {
+    /// `tiles[col_tile][row_tile]`, each a transposable array.
+    tiles: Vec<Vec<TransposableArray>>,
+    s: usize,
+    d: usize,
+    /// Bits stored per MLC cell (4 in the paper's design).
+    cell_bits: u32,
+    q_params: QuantParams,
+    /// Real score value of one MSB-code product unit:
+    /// `(16·sq) · (16·sk) · attention_scale`.
+    score_lsb: f64,
+    /// Full-scale |score| in code units that the Fig. 5 score
+    /// quantization is measured against: the provisioned comparator/
+    /// ADC reference range, 4x the observed workload maximum (design
+    /// margin for process, temperature and workload drift).
+    full_scale_codes: f64,
+    stats: PruneHardwareStats,
+}
+
+impl InMemoryPruner {
+    /// Builds the engine: quantizes `k` to 8 bits, stores each key's
+    /// MSB nibbles in one transposable-array column, and calibrates
+    /// the query quantizer from `q`'s dynamic range.
+    ///
+    /// `attention_scale` is the score scaling (1/√d in the models).
+    /// Keys longer than one array's wordline count are split across
+    /// row tiles whose currents are merged before comparison (§V
+    /// "Scaling for embedding size").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::LengthMismatch`] if `q` and `k` disagree
+    /// on the embedding size, or [`ReramError::InvalidParameter`] for
+    /// a non-positive scale.
+    pub fn new(
+        q: &Matrix,
+        k: &Matrix,
+        attention_scale: f32,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> Result<Self, ReramError> {
+        InMemoryPruner::with_cell_bits(q, k, attention_scale, noise, seed, 4)
+    }
+
+    /// Builds the engine with a non-default MLC depth (§III studies
+    /// the bits-per-cell robustness/density trade-off; 4 is cited as
+    /// the optimal balance).
+    ///
+    /// Cells denser than 4 bits grow *more* sensitive to circuit
+    /// noise: the per-cell level spacing halves with every extra bit,
+    /// so both the read-noise and programming-variation sigmas are
+    /// scaled by `2^(cell_bits − 4)` beyond the 4-bit design point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InMemoryPruner::new`]; additionally
+    /// `cell_bits` must be in `1..=8`.
+    pub fn with_cell_bits(
+        q: &Matrix,
+        k: &Matrix,
+        attention_scale: f32,
+        noise: NoiseModel,
+        seed: u64,
+        cell_bits: u32,
+    ) -> Result<Self, ReramError> {
+        if !(1..=8).contains(&cell_bits) {
+            return Err(ReramError::InvalidParameter(format!(
+                "cell_bits {cell_bits} outside 1..=8"
+            )));
+        }
+        // Denser cells are harder to sense and program accurately.
+        let noise = if cell_bits > 4 {
+            let factor = 2f64.powi(cell_bits as i32 - 4);
+            NoiseModel::from_sigmas(
+                noise.relative_sigma() * factor,
+                noise.programming_sigma() * factor,
+            )?
+        } else {
+            noise
+        };
+        if q.cols() != k.cols() {
+            return Err(ReramError::LengthMismatch {
+                what: "query embedding",
+                expected: k.cols(),
+                found: q.cols(),
+            });
+        }
+        if !(attention_scale.is_finite() && attention_scale > 0.0) {
+            return Err(ReramError::InvalidParameter(format!(
+                "attention scale {attention_scale} must be positive"
+            )));
+        }
+        let s = k.rows();
+        let d = k.cols();
+        let qk = quantize_matrix(k, 8)
+            .map_err(|e| ReramError::InvalidParameter(format!("key quantization: {e}")))?;
+        let qq = quantize_matrix(q, 8)
+            .map_err(|e| ReramError::InvalidParameter(format!("query quantization: {e}")))?;
+
+        let col_tiles = s.div_ceil(ARRAY_COLS);
+        let row_tiles = d.div_ceil(ARRAY_ROWS);
+        let mut tiles = Vec::with_capacity(col_tiles);
+        for ct in 0..col_tiles {
+            let mut row_arrays = Vec::with_capacity(row_tiles);
+            for rt in 0..row_tiles {
+                let rows = (d - rt * ARRAY_ROWS).min(ARRAY_ROWS);
+                let cols = (s - ct * ARRAY_COLS).min(ARRAY_COLS);
+                let tile_seed = seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add((ct * 1024 + rt) as u64);
+                row_arrays.push(TransposableArray::with_cell_bits(
+                    rows, cols, cell_bits, noise, tile_seed,
+                )?);
+            }
+            tiles.push(row_arrays);
+        }
+
+        // Program every key's MSB nibbles.
+        for j in 0..s {
+            let ct = j / ARRAY_COLS;
+            let slot = j % ARRAY_COLS;
+            for (rt, arr) in tiles[ct].iter_mut().enumerate() {
+                let base = rt * ARRAY_ROWS;
+                let shift = 8 - cell_bits;
+                let codes: Vec<i32> = (0..arr.rows())
+                    .map(|r| round_msb_bits(qk.code(j, base + r), shift, cell_bits))
+                    .collect();
+                arr.store_key(slot, &codes)?;
+            }
+        }
+
+        let unit = 4f64.powi((8 - cell_bits) as i32);
+        let score_lsb =
+            unit * qq.params().step() as f64 * qk.params().step() as f64 * attention_scale as f64;
+        let mut pruner = InMemoryPruner {
+            tiles,
+            s,
+            d,
+            cell_bits,
+            q_params: qq.params(),
+            score_lsb,
+            full_scale_codes: d as f64 * 64.0,
+            stats: PruneHardwareStats::default(),
+        };
+        // Calibrate the analog full scale against the observed score
+        // range: sample up to 128 query rows and take the largest
+        // exact |code dot| with 25% headroom (floor: one full-swing
+        // element per 8 dimensions, so tiny samples keep sane scales).
+        let sample = q.rows().min(128);
+        let mut observed = 0.0f64;
+        for i in 0..sample {
+            let scores = pruner.exact_msb_scores(q.row(i))?;
+            for sc in scores {
+                observed = observed.max((sc as f64 / score_lsb).abs());
+            }
+        }
+        // The comparator/ADC reference range is provisioned with 4x
+        // headroom over the nominal workload (design-time margin for
+        // process, temperature and workload drift). The Fig. 5 score
+        // quantization is measured against this provisioned range,
+        // which is why very low bit counts collapse accuracy.
+        let floor = d as f64;
+        pruner.full_scale_codes = (observed * 4.0).max(floor);
+        Ok(pruner)
+    }
+
+    /// Number of keys covered.
+    pub fn keys(&self) -> usize {
+        self.s
+    }
+
+    /// Embedding size.
+    pub fn embedding(&self) -> usize {
+        self.d
+    }
+
+    /// Bits per MLC cell.
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// Accumulated hardware operation counts.
+    pub fn stats(&self) -> PruneHardwareStats {
+        self.stats
+    }
+
+    /// The real score value of one analog code unit (diagnostics).
+    pub fn score_lsb(&self) -> f64 {
+        self.score_lsb
+    }
+
+    /// Thresholds one query in memory and returns the binary pruning
+    /// vector plus the approximate scores.
+    ///
+    /// `threshold` is in real score units (the learned `Th`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::LengthMismatch`] unless
+    /// `q_row.len()` equals the embedding size, or
+    /// [`ReramError::InvalidParameter`] for an unsupported
+    /// `score_bits`.
+    pub fn prune_query(
+        &mut self,
+        q_row: &[f32],
+        threshold: f32,
+        spec: &ThresholdSpec,
+    ) -> Result<PruneOutcome, ReramError> {
+        if q_row.len() != self.d {
+            return Err(ReramError::LengthMismatch {
+                what: "query row",
+                expected: self.d,
+                found: q_row.len(),
+            });
+        }
+        if let Some(bits) = spec.score_bits {
+            if !(1..=16).contains(&bits) {
+                return Err(ReramError::InvalidParameter(format!(
+                    "score_bits {bits} outside 1..=16"
+                )));
+            }
+        }
+        // Query MSB nibbles (the low-precision DAC input), rounded to
+        // keep the approximation zero-mean. Query and key precision
+        // are set identically (§III-B footnote).
+        let shift = 8 - self.cell_bits;
+        let q_msb: Vec<i32> = q_row
+            .iter()
+            .map(|&x| round_msb_bits(self.q_params.quantize(x), shift, self.cell_bits))
+            .collect();
+
+        // The analog noise is referenced to the crossbar's drive-based
+        // full scale (that is what the ADC-equivalent accuracy of the
+        // noise model is specified against), so the safety margin must
+        // use the same reference to bound it.
+        let drive_fs: f64 = self.tiles[0]
+            .iter()
+            .enumerate()
+            .map(|(rt, arr)| {
+                let base = rt * ARRAY_ROWS;
+                arr.full_scale(&q_msb[base..base + arr.rows()])
+            })
+            .sum();
+
+        let code_scores = self.analog_scores(&q_msb)?;
+        self.stats.queries_pruned += 1;
+        self.stats.comparator_firings += self.s as u64;
+
+        let th_codes = threshold as f64 / self.score_lsb;
+        let margin_codes = spec.margin_fraction * drive_fs;
+        let mut pruned = Vec::with_capacity(self.s);
+        let mut approx_scores = Vec::with_capacity(self.s);
+        for &raw in &code_scores {
+            let compared = match spec.score_bits {
+                Some(bits) => quantize_symmetric(raw, self.full_scale_codes, bits),
+                None => raw,
+            };
+            pruned.push(compared < th_codes - margin_codes);
+            approx_scores.push((compared * self.score_lsb) as f32);
+        }
+        Ok(PruneOutcome {
+            decision: PruneDecision::new(pruned),
+            approx_scores,
+        })
+    }
+
+    /// The analog code-unit score of every key for the given query
+    /// nibbles, merging row-tile currents.
+    fn analog_scores(&mut self, q_msb: &[i32]) -> Result<Vec<f64>, ReramError> {
+        let mut out = vec![0.0f64; self.s];
+        for (ct, row_arrays) in self.tiles.iter_mut().enumerate() {
+            let base_col = ct * ARRAY_COLS;
+            for (rt, arr) in row_arrays.iter_mut().enumerate() {
+                let base_row = rt * ARRAY_ROWS;
+                let input = &q_msb[base_row..base_row + arr.rows()];
+                let partial = arr.in_situ_compute(input)?;
+                self.stats.in_memory_ops += 1;
+                self.stats.dac_conversions += arr.rows() as u64;
+                for (c, p) in partial.iter().enumerate() {
+                    out[base_col + c] += p;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Exact digital reference of the MSB-level scores (no analog
+    /// effects), in real score units. Tests compare the analog path
+    /// against this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::LengthMismatch`] for a wrong query length.
+    pub fn exact_msb_scores(&self, q_row: &[f32]) -> Result<Vec<f32>, ReramError> {
+        if q_row.len() != self.d {
+            return Err(ReramError::LengthMismatch {
+                what: "query row",
+                expected: self.d,
+                found: q_row.len(),
+            });
+        }
+        let shift = 8 - self.cell_bits;
+        let q_msb: Vec<i32> = q_row
+            .iter()
+            .map(|&x| round_msb_bits(self.q_params.quantize(x), shift, self.cell_bits))
+            .collect();
+        let mut out = vec![0i64; self.s];
+        for (ct, row_arrays) in self.tiles.iter().enumerate() {
+            let base_col = ct * ARRAY_COLS;
+            for (rt, arr) in row_arrays.iter().enumerate() {
+                let base_row = rt * ARRAY_ROWS;
+                let input = &q_msb[base_row..base_row + arr.rows()];
+                let partial = arr.exact_compute(input)?;
+                for (c, p) in partial.iter().enumerate() {
+                    out[base_col + c] += p;
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|c| (c as f64 * self.score_lsb) as f32)
+            .collect())
+    }
+
+    /// Fetches the stored MSB codes of key `j` via a transposed read
+    /// (the selective unpruned-vector fetch of §III-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::IndexOutOfRange`] for a bad key index.
+    pub fn read_key_msb(&mut self, j: usize) -> Result<Vec<i32>, ReramError> {
+        if j >= self.s {
+            return Err(ReramError::IndexOutOfRange {
+                what: "key",
+                index: j,
+                bound: self.s,
+            });
+        }
+        let ct = j / ARRAY_COLS;
+        let slot = j % ARRAY_COLS;
+        let mut codes = Vec::with_capacity(self.d);
+        for arr in &mut self.tiles[ct] {
+            codes.extend(arr.transposed_read(slot)?);
+        }
+        self.stats.transposed_reads += 1;
+        Ok(codes)
+    }
+}
+
+/// Rounded top bits of an 8-bit code for a `cell_bits`-deep cell
+/// (zero-mean split; see `QuantizedMatrix::msb_rounded`).
+fn round_msb_bits(code: i32, shift: u32, cell_bits: u32) -> i32 {
+    let denom = 1i32 << shift;
+    let half = denom / 2;
+    let rounded = if code >= 0 {
+        (code + half) / denom
+    } else {
+        (code - half) / denom
+    };
+    let hi = (1i32 << (cell_bits - 1)) - 1;
+    rounded.clamp(-hi - 1, hi)
+}
+
+/// Symmetric uniform quantization of `x` to `bits` bits over
+/// `[-full_scale, full_scale]`, returning the reconstructed value.
+fn quantize_symmetric(x: f64, full_scale: f64, bits: u32) -> f64 {
+    let qmax = ((1i64 << (bits - 1)) - 1).max(1) as f64;
+    let step = full_scale / qmax;
+    let code = (x / step).round().clamp(-qmax, qmax);
+    code * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_attention::Matrix;
+
+    /// A deterministic pseudo-random matrix in [-1, 1].
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / 8388608.0) - 1.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+    }
+
+    fn digital_decision(pruner: &InMemoryPruner, q_row: &[f32], th: f32) -> PruneDecision {
+        let exact = pruner.exact_msb_scores(q_row).unwrap();
+        PruneDecision::from_scores(&exact, th)
+    }
+
+    #[test]
+    fn construction_validates_shapes_and_scale() {
+        let k = random_matrix(8, 16, 1);
+        let q_bad = random_matrix(4, 8, 2);
+        assert!(InMemoryPruner::new(&q_bad, &k, 1.0, NoiseModel::ideal(), 0).is_err());
+        let q = random_matrix(4, 16, 2);
+        assert!(InMemoryPruner::new(&q, &k, 0.0, NoiseModel::ideal(), 0).is_err());
+        assert!(InMemoryPruner::new(&q, &k, 0.25, NoiseModel::ideal(), 0).is_ok());
+    }
+
+    #[test]
+    fn ideal_analog_matches_digital_msb_decision() {
+        // Invariant 2 of DESIGN.md.
+        let q = random_matrix(6, 32, 3);
+        let k = random_matrix(40, 32, 4);
+        let mut pruner = InMemoryPruner::new(&q, &k, 0.176, NoiseModel::ideal(), 5).unwrap();
+        let spec = ThresholdSpec::default();
+        for i in 0..q.rows() {
+            let out = pruner.prune_query(q.row(i), 0.05, &spec).unwrap();
+            let reference = digital_decision(&pruner, q.row(i), 0.05);
+            assert_eq!(out.decision, reference, "query {i}");
+        }
+    }
+
+    #[test]
+    fn tiling_covers_multiple_arrays() {
+        // 300 keys -> 3 column tiles; d=128 -> 2 row tiles.
+        let q = random_matrix(2, 128, 7);
+        let k = random_matrix(300, 128, 8);
+        let mut pruner = InMemoryPruner::new(&q, &k, 0.09, NoiseModel::ideal(), 9).unwrap();
+        let out = pruner
+            .prune_query(q.row(0), 0.0, &ThresholdSpec::default())
+            .unwrap();
+        assert_eq!(out.decision.len(), 300);
+        // 3 col tiles x 2 row tiles analog ops for one query.
+        assert_eq!(pruner.stats().in_memory_ops, 6);
+        let reference = digital_decision(&pruner, q.row(0), 0.0);
+        assert_eq!(out.decision, reference, "tiled must equal monolithic");
+    }
+
+    #[test]
+    fn noise_margin_protects_kept_keys() {
+        // Invariant 3: with a 3-sigma margin, in-memory pruning keeps
+        // (almost surely) every key the digital threshold keeps.
+        let q = random_matrix(8, 64, 11);
+        let k = random_matrix(128, 64, 12);
+        let noise = NoiseModel::default();
+        let mut pruner = InMemoryPruner::new(&q, &k, 0.125, noise, 13).unwrap();
+        let spec = ThresholdSpec::analog_with_noise_margin(&noise);
+        for i in 0..q.rows() {
+            let th = 0.02f32;
+            let out = pruner.prune_query(q.row(i), th, &spec).unwrap();
+            let reference = digital_decision(&pruner, q.row(i), th);
+            for j in 0..reference.len() {
+                if reference.is_kept(j) {
+                    assert!(
+                        out.decision.is_kept(j),
+                        "query {i} falsely pruned key {j} despite margin"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn margin_increases_kept_count() {
+        let q = random_matrix(4, 32, 21);
+        let k = random_matrix(64, 32, 22);
+        let mut a = InMemoryPruner::new(&q, &k, 0.176, NoiseModel::ideal(), 23).unwrap();
+        let mut b = InMemoryPruner::new(&q, &k, 0.176, NoiseModel::ideal(), 23).unwrap();
+        let no_margin = a
+            .prune_query(q.row(0), 0.05, &ThresholdSpec::default())
+            .unwrap();
+        let with_margin = b
+            .prune_query(
+                q.row(0),
+                0.05,
+                &ThresholdSpec {
+                    score_bits: None,
+                    margin_fraction: 0.05,
+                },
+            )
+            .unwrap();
+        assert!(with_margin.decision.kept_count() >= no_margin.decision.kept_count());
+    }
+
+    #[test]
+    fn fewer_score_bits_degrade_the_decision() {
+        // The Fig. 5 mechanism: coarse score quantization makes the
+        // pruning decision diverge from the reference.
+        let q = random_matrix(16, 64, 31);
+        let k = random_matrix(96, 64, 32);
+        let divergence = |bits: u32| -> usize {
+            let mut pruner = InMemoryPruner::new(&q, &k, 0.125, NoiseModel::ideal(), 33).unwrap();
+            let spec = ThresholdSpec::quantized(bits);
+            let mut diffs = 0;
+            for i in 0..q.rows() {
+                let th = 0.03f32;
+                let out = pruner.prune_query(q.row(i), th, &spec).unwrap();
+                let reference = digital_decision(&pruner, q.row(i), th);
+                diffs += (0..reference.len())
+                    .filter(|&j| out.decision.is_pruned(j) != reference.is_pruned(j))
+                    .count();
+            }
+            diffs
+        };
+        let coarse = divergence(1);
+        let four = divergence(4);
+        let fine = divergence(10);
+        assert!(coarse > four, "1-bit ({coarse}) must diverge more than 4-bit ({four})");
+        assert!(four >= fine, "4-bit ({four}) must diverge at least as much as 10-bit ({fine})");
+    }
+
+    #[test]
+    fn transposed_reads_return_stored_msb_codes() {
+        let q = random_matrix(1, 64, 41);
+        let k = random_matrix(200, 64, 42);
+        let qk = quantize_matrix(&k, 8).unwrap();
+        let mut pruner = InMemoryPruner::new(&q, &k, 0.125, NoiseModel::default(), 43).unwrap();
+        for j in [0usize, 64, 127, 128, 199] {
+            let fetched = pruner.read_key_msb(j).unwrap();
+            let expected: Vec<i32> = (0..64).map(|c| qk.msb_rounded(j, c)).collect();
+            assert_eq!(fetched, expected, "key {j}");
+        }
+        assert_eq!(pruner.stats().transposed_reads, 5);
+        assert!(pruner.read_key_msb(200).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate_per_query() {
+        let q = random_matrix(3, 64, 51);
+        let k = random_matrix(128, 64, 52);
+        let mut pruner = InMemoryPruner::new(&q, &k, 0.125, NoiseModel::ideal(), 53).unwrap();
+        let spec = ThresholdSpec::default();
+        for i in 0..3 {
+            pruner.prune_query(q.row(i), 0.0, &spec).unwrap();
+        }
+        let stats = pruner.stats();
+        assert_eq!(stats.queries_pruned, 3);
+        assert_eq!(stats.comparator_firings, 3 * 128);
+        assert_eq!(stats.in_memory_ops, 3, "one 64x128 tile per query");
+        assert_eq!(stats.dac_conversions, 3 * 64);
+    }
+
+    #[test]
+    fn prune_query_validates_inputs() {
+        let q = random_matrix(1, 16, 61);
+        let k = random_matrix(8, 16, 62);
+        let mut pruner = InMemoryPruner::new(&q, &k, 0.25, NoiseModel::ideal(), 63).unwrap();
+        assert!(pruner
+            .prune_query(&[0.0; 8], 0.0, &ThresholdSpec::default())
+            .is_err());
+        assert!(pruner
+            .prune_query(q.row(0), 0.0, &ThresholdSpec::quantized(0))
+            .is_err());
+        assert!(pruner
+            .prune_query(q.row(0), 0.0, &ThresholdSpec::quantized(17))
+            .is_err());
+    }
+
+    #[test]
+    fn quantize_symmetric_is_sane() {
+        assert_eq!(quantize_symmetric(0.0, 100.0, 4), 0.0);
+        // Saturation at the full scale.
+        let sat = quantize_symmetric(1e9, 100.0, 4);
+        assert!((sat - 100.0).abs() < 100.0 / 7.0);
+        // 1-bit quantization collapses to {-fs, 0, fs}.
+        let one = quantize_symmetric(30.0, 100.0, 1);
+        assert!(one == 0.0 || (one - 100.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod cell_bit_tests {
+    use super::*;
+    use sprint_attention::Matrix;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / 8388608.0) - 1.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+    }
+
+    #[test]
+    fn cell_bits_are_validated() {
+        let q = random_matrix(2, 16, 1);
+        let k = random_matrix(8, 16, 2);
+        assert!(InMemoryPruner::with_cell_bits(&q, &k, 0.25, NoiseModel::ideal(), 3, 0).is_err());
+        assert!(InMemoryPruner::with_cell_bits(&q, &k, 0.25, NoiseModel::ideal(), 3, 9).is_err());
+        let p = InMemoryPruner::with_cell_bits(&q, &k, 0.25, NoiseModel::ideal(), 3, 6).unwrap();
+        assert_eq!(p.cell_bits(), 6);
+    }
+
+    #[test]
+    fn default_constructor_uses_four_bit_cells() {
+        let q = random_matrix(2, 16, 4);
+        let k = random_matrix(8, 16, 5);
+        let p = InMemoryPruner::new(&q, &k, 0.25, NoiseModel::ideal(), 6).unwrap();
+        assert_eq!(p.cell_bits(), 4);
+    }
+
+    #[test]
+    fn more_cell_bits_approximate_the_full_score_better_under_ideal_analog() {
+        // With noise held at zero, deeper cells keep more of the code
+        // and the in-memory score converges on the full 8-bit score.
+        let q = random_matrix(8, 32, 7);
+        let k = random_matrix(48, 32, 8);
+        let exact_full: Vec<f32> = {
+            // Full-precision digital reference through the same
+            // quantizers (8-bit codes).
+            let p8 = InMemoryPruner::with_cell_bits(&q, &k, 0.18, NoiseModel::ideal(), 9, 8)
+                .unwrap();
+            p8.exact_msb_scores(q.row(0)).unwrap()
+        };
+        let err_of = |bits: u32| -> f64 {
+            let p = InMemoryPruner::with_cell_bits(&q, &k, 0.18, NoiseModel::ideal(), 9, bits)
+                .unwrap();
+            let approx = p.exact_msb_scores(q.row(0)).unwrap();
+            approx
+                .iter()
+                .zip(&exact_full)
+                .map(|(a, e)| ((a - e).abs()) as f64)
+                .sum::<f64>()
+                / approx.len() as f64
+        };
+        let e2 = err_of(2);
+        let e4 = err_of(4);
+        let e6 = err_of(6);
+        assert!(e2 > e4, "2-bit err {e2} must exceed 4-bit err {e4}");
+        assert!(e4 > e6, "4-bit err {e4} must exceed 6-bit err {e6}");
+    }
+
+    #[test]
+    fn deeper_cells_carry_more_noise() {
+        // The robustness half of the section III trade-off: beyond the
+        // 4-bit design point, the effective noise model degrades.
+        let q = random_matrix(4, 64, 11);
+        let k = random_matrix(96, 64, 12);
+        let spread_of = |bits: u32| -> f64 {
+            let mut p = InMemoryPruner::with_cell_bits(
+                &q,
+                &k,
+                0.125,
+                NoiseModel::default(),
+                13,
+                bits,
+            )
+            .unwrap();
+            let exact = p.exact_msb_scores(q.row(0)).unwrap();
+            let mut sq = 0.0f64;
+            let n = 20;
+            for _ in 0..n {
+                let out = p
+                    .prune_query(q.row(0), 0.0, &ThresholdSpec::default())
+                    .unwrap();
+                for (a, e) in out.approx_scores.iter().zip(&exact) {
+                    sq += ((a - e) as f64).powi(2);
+                }
+            }
+            (sq / (n * exact.len()) as f64).sqrt()
+        };
+        let s4 = spread_of(4);
+        let s7 = spread_of(7);
+        assert!(
+            s7 > 1.5 * s4,
+            "7-bit cells ({s7}) must be noisier than 4-bit cells ({s4})"
+        );
+    }
+}

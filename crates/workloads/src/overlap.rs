@@ -1,0 +1,197 @@
+//! The theoretical expectation of adjacent-query overlap (Eq. 1).
+//!
+//! For two independent random subsets of `M` unpruned keys out of a
+//! sequence of `S`, the number of overlapping elements `L` follows the
+//! hypergeometric distribution
+//!
+//! ```text
+//! P(L) = C(M, L) · C(S − M, M − L) / C(S, M)
+//! E(L) = Σ L · P(L)
+//! ```
+//!
+//! Fig. 3 compares this expectation against the 2–3× larger overlap
+//! observed on real datasets, which is the headroom the SLD engine
+//! exploits.
+
+/// Natural log of `n!` via the log-gamma function (Stirling series).
+fn ln_factorial(n: u64) -> f64 {
+    // Exact for small n, Stirling with correction terms beyond.
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693147180559945,
+        1.791759469228055,
+        3.178053830347946,
+        4.787491742782046,
+        6.579251212010101,
+        8.525161361065415,
+        10.604602902745251,
+        12.801827480081469,
+        15.104412573075516,
+        17.502307845873887,
+        19.987214495661885,
+        22.552163853123425,
+        25.191221182738683,
+        27.899271383840894,
+        30.671860106080675,
+        33.505073450136891,
+        36.395445208033053,
+        39.339884187199495,
+        42.335616460753485,
+    ];
+    if n <= 20 {
+        return TABLE[n as usize];
+    }
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x.powi(3))
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (zero combinations).
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Hypergeometric probability `P(L = l)` of Eq. (1): the chance that
+/// two independent random `m`-subsets of `s` elements share exactly
+/// `l` elements.
+///
+/// # Panics
+///
+/// Panics if `m > s`.
+pub fn overlap_pmf(s: u64, m: u64, l: u64) -> f64 {
+    assert!(m <= s, "cannot keep more than the sequence length");
+    if l > m || m - l > s - m {
+        return 0.0;
+    }
+    let ln_p = ln_binomial(m, l) + ln_binomial(s - m, m - l) - ln_binomial(s, m);
+    ln_p.exp()
+}
+
+/// Expected overlap count `E(L)` of Eq. (1).
+///
+/// Computed by the explicit sum of the paper's equation; equals the
+/// closed form `m² / s` of the hypergeometric mean.
+///
+/// # Panics
+///
+/// Panics if `m > s`.
+///
+/// # Example
+///
+/// ```
+/// use sprint_workloads::overlap::expected_overlap;
+///
+/// // 96 kept keys out of 384: a random adjacent query shares 24.
+/// let e = expected_overlap(384, 96);
+/// assert!((e - 24.0).abs() < 1e-6);
+/// ```
+pub fn expected_overlap(s: u64, m: u64) -> f64 {
+    assert!(m <= s, "cannot keep more than the sequence length");
+    (1..=m).map(|l| l as f64 * overlap_pmf(s, m, l)).sum()
+}
+
+/// Expected overlap as a fraction of the kept count `m` — the
+/// percentage plotted by the "Random" bars in Fig. 3. Equal to the
+/// keep rate `m / s`.
+///
+/// Returns 0.0 when `m == 0`.
+///
+/// # Panics
+///
+/// Panics if `m > s`.
+pub fn expected_overlap_fraction(s: u64, m: u64) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    expected_overlap(s, m) / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ln_factorial_matches_exact_values() {
+        // 25! = 1.5511210043 x 10^25
+        let exact = 25.0f64 * 0.0 + 1.551_121_004_333_098_6e25_f64.ln();
+        assert!((ln_factorial(25) - exact).abs() < 1e-9);
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+    }
+
+    #[test]
+    fn binomial_small_cases() {
+        assert!((ln_binomial(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_binomial(10, 5).exp() - 252.0).abs() < 1e-6);
+        assert_eq!(ln_binomial(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (s, m) in [(10u64, 3u64), (50, 20), (384, 96), (197, 70)] {
+            let total: f64 = (0..=m).map(|l| overlap_pmf(s, m, l)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "s={s} m={m} total={total}");
+        }
+    }
+
+    #[test]
+    fn expectation_matches_closed_form() {
+        for (s, m) in [(10u64, 3u64), (128, 32), (384, 96), (1024, 267), (4096, 1024)] {
+            let e = expected_overlap(s, m);
+            let closed = (m * m) as f64 / s as f64;
+            assert!(
+                (e - closed).abs() / closed < 1e-6,
+                "s={s} m={m} e={e} closed={closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn fraction_equals_keep_rate() {
+        // Fig. 3's "Random" bars sit at the keep rate: e.g. BERT-B keeps
+        // ~25% of keys, so random overlap is ~25%.
+        let f = expected_overlap_fraction(384, 96);
+        assert!((f - 0.25).abs() < 1e-6);
+        assert_eq!(expected_overlap_fraction(100, 0), 0.0);
+    }
+
+    #[test]
+    fn paper_scale_random_overlaps_are_far_below_observed() {
+        // Observed dataset overlaps are 74-88% (Fig. 3); the random
+        // expectation for every studied model is under 40%.
+        for (s, keep) in [(384u64, 0.254f64), (197, 0.356), (1024, 0.261)] {
+            let m = (s as f64 * keep).round() as u64;
+            let random = expected_overlap_fraction(s, m);
+            assert!(random < 0.40, "s={s} random={random}");
+        }
+    }
+
+    #[test]
+    fn degenerate_full_keep_overlaps_fully() {
+        assert!((expected_overlap_fraction(64, 64) - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pmf_is_distribution(s in 1u64..200, keep in 0.0f64..1.0) {
+            let m = ((s as f64) * keep) as u64;
+            let total: f64 = (0..=m).map(|l| overlap_pmf(s, m, l)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_expectation_equals_m2_over_s(s in 1u64..300, keep in 0.0f64..1.0) {
+            let m = ((s as f64) * keep) as u64;
+            let e = expected_overlap(s, m);
+            let closed = (m * m) as f64 / s as f64;
+            prop_assert!((e - closed).abs() < 1e-6 + closed * 1e-6);
+        }
+    }
+}

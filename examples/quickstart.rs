@@ -1,0 +1,81 @@
+//! Quickstart: run one attention head through the full SPRINT pipeline
+//! and compare it against the iso-resource baseline.
+//!
+//! ```sh
+//! cargo run -p sprint-examples --bin quickstart --release
+//! ```
+
+use sprint_core::counting::{simulate_head, ExecutionMode};
+use sprint_core::{HeadProfile, SprintConfig, SprintSystem};
+use sprint_reram::{NoiseModel, ThresholdSpec};
+use sprint_workloads::{ModelConfig, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("SPRINT quickstart: BERT-Base-like head on S-SPRINT\n");
+
+    // 1. Synthesize a head with BERT-Base statistics (74.6% pruning,
+    //    46% padding, ~85% adjacent-query locality), scaled to s=128
+    //    so the functional pipeline runs in a blink.
+    let model = ModelConfig::bert_base();
+    let spec = model.trace_spec().with_seq_len(128);
+    let trace = TraceGenerator::new(2024).generate(&spec)?;
+    println!(
+        "trace: s={} live={} threshold={:.3} measured overlap={:.1}%",
+        trace.seq_len(),
+        trace.live_tokens(),
+        trace.threshold(),
+        trace.stats().mean_adjacent_overlap * 100.0
+    );
+
+    // 2. Run the functional system: analog in-memory thresholding at
+    //    the paper's 5-bit-equivalent noise, SLD-driven selective
+    //    fetch, and 8-bit on-chip recompute.
+    let cfg = SprintConfig::small();
+    let mut system = SprintSystem::new(cfg.clone(), NoiseModel::default(), 7);
+    let out = system.run_head(&trace, &ThresholdSpec::default(), true)?;
+    let kept: usize = out.decisions.iter().map(|d| d.kept_count()).sum();
+    println!(
+        "\nfunctional run: {} queries thresholded in memory, {} scores kept ({:.1}%)",
+        out.prune_stats.queries_pruned,
+        kept,
+        100.0 * kept as f64 / (trace.live_tokens() * trace.live_tokens()) as f64,
+    );
+    println!(
+        "memory controller: fetched {} vectors, reused {} via spatial locality ({:.1}% reuse)",
+        out.memory_stats.fetched_vectors,
+        out.memory_stats.reused_vectors,
+        100.0 * out.memory_stats.reused_vectors as f64
+            / (out.memory_stats.reused_vectors + out.memory_stats.fetched_vectors).max(1) as f64
+    );
+
+    // 3. Count performance and energy at the paper's full size.
+    let profile = HeadProfile::synthetic(
+        model.seq_len,
+        model.live_tokens(),
+        model.keep_rate(),
+        model.adjacent_overlap,
+        2024,
+    );
+    let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
+    let sprint = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
+    println!("\ncounting simulator at s={} on {}:", model.seq_len, cfg.name);
+    println!(
+        "  baseline: {:>12} cycles  {:>14}  {:>10} bytes moved",
+        base.cycles,
+        base.energy.total().to_string(),
+        base.bytes_from_memory
+    );
+    println!(
+        "  SPRINT:   {:>12} cycles  {:>14}  {:>10} bytes moved",
+        sprint.cycles,
+        sprint.energy.total().to_string(),
+        sprint.bytes_from_memory
+    );
+    println!(
+        "  -> {:.1}x speedup, {:.1}x energy reduction, {:.1}% less data movement",
+        sprint.speedup_over(&base),
+        sprint.energy_reduction_over(&base),
+        sprint.data_movement_reduction_over(&base) * 100.0
+    );
+    Ok(())
+}

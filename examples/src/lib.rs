@@ -1,0 +1,1 @@
+//! Host crate for the runnable SPRINT examples.

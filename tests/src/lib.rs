@@ -1,0 +1,1 @@
+//! Integration-test host crate. All tests live under `tests/tests/`.

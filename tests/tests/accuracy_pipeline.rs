@@ -1,0 +1,46 @@
+//! Integration of the accuracy pipeline: Fig. 5 / Fig. 9 claims at a
+//! scale above the unit tests.
+
+use sprint_core::{bit_sensitivity, evaluate_scenarios};
+use sprint_workloads::ModelConfig;
+
+#[test]
+fn recompute_closes_the_gap_on_every_classification_model() {
+    for (i, model) in ModelConfig::real_models().into_iter().enumerate() {
+        if model.is_generative() {
+            continue;
+        }
+        let s = evaluate_scenarios(&model, Some(128), 0x77 + i as u64).unwrap();
+        // Fig. 9 orderings: recompute dominates no-recompute, and
+        // SPRINT sits at the runtime-pruning level (the paper's 0.22%
+        // average gap; proxy magnitudes are larger, orderings hold).
+        assert!(
+            s.sprint.agreement + 1e-9 >= s.sprint_no_recompute.agreement,
+            "{}: recompute agreement {} below no-recompute {}",
+            model.name,
+            s.sprint.agreement,
+            s.sprint_no_recompute.agreement
+        );
+        let parity = (s.sprint.accuracy - s.runtime_pruning.accuracy).abs();
+        assert!(
+            parity < 0.1,
+            "{}: SPRINT ({}) vs runtime pruning ({})",
+            model.name,
+            s.sprint.accuracy,
+            s.runtime_pruning.accuracy
+        );
+        let gap = (s.baseline.accuracy - s.sprint.accuracy).abs();
+        assert!(gap < 0.2, "{}: SPRINT gap {gap}", model.name);
+    }
+}
+
+#[test]
+fn four_bits_reach_the_accuracy_plateau() {
+    // Fig. 5's conclusion — the design decision behind 4-bit MLC keys.
+    let model = ModelConfig::bert_base();
+    let sweep = bit_sensitivity(&model, Some(128), 8, 0x51).unwrap();
+    let acc = |b: u32| sweep[(b - 1) as usize].1;
+    let plateau = (acc(6) + acc(7) + acc(8)) / 3.0;
+    assert!(acc(4) > plateau - 0.08, "4-bit {} vs plateau {plateau}", acc(4));
+    assert!(acc(1) < plateau - 0.2, "1-bit must collapse, got {}", acc(1));
+}

@@ -1,0 +1,112 @@
+//! Cross-crate integration: the full functional pipeline against the
+//! analytical reference implementations.
+
+use sprint_attention::{mean_abs_error, pruned_attention, prune_set_overlap, PruneDecision};
+use sprint_core::{SprintConfig, SprintSystem};
+use sprint_reram::{InMemoryPruner, NoiseModel, ThresholdSpec};
+use sprint_workloads::{ModelConfig, TraceGenerator};
+
+fn bert_trace(seq: usize, seed: u64) -> sprint_workloads::HeadTrace {
+    let spec = ModelConfig::bert_base().trace_spec().with_seq_len(seq);
+    TraceGenerator::new(seed).generate(&spec).unwrap()
+}
+
+#[test]
+fn margin_protects_reference_kept_set_across_the_stack() {
+    // DESIGN.md invariant 3, end to end: with the 3-sigma margin, the
+    // in-memory kept set is (nearly) a superset of the digital one, so
+    // recompute can restore the reference output.
+    let trace = bert_trace(96, 31);
+    let live = trace.live_tokens();
+    let noise = NoiseModel::default();
+    let mut pruner = InMemoryPruner::new(
+        &submatrix(trace.q(), live),
+        &submatrix(trace.k(), live),
+        trace.config().scale(),
+        noise,
+        77,
+    )
+    .unwrap();
+    let spec = ThresholdSpec::analog_with_noise_margin(&noise);
+    let mut worst_recall = 1.0f64;
+    for i in 0..live {
+        let outcome = pruner
+            .prune_query(trace.q().row(i), trace.threshold(), &spec)
+            .unwrap();
+        // Digital reference on the live region.
+        let reference = PruneDecision::new(
+            (0..live)
+                .map(|j| trace.reference_decisions()[i].is_pruned(j))
+                .collect(),
+        );
+        let recall = prune_set_overlap(&reference, &outcome.decision);
+        worst_recall = worst_recall.min(recall);
+    }
+    // The margin protects against analog noise; the 4-bit MSB
+    // approximation itself can still flip a few borderline keys.
+    assert!(worst_recall > 0.85, "worst per-query recall {worst_recall}");
+}
+
+#[test]
+fn sprint_system_output_matches_runtime_pruning_reference() {
+    let trace = bert_trace(96, 32);
+    let mut sys = SprintSystem::new(SprintConfig::medium(), NoiseModel::default(), 5);
+    let out = sys.run_head(&trace, &ThresholdSpec::default(), true).unwrap();
+    let (reference, _) = pruned_attention(
+        trace.q(),
+        trace.k(),
+        trace.v(),
+        &trace.config(),
+        trace.threshold(),
+        Some(&trace.padding()),
+    )
+    .unwrap();
+    let mae = mean_abs_error(&out.output, &reference.output).unwrap();
+    assert!(mae < 0.12, "recomputed output diverges: mae {mae}");
+}
+
+#[test]
+fn memory_side_reuse_matches_trace_locality() {
+    // The memory controller's reuse fraction should track the trace's
+    // adjacent-query overlap statistic.
+    let trace = bert_trace(128, 33);
+    let mut sys = SprintSystem::new(SprintConfig::medium(), NoiseModel::ideal(), 5);
+    let out = sys.run_head(&trace, &ThresholdSpec::default(), true).unwrap();
+    let stats = out.memory_stats;
+    let reuse = stats.reused_vectors as f64
+        / (stats.reused_vectors + stats.fetched_vectors).max(1) as f64;
+    let overlap = trace.stats().mean_adjacent_overlap;
+    assert!(
+        (reuse - overlap).abs() < 0.15,
+        "memory reuse {reuse} vs trace overlap {overlap}"
+    );
+}
+
+#[test]
+fn sprint_decisions_drive_both_memory_and_compute_consistently() {
+    let trace = bert_trace(80, 34);
+    let mut sys = SprintSystem::new(SprintConfig::small(), NoiseModel::ideal(), 9);
+    let out = sys.run_head(&trace, &ThresholdSpec::default(), true).unwrap();
+    // Every kept decision appears as either a fetch or a reuse in the
+    // memory stats.
+    let kept_total: u64 = out
+        .decisions
+        .iter()
+        .map(|d| d.kept_count() as u64)
+        .sum();
+    assert_eq!(
+        kept_total,
+        out.memory_stats.fetched_vectors + out.memory_stats.reused_vectors,
+        "memory accounting must cover exactly the kept set"
+    );
+    // And the ReRAM side thresholded every live query.
+    assert_eq!(out.prune_stats.queries_pruned as usize, trace.live_tokens());
+}
+
+fn submatrix(m: &sprint_attention::Matrix, rows: usize) -> sprint_attention::Matrix {
+    let mut out = sprint_attention::Matrix::zeros(rows, m.cols()).unwrap();
+    for r in 0..rows {
+        out.row_mut(r).copy_from_slice(m.row(r));
+    }
+    out
+}

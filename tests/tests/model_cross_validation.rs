@@ -1,0 +1,90 @@
+//! Cross-validation between the two simulation fidelities: the
+//! operation-counting model (used for the paper's figures) and the
+//! functional system running real data through the cycle-accounted
+//! memory controller.
+
+use sprint_core::counting::{simulate_head, ExecutionMode};
+use sprint_core::{HeadProfile, SprintConfig, SprintSystem};
+use sprint_reram::{NoiseModel, ThresholdSpec};
+use sprint_workloads::{ModelConfig, TraceGenerator};
+
+#[test]
+fn counting_and_functional_fetch_counts_agree_at_ample_capacity() {
+    // With buffers larger than the live region, both models reduce to
+    // pure SLD behaviour over the same decisions, so the fetch/reuse
+    // split must agree closely (the functional run uses noisy analog
+    // decisions; the counting model uses the digital reference).
+    let spec = ModelConfig::bert_base().trace_spec().with_seq_len(96);
+    let trace = TraceGenerator::new(0xcafe).generate(&spec).unwrap();
+    let cfg = SprintConfig::large(); // 512 pairs >> 52 live tokens
+
+    let mut system = SprintSystem::new(cfg.clone(), NoiseModel::ideal(), 3);
+    let functional = system
+        .run_head(&trace, &ThresholdSpec::default(), true)
+        .unwrap();
+
+    let profile = HeadProfile::from_trace(&trace);
+    let counted = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
+
+    let f_fetched = functional.memory_stats.fetched_vectors as f64;
+    let c_fetched = counted.fetched_pairs as f64;
+    assert!(
+        (f_fetched - c_fetched).abs() / c_fetched.max(1.0) < 0.25,
+        "functional fetched {f_fetched} vs counted {c_fetched}"
+    );
+
+    let f_total =
+        functional.memory_stats.fetched_vectors + functional.memory_stats.reused_vectors;
+    let c_total = counted.fetched_pairs + counted.reused_pairs;
+    assert!(
+        (f_total as f64 - c_total as f64).abs() / (c_total.max(1) as f64) < 0.1,
+        "total kept accesses: functional {f_total} vs counted {c_total}"
+    );
+}
+
+#[test]
+fn counting_compute_counts_match_reference_decisions_exactly() {
+    let spec = ModelConfig::vit_base().trace_spec().with_seq_len(80);
+    let trace = TraceGenerator::new(0xbeef).generate(&spec).unwrap();
+    let profile = HeadProfile::from_trace(&trace);
+    let counted = simulate_head(&profile, &SprintConfig::medium(), ExecutionMode::Sprint);
+    let kept_total: u64 = trace
+        .reference_decisions()
+        .iter()
+        .map(|d| d.kept_count() as u64)
+        .sum();
+    assert_eq!(counted.qk_dots, kept_total);
+    assert_eq!(counted.vpu_dots, kept_total);
+    assert_eq!(counted.softmax_ops, kept_total);
+}
+
+#[test]
+fn cycle_level_memory_controller_sets_a_consistent_latency_floor() {
+    // The counting model's per-query memory cycles must not be wildly
+    // optimistic against the cycle-level controller: run the same
+    // pruning vectors through `sprint-memory` and compare per-query
+    // streaming time for the fetch-heavy first query.
+    use sprint_memory::MemoryController;
+    let spec = ModelConfig::bert_base().trace_spec().with_seq_len(96);
+    let trace = TraceGenerator::new(0xfeed).generate(&spec).unwrap();
+    let cfg = SprintConfig::small();
+    let mut mc = MemoryController::new(cfg.memory_geometry(), cfg.timing).unwrap();
+    let live = trace.live_tokens();
+    let d0: Vec<bool> = (0..live)
+        .map(|j| trace.reference_decisions()[0].is_pruned(j))
+        .collect();
+    let outcome = mc.process_query(&d0).unwrap();
+    let kept0 = trace.reference_decisions()[0].kept_count() as f64;
+    // Cycle-level cost of the cold query: thresholding handshake plus
+    // the fetch stream. The counting model charges cpp cycles/pair.
+    let cycle_cost = outcome.finish.as_u64() as f64;
+    let counting_cost = kept0 * cfg.cycles_per_pair();
+    assert!(
+        cycle_cost > counting_cost * 0.5,
+        "cycle-level {cycle_cost} vs counting {counting_cost}: counting must not be >2x optimistic"
+    );
+    assert!(
+        cycle_cost < counting_cost * 40.0,
+        "cycle-level {cycle_cost} should stay within an order of magnitude of counting {counting_cost}"
+    );
+}

@@ -1,0 +1,195 @@
+//! The paper's headline shapes, checked at a larger scale than the
+//! unit tests: who wins, by roughly what factor, and where the trends
+//! cross. Absolute values are not asserted (the substrate is a
+//! simulator, not the authors' testbed) — orderings and bands are.
+
+use sprint_core::counting::{simulate_head, ExecutionMode};
+use sprint_core::experiments::{self, Scale};
+use sprint_core::{geomean, HeadProfile, SprintConfig};
+use sprint_workloads::ModelConfig;
+
+fn shape_scale() -> Scale {
+    Scale {
+        seq_cap: 384,
+        accuracy_seq: 96,
+        seed: 0x5a,
+    }
+}
+
+fn speedups_and_energy() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let scale = shape_scale();
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut energies: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (i, model) in ModelConfig::all().into_iter().enumerate() {
+        let profile = scale.profile(&model, i as u64);
+        for (c, cfg) in SprintConfig::all().into_iter().enumerate() {
+            let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
+            let sprint = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
+            speedups[c].push(sprint.speedup_over(&base));
+            energies[c].push(sprint.energy_reduction_over(&base));
+        }
+    }
+    (speedups, energies)
+}
+
+#[test]
+fn headline_geomeans_land_in_paper_bands() {
+    // Paper: speedup 7.5/7.4/7.1x; energy 19.6/16.8/12.0x for S/M/L.
+    let (speedups, energies) = speedups_and_energy();
+    for (c, name) in ["S", "M", "L"].iter().enumerate() {
+        let gs = geomean(&speedups[c]);
+        let ge = geomean(&energies[c]);
+        assert!(
+            (3.0..25.0).contains(&gs),
+            "{name}: speedup geomean {gs} outside band"
+        );
+        assert!(
+            (4.0..35.0).contains(&ge),
+            "{name}: energy geomean {ge} outside band"
+        );
+    }
+    // Ordering: both metrics mildly favour the smaller configurations
+    // (scarcer on-chip memory = more for SPRINT to save).
+    let gs: Vec<f64> = speedups.iter().map(|v| geomean(v)).collect();
+    let ge: Vec<f64> = energies.iter().map(|v| geomean(v)).collect();
+    assert!(gs[0] > gs[2], "S speedup {} must beat L {}", gs[0], gs[2]);
+    assert!(ge[0] > ge[2], "S energy {} must beat L {}", ge[0], ge[2]);
+    // Energy reductions exceed speedups (19.6 vs 7.5 in the paper).
+    assert!(ge[0] > gs[0] * 0.9, "energy {} should rival speedup {}", ge[0], gs[0]);
+}
+
+#[test]
+fn vit_gains_least_bert_class_most() {
+    let scale = shape_scale();
+    let cfg = SprintConfig::small();
+    let mut by_name = std::collections::HashMap::new();
+    for (i, model) in ModelConfig::all().into_iter().enumerate() {
+        let profile = scale.profile(&model, 0x40 + i as u64);
+        let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
+        let sprint = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
+        by_name.insert(model.name, sprint.speedup_over(&base));
+    }
+    let vit = by_name["ViT-B"];
+    for (name, s) in &by_name {
+        if *name != "ViT-B" {
+            assert!(
+                *s > vit,
+                "{name} ({s:.2}) must beat ViT-B ({vit:.2}) — Fig. 11's minimum"
+            );
+        }
+    }
+    // ViT-B's band from the paper: 2.7-2.8x.
+    assert!((1.8..4.5).contains(&vit), "ViT-B speedup {vit}");
+}
+
+#[test]
+fn synthetic_long_sequences_favour_larger_configs_on_energy() {
+    // Fig. 12's exception: Synth-1/2 gain *more* from L-SPRINT
+    // because even 64 KB holds only a sliver of a 2-4K sequence.
+    let scale = Scale {
+        seq_cap: 4096,
+        accuracy_seq: 96,
+        seed: 0x5b,
+    };
+    for model in [ModelConfig::synth1(), ModelConfig::synth2()] {
+        let profile = scale.profile(&model, 0x77);
+        let s = {
+            let cfg = SprintConfig::small();
+            simulate_head(&profile, &cfg, ExecutionMode::Sprint)
+                .energy_reduction_over(&simulate_head(&profile, &cfg, ExecutionMode::Baseline))
+        };
+        let l = {
+            let cfg = SprintConfig::large();
+            simulate_head(&profile, &cfg, ExecutionMode::Sprint)
+                .energy_reduction_over(&simulate_head(&profile, &cfg, ExecutionMode::Baseline))
+        };
+        assert!(
+            l > s,
+            "{}: L-SPRINT ({l:.1}x) must beat S-SPRINT ({s:.1}x) on energy",
+            model.name
+        );
+    }
+}
+
+#[test]
+fn pruning_only_ablation_matches_paper_band() {
+    // Paper: 1.8/1.7/1.7x speedup from runtime pruning without the
+    // in-memory support.
+    let scale = shape_scale();
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (i, model) in ModelConfig::all().into_iter().enumerate() {
+        let profile = scale.profile(&model, 0x90 + i as u64);
+        for (c, cfg) in SprintConfig::all().into_iter().enumerate() {
+            let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
+            let pruned = simulate_head(&profile, &cfg, ExecutionMode::PruningOnly);
+            per_config[c].push(pruned.speedup_over(&base));
+        }
+    }
+    for v in &per_config {
+        let g = geomean(v);
+        assert!(
+            (1.0..3.5).contains(&g),
+            "pruning-only geomean {g} far from the paper's ~1.7-1.8x"
+        );
+    }
+}
+
+#[test]
+fn fig10_sprint_dominates_mask_only_everywhere() {
+    let scale = shape_scale();
+    for (i, model) in ModelConfig::all().into_iter().enumerate() {
+        let profile = scale.profile(&model, 0xa0 + i as u64);
+        let s_baseline =
+            simulate_head(&profile, &SprintConfig::small(), ExecutionMode::Baseline);
+        for cfg in SprintConfig::all() {
+            let mask = simulate_head(&profile, &cfg, ExecutionMode::MaskOnly);
+            let sprint = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
+            assert!(
+                sprint.data_movement_reduction_over(&s_baseline) + 1e-9
+                    >= mask.data_movement_reduction_over(&s_baseline),
+                "{} on {}: SPRINT must move no more data than mask-only",
+                model.name,
+                cfg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fig13_energy_stack_orderings() {
+    let scale = shape_scale();
+    let cfg = SprintConfig::medium();
+    for (i, model) in ModelConfig::all().into_iter().enumerate() {
+        let profile = scale.profile(&model, 0xb0 + i as u64);
+        let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
+        let prune = simulate_head(&profile, &cfg, ExecutionMode::PruningOnly);
+        let sprint = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
+        let b = base.energy.total().as_pj();
+        let p = prune.energy.total().as_pj();
+        let s = sprint.energy.total().as_pj();
+        assert!(b > p && p > s, "{}: {b} > {p} > {s} violated", model.name);
+        // In-memory pruning overhead is marginal (paper: ~4% of the
+        // SPRINT stack).
+        let inram = sprint
+            .energy
+            .get(sprint_energy::Category::InReramPruning)
+            .as_pj();
+        assert!(
+            inram / s < 0.30,
+            "{}: in-ReRAM pruning {inram} is {}% of SPRINT stack",
+            model.name,
+            (inram / s * 100.0) as u32
+        );
+    }
+}
+
+#[test]
+fn experiment_drivers_are_deterministic() {
+    let scale = shape_scale();
+    let a = experiments::fig10(&scale);
+    let b = experiments::fig10(&scale);
+    assert_eq!(a, b, "same scale and seed must reproduce identical rows");
+    let p1 = HeadProfile::synthetic(256, 200, 0.25, 0.85, 5);
+    let p2 = HeadProfile::synthetic(256, 200, 0.25, 0.85, 5);
+    assert_eq!(p1, p2);
+}

@@ -326,7 +326,11 @@ mod tests {
         let t = c
             .process_query(&q, 64, (Cycles::new(10), Cycles::new(20)))
             .unwrap();
-        assert_eq!(t.stall, Cycles::ZERO, "arrivals hidden behind resident work");
+        assert_eq!(
+            t.stall,
+            Cycles::ZERO,
+            "arrivals hidden behind resident work"
+        );
         assert_eq!(t.qk, Cycles::new(32));
     }
 

@@ -167,7 +167,10 @@ mod tests {
         // empty (padded) query must not drag the average.
         let queries = vec![vec![0, 1, 2, 3], vec![], vec![0, 1, 4, 5]];
         let m = mean_imbalance(&queries, 2, MappingPolicy::Interleaved, 8);
-        assert!((m - 1.0).abs() < 1e-9, "balanced queries average to 1, got {m}");
+        assert!(
+            (m - 1.0).abs() < 1e-9,
+            "balanced queries average to 1, got {m}"
+        );
     }
 
     #[test]
@@ -179,11 +182,21 @@ mod tests {
         let seq_len = 512;
         for n in [2usize, 4, 8, 16] {
             let seq = imbalance_ratio(&assign_tokens(&kept, n, MappingPolicy::Sequential, seq_len));
-            let int =
-                imbalance_ratio(&assign_tokens(&kept, n, MappingPolicy::Interleaved, seq_len));
-            assert!(int <= seq, "interleaving never worse: n={n} int={int} seq={seq}");
+            let int = imbalance_ratio(&assign_tokens(
+                &kept,
+                n,
+                MappingPolicy::Interleaved,
+                seq_len,
+            ));
+            assert!(
+                int <= seq,
+                "interleaving never worse: n={n} int={int} seq={seq}"
+            );
             assert!(int <= 2.0, "interleaved ratio stays small: n={n} int={int}");
-            assert!(seq >= 4.0, "sequential suffers on clusters: n={n} seq={seq}");
+            assert!(
+                seq >= 4.0,
+                "sequential suffers on clusters: n={n} seq={seq}"
+            );
         }
     }
 

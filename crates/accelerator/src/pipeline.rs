@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use sprint_energy::Cycles;
 
-use crate::{assign_tokens, Corelet, CoreletConfig, AcceleratorError, MappingPolicy};
+use crate::{assign_tokens, AcceleratorError, Corelet, CoreletConfig, MappingPolicy};
 
 /// Configuration of a multi-CORELET head pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -170,8 +170,7 @@ impl HeadPipeline {
                 query_cycles.push(Cycles::ZERO);
                 continue;
             }
-            let assignment =
-                assign_tokens(kept, self.config.corelets, self.config.policy, seq_len);
+            let assignment = assign_tokens(kept, self.config.corelets, self.config.policy, seq_len);
             let mut worst = Cycles::ZERO;
             for (corelet, tokens) in self.corelets.iter_mut().zip(&assignment) {
                 // Estimate this CORELET's fetch window from its own

@@ -477,10 +477,9 @@ mod tests {
         let (q, k, v) = small_qkv();
         let cfg = AttentionConfig::new(4);
         let dense = dense_attention(&q, &k, &v, &cfg).unwrap();
-        let (pruned, decisions) =
-            pruned_attention(&q, &k, &v, &cfg, -1e30, None).unwrap();
-        for i in 0..3 {
-            assert!(decisions[i].kept_count() == 3, "nothing pruned");
+        let (pruned, decisions) = pruned_attention(&q, &k, &v, &cfg, -1e30, None).unwrap();
+        for (i, d) in decisions.iter().enumerate().take(3) {
+            assert!(d.kept_count() == 3, "nothing pruned");
             for j in 0..3 {
                 assert!((dense.probs.get(i, j) - pruned.probs.get(i, j)).abs() < 1e-6);
             }
@@ -504,8 +503,7 @@ mod tests {
         let (q, k, v) = small_qkv();
         let cfg = AttentionConfig::new(4);
         let pad = PaddingMask::new(3, 2).unwrap();
-        let (out, decisions) =
-            pruned_attention(&q, &k, &v, &cfg, -1e30, Some(&pad)).unwrap();
+        let (out, decisions) = pruned_attention(&q, &k, &v, &cfg, -1e30, Some(&pad)).unwrap();
         // Key 2 is padding: pruned for every live query.
         assert!(decisions[0].is_pruned(2));
         assert!(decisions[1].is_pruned(2));

@@ -182,7 +182,10 @@ impl QuantizedMatrix {
     ///
     /// Panics if out of bounds.
     pub fn code(&self, r: usize, c: usize) -> i32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.codes[r * self.cols + c]
     }
 
@@ -201,7 +204,10 @@ impl QuantizedMatrix {
         Matrix::from_vec(
             self.rows,
             self.cols,
-            self.codes.iter().map(|&q| self.params.dequantize(q)).collect(),
+            self.codes
+                .iter()
+                .map(|&q| self.params.dequantize(q))
+                .collect(),
         )
         .expect("shape preserved by construction")
     }
@@ -234,7 +240,11 @@ impl QuantizedMatrix {
     pub fn msb_rounded(&self, r: usize, c: usize) -> i32 {
         let code = self.code(r, c);
         // Round half away from zero, then clamp to the cell range.
-        let rounded = if code >= 0 { (code + 8) / 16 } else { (code - 8) / 16 };
+        let rounded = if code >= 0 {
+            (code + 8) / 16
+        } else {
+            (code - 8) / 16
+        };
         rounded.clamp(-8, 7)
     }
 

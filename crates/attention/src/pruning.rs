@@ -108,7 +108,11 @@ impl PruneDecision {
     ///
     /// Panics if the two decisions cover different key counts.
     pub fn kept_overlap(&self, other: &PruneDecision) -> usize {
-        assert_eq!(self.len(), other.len(), "decisions cover different key counts");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "decisions cover different key counts"
+        );
         self.pruned
             .iter()
             .zip(&other.pruned)

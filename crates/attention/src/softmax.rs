@@ -125,7 +125,11 @@ impl SoftmaxLut {
         let fine = (0..LUT_ENTRIES)
             .map(|i| to_u8((-(i as f32) * step).exp()))
             .collect();
-        Ok(SoftmaxLut { range, coarse, fine })
+        Ok(SoftmaxLut {
+            range,
+            coarse,
+            fine,
+        })
     }
 
     /// The real value of one 12-bit input step.
@@ -273,9 +277,7 @@ mod tests {
     #[test]
     fn lut_handles_pruned_entries() {
         let unit = SoftmaxLut::new(16.0).unwrap();
-        let p = unit
-            .probabilities(&[1.0, f32::NEG_INFINITY, 1.0])
-            .unwrap();
+        let p = unit.probabilities(&[1.0, f32::NEG_INFINITY, 1.0]).unwrap();
         assert_eq!(p[1], 0.0);
         assert!((p[0] - 0.5).abs() < 0.01);
         let all = unit.probabilities(&[f32::NEG_INFINITY; 4]).unwrap();

@@ -38,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let mut results = Vec::new();
@@ -54,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&results)?);
+        println!("{}", sprint_core::results_to_json(&results));
     } else {
         for r in &results {
             println!("{r}");

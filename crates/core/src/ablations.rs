@@ -51,8 +51,8 @@ fn run_variant(
     for i in 0..live {
         let outcome = pruner.prune_query(trace.q().row(i), trace.threshold(), spec)?;
         let mut pruned = vec![true; s];
-        for j in 0..live {
-            pruned[j] = outcome.decision.is_pruned(j);
+        for (j, flag) in pruned.iter_mut().enumerate().take(live) {
+            *flag = outcome.decision.is_pruned(j);
         }
         let reference = PruneDecision::new(
             (0..live)
@@ -184,7 +184,12 @@ pub fn adc_design() -> ExperimentResult {
         "abl-adc",
         "Converter design choice: b-bit ADC vs analog comparator per column",
     )
-    .headers(["Output bits", "Rel. power", "Rel. area", "Energy / 128 columns"]);
+    .headers([
+        "Output bits",
+        "Rel. power",
+        "Rel. area",
+        "Energy / 128 columns",
+    ]);
     for bits in [1u32, 2, 3, 4, 5, 6] {
         let energy = comparator * (128.0 * adc.relative_power(bits));
         result.push_row([
@@ -215,9 +220,13 @@ pub fn double_buffering(scale: &Scale) -> ExperimentResult {
         "Fetched (double-buffered)",
         "Energy cost",
     ]);
-    for (i, model) in [ModelConfig::bert_base(), ModelConfig::gpt2_large(), ModelConfig::synth2()]
-        .into_iter()
-        .enumerate()
+    for (i, model) in [
+        ModelConfig::bert_base(),
+        ModelConfig::gpt2_large(),
+        ModelConfig::synth2(),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let profile = scale.profile(&model, 0xdb + i as u64);
         for cfg in [SprintConfig::small(), SprintConfig::medium()] {
@@ -253,7 +262,13 @@ pub fn residency_policy(scale: &Scale) -> ExperimentResult {
         "abl-residency",
         "K/V residency policy on M-SPRINT: SLD-informed vs plain LRU",
     )
-    .headers(["Model", "Kept/query", "Fetched (SLD)", "Fetched (LRU)", "LRU penalty"]);
+    .headers([
+        "Model",
+        "Kept/query",
+        "Fetched (SLD)",
+        "Fetched (LRU)",
+        "LRU penalty",
+    ]);
     for (i, model) in ModelConfig::all().into_iter().enumerate() {
         let profile = scale.profile(&model, 0xe0 + i as u64);
         let sld = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
@@ -324,8 +339,7 @@ pub fn heterogeneous_memory(scale: &Scale) -> ExperimentResult {
         let write_msb = s * msb_bits_per_key; // K MSBs -> transposable ReRAM
         let write_rest = s * (3 * d_bits) - write_msb; // Q, V, K LSBs
         let read_msb = perf.fetched_pairs * msb_bits_per_key;
-        let read_rest =
-            perf.fetched_pairs * (2 * d_bits - msb_bits_per_key) + live * d_bits;
+        let read_rest = perf.fetched_pairs * (2 * d_bits - msb_bits_per_key) + live * d_bits;
 
         let homogeneous = (write_msb + write_rest) as f64 * RERAM_WRITE
             + (read_msb + read_rest) as f64 * RERAM_READ;
@@ -402,7 +416,12 @@ mod tests {
         let acc: Vec<f64> = r.rows.iter().map(|row| parse_pct(&row[3])).collect();
         // 2 bits is the worst of the shallow options; 4 bits is no
         // worse than 2 and within noise of the best.
-        assert!(acc[2] >= acc[0], "4-bit ({}) must beat 2-bit ({})", acc[2], acc[0]);
+        assert!(
+            acc[2] >= acc[0],
+            "4-bit ({}) must beat 2-bit ({})",
+            acc[2],
+            acc[0]
+        );
         let best = acc.iter().cloned().fold(f64::MIN, f64::max);
         assert!(
             best - acc[2] < 12.0,

@@ -197,11 +197,7 @@ impl std::fmt::Display for SprintConfig {
             self.corelets
         )?;
         writeln!(f, "  Query buffer           {} B", self.query_buffer_bytes)?;
-        write!(
-            f,
-            "  Index buffer           {} B",
-            self.index_buffer_bytes
-        )
+        write!(f, "  Index buffer           {} B", self.index_buffer_bytes)
     }
 }
 
@@ -269,8 +265,13 @@ mod tests {
 
     #[test]
     fn area_model_matches_configuration() {
-        assert!(SprintConfig::small().area().total_mm2() < SprintConfig::large().area().total_mm2());
+        assert!(
+            SprintConfig::small().area().total_mm2() < SprintConfig::large().area().total_mm2()
+        );
         let m = SprintConfig::medium().area();
-        assert!((m.total_mm2() - 1.9).abs() / 1.9 < 0.05, "Table III: 1.9 mm^2");
+        assert!(
+            (m.total_mm2() - 1.9).abs() / 1.9 < 0.05,
+            "Table III: 1.9 mm^2"
+        );
     }
 }

@@ -302,9 +302,8 @@ fn pruning_only(profile: &HeadProfile, cfg: &SprintConfig) -> HeadPerf {
         // QK runs over every key; only the kept scores flow through
         // softmax and the V-PU — the source of the modest pruning-only
         // speedup (paper: 1.8/1.7/1.7x).
-        let compute = ((s.div_ceil(cfg.corelets)
-            + 2 * kept.len().div_ceil(cfg.corelets)) as u64)
-            * cpt;
+        let compute =
+            ((s.div_ceil(cfg.corelets) + 2 * kept.len().div_ceil(cfg.corelets)) as u64) * cpt;
         let mem = (((k_this + v_this) as f64) * cpp / 2.0).ceil() as u64;
         cycles += compute.max(mem);
     }
@@ -572,15 +571,15 @@ mod tests {
         let mut tight = SprintConfig::small();
         tight.onchip_kib = (1024 * 2 * 64 / 1024) / 5; // 20% of requisite
         let base_tight = simulate_head(&p, &tight, ExecutionMode::Baseline);
-        let frac_tight = base_tight.energy.memory_access().as_pj()
-            / base_tight.energy.total().as_pj();
+        let frac_tight =
+            base_tight.energy.memory_access().as_pj() / base_tight.energy.total().as_pj();
         assert!(frac_tight > 0.5, "tight-capacity fraction {frac_tight}");
 
         let mut ample = SprintConfig::small();
         ample.onchip_kib = 1024 * 2 * 64 / 1024; // 100%
         let base_ample = simulate_head(&p, &ample, ExecutionMode::Baseline);
-        let frac_ample = base_ample.energy.memory_access().as_pj()
-            / base_ample.energy.total().as_pj();
+        let frac_ample =
+            base_ample.energy.memory_access().as_pj() / base_ample.energy.total().as_pj();
         assert!(frac_ample < 0.2, "ample-capacity fraction {frac_ample}");
     }
 

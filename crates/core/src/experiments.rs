@@ -80,8 +80,7 @@ pub fn fig1(scale: &Scale) -> ExperimentResult {
         "Percentage of energy spent on memory accesses (baseline)",
     )
     .headers(
-        std::iter::once("Capacity %".to_string())
-            .chain(seq_lens.iter().map(|s| format!("S={s}"))),
+        std::iter::once("Capacity %".to_string()).chain(seq_lens.iter().map(|s| format!("S={s}"))),
     );
     for pct in capacities {
         let mut row = vec![format!("{pct}%")];
@@ -115,10 +114,8 @@ pub fn fig2(scale: &Scale) -> Result<ExperimentResult, SystemError> {
         .with_padding(1.0 - live as f64 / seq as f64)
         .with_overlap(0.85);
     let trace = TraceGenerator::new(scale.seed).generate(&spec)?;
-    let mut result = ExperimentResult::new(
-        "fig2",
-        "Query-key unpruned map (rows: queries, cols: keys)",
-    );
+    let mut result =
+        ExperimentResult::new("fig2", "Query-key unpruned map (rows: queries, cols: keys)");
     for (i, d) in trace.reference_decisions().iter().enumerate() {
         let mut line = String::with_capacity(seq);
         for j in 0..seq {
@@ -188,12 +185,12 @@ pub fn fig5(scale: &Scale) -> Result<ExperimentResult, SystemError> {
         bit_sensitivity(&squad, Some(scale.accuracy_seq), 8, scale.seed ^ 0xb)?,
         bit_sensitivity(&vit, Some(scale.accuracy_seq), 8, scale.seed ^ 0xc)?,
     ];
-    for b in 0..8 {
+    for (b, ((s0, s1), s2)) in sweeps[0].iter().zip(&sweeps[1]).zip(&sweeps[2]).enumerate() {
         result.push_row([
             format!("{}", b + 1),
-            format!("{:.1}%", sweeps[0][b].1 * 100.0),
-            format!("{:.1}%", sweeps[1][b].1 * 100.0),
-            format!("{:.1}%", sweeps[2][b].1 * 100.0),
+            format!("{:.1}%", s0.1 * 100.0),
+            format!("{:.1}%", s1.1 * 100.0),
+            format!("{:.1}%", s2.1 * 100.0),
         ]);
     }
     result.push_note("paper: 4-bit precision has virtually no impact on final accuracy");
@@ -234,7 +231,9 @@ pub fn fig8(scale: &Scale) -> ExperimentResult {
             result.push_row(row);
         }
     }
-    result.push_note("paper: interleaving considerably improves balance; ratios grow with CORELET count");
+    result.push_note(
+        "paper: interleaving considerably improves balance; ratios grow with CORELET count",
+    );
     result
 }
 
@@ -248,10 +247,20 @@ pub fn fig9(scale: &Scale) -> Result<ExperimentResult, SystemError> {
         "fig9",
         "Task accuracy: baseline / runtime pruning / SPRINT w/o recompute / SPRINT",
     )
-    .headers(["Model", "Baseline", "Runtime Pruning", "w/o Recompute", "SPRINT"]);
+    .headers([
+        "Model",
+        "Baseline",
+        "Runtime Pruning",
+        "w/o Recompute",
+        "SPRINT",
+    ]);
     let mut scores = Vec::new();
     for (i, model) in ModelConfig::real_models().into_iter().enumerate() {
-        let s = evaluate_scenarios(&model, Some(scale.accuracy_seq), scale.seed ^ (0x90 + i as u64))?;
+        let s = evaluate_scenarios(
+            &model,
+            Some(scale.accuracy_seq),
+            scale.seed ^ (0x90 + i as u64),
+        )?;
         let fmt = |t: sprint_workloads::TaskScore| {
             if model.is_generative() {
                 format!("ppl {:.2}", t.perplexity)
@@ -293,8 +302,14 @@ pub fn fig10(scale: &Scale) -> ExperimentResult {
             result.push_row([
                 model.name.to_string(),
                 cfg.name.to_string(),
-                format!("{:.1}%", mask.data_movement_reduction_over(&s_baseline) * 100.0),
-                format!("{:.1}%", sprint.data_movement_reduction_over(&s_baseline) * 100.0),
+                format!(
+                    "{:.1}%",
+                    mask.data_movement_reduction_over(&s_baseline) * 100.0
+                ),
+                format!(
+                    "{:.1}%",
+                    sprint.data_movement_reduction_over(&s_baseline) * 100.0
+                ),
             ]);
         }
     }
@@ -310,12 +325,8 @@ fn speedup_like(
     metric: fn(&crate::HeadPerf, &crate::HeadPerf) -> f64,
     note: &str,
 ) -> ExperimentResult {
-    let mut result = ExperimentResult::new(id, title).headers([
-        "Model",
-        "S-SPRINT",
-        "M-SPRINT",
-        "L-SPRINT",
-    ]);
+    let mut result =
+        ExperimentResult::new(id, title).headers(["Model", "S-SPRINT", "M-SPRINT", "L-SPRINT"]);
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for (i, model) in ModelConfig::all().into_iter().enumerate() {
         let profile = scale.profile(&model, 0x200 + i as u64);
@@ -402,8 +413,11 @@ pub fn fig13(scale: &Scale) -> ExperimentResult {
 
 /// Fig. 14: the S-SPRINT floorplan area model.
 pub fn fig14() -> ExperimentResult {
-    let mut result = ExperimentResult::new("fig14", "S-SPRINT area (65 nm)")
-        .headers(["Component", "Area (mm^2)", "Share"]);
+    let mut result = ExperimentResult::new("fig14", "S-SPRINT area (65 nm)").headers([
+        "Component",
+        "Area (mm^2)",
+        "Share",
+    ]);
     let area = SprintConfig::small().area();
     let total = area.total_mm2();
     for c in area.components() {
@@ -438,11 +452,23 @@ pub fn tab2() -> ExperimentResult {
     let u = sprint_energy::UnitEnergies::default();
     let mut result = ExperimentResult::new("tab2", "Energy of major microarchitectural units")
         .headers(["Unit", "Energy"]);
-    result.push_row(["QK-PU/V-PU dot product (8b, 64-tap)", &format!("{}", u.qk_pu_dot_product)]);
-    result.push_row(["Key/Value buffer (4 banks x 128b)", &format!("{}", u.kv_buffer_access)]);
+    result.push_row([
+        "QK-PU/V-PU dot product (8b, 64-tap)",
+        &format!("{}", u.qk_pu_dot_product),
+    ]);
+    result.push_row([
+        "Key/Value buffer (4 banks x 128b)",
+        &format!("{}", u.kv_buffer_access),
+    ]);
     result.push_row(["Softmax (2 LUT + mul + div)", &format!("{}", u.softmax)]);
-    result.push_row(["Analog comparators (128 cols)", &format!("{}", u.analog_comparator_bank)]);
-    result.push_row(["In-memory computation (64x128)", &format!("{}", u.in_memory_computation)]);
+    result.push_row([
+        "Analog comparators (128 cols)",
+        &format!("{}", u.analog_comparator_bank),
+    ]);
+    result.push_row([
+        "In-memory computation (64x128)",
+        &format!("{}", u.in_memory_computation),
+    ]);
     result.push_row(["ReRAM write (512 b)", &format!("{}", u.reram_write_512b)]);
     result.push_row(["ReRAM read (512 b)", &format!("{}", u.reram_read_512b)]);
     result
@@ -458,44 +484,75 @@ pub fn tab3(scale: &Scale) -> ExperimentResult {
     let m_sprint = sprint_metrics(&SprintConfig::medium(), &profiles);
     let mut rows = PriorArt::all();
     rows.push(m_sprint);
-    let mut result = ExperimentResult::new("tab3", "Comparison with prior work").headers([
-        "Metric",
-        "A3",
-        "SpAtten",
-        "LeOPArd",
-        "M-SPRINT",
-    ]);
+    let mut result = ExperimentResult::new("tab3", "Comparison with prior work")
+        .headers(["Metric", "A3", "SpAtten", "LeOPArd", "M-SPRINT"]);
     let cols = |f: &dyn Fn(&crate::AcceleratorMetrics) -> String| -> Vec<String> {
-        rows.iter().map(|r| f(r)).collect()
+        rows.iter().map(f).collect()
     };
     let push = |result: &mut ExperimentResult, name: &str, vals: Vec<String>| {
         let mut row = vec![name.to_string()];
         row.extend(vals);
         result.push_row(row);
     };
-    push(&mut result, "Sequence length", cols(&|r| format!("{}-{}", r.seq_range.0, r.seq_range.1)));
-    push(&mut result, "Process (nm)", cols(&|r| format!("{:.0}", r.process_nm)));
-    push(&mut result, "Area (mm^2)", cols(&|r| format!("{:.1}", r.area_mm2)));
-    push(&mut result, "Key buffer (KB)", cols(&|r| format!("{:.0}", r.key_buffer_kb)));
-    push(&mut result, "Value buffer (KB)", cols(&|r| format!("{:.0}", r.value_buffer_kb)));
+    push(
+        &mut result,
+        "Sequence length",
+        cols(&|r| format!("{}-{}", r.seq_range.0, r.seq_range.1)),
+    );
+    push(
+        &mut result,
+        "Process (nm)",
+        cols(&|r| format!("{:.0}", r.process_nm)),
+    );
+    push(
+        &mut result,
+        "Area (mm^2)",
+        cols(&|r| format!("{:.1}", r.area_mm2)),
+    );
+    push(
+        &mut result,
+        "Key buffer (KB)",
+        cols(&|r| format!("{:.0}", r.key_buffer_kb)),
+    );
+    push(
+        &mut result,
+        "Value buffer (KB)",
+        cols(&|r| format!("{:.0}", r.value_buffer_kb)),
+    );
     push(&mut result, "GOPs/s", cols(&|r| format!("{:.1}", r.gops)));
-    push(&mut result, "GOPs/J", cols(&|r| format!("{:.1}", r.gops_per_joule)));
-    push(&mut result, "GOPs/s/mm^2", cols(&|r| format!("{:.1}", r.gops_per_mm2())));
-    push(&mut result, "GOPs/s/J/mm^2", cols(&|r| format!("{:.1}", r.gops_per_joule_per_mm2())));
-    push(&mut result, "Mem. cost included", cols(&|r| {
-        if r.memory_cost_included { "yes" } else { "no" }.to_string()
-    }));
+    push(
+        &mut result,
+        "GOPs/J",
+        cols(&|r| format!("{:.1}", r.gops_per_joule)),
+    );
+    push(
+        &mut result,
+        "GOPs/s/mm^2",
+        cols(&|r| format!("{:.1}", r.gops_per_mm2())),
+    );
+    push(
+        &mut result,
+        "GOPs/s/J/mm^2",
+        cols(&|r| format!("{:.1}", r.gops_per_joule_per_mm2())),
+    );
+    push(
+        &mut result,
+        "Mem. cost included",
+        cols(&|r| if r.memory_cost_included { "yes" } else { "no" }.to_string()),
+    );
     result.push_note("paper M-SPRINT row: 1816.2 GOPs/s, 902.7 GOPs/J, 973.5 GOPs/s/mm^2");
     result
 }
 
 /// §VII end-to-end comparison including FFNs.
 pub fn ffn_table(scale: &Scale) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
-        "ffn",
-        "End-to-end (attention + FFN) on M-SPRINT",
-    )
-    .headers(["Model", "Energy reduction", "Speedup", "Attention ops share"]);
+    let mut result = ExperimentResult::new("ffn", "End-to-end (attention + FFN) on M-SPRINT")
+        .headers([
+            "Model",
+            "Energy reduction",
+            "Speedup",
+            "Attention ops share",
+        ]);
     let cfg = SprintConfig::medium();
     for (i, model) in ModelConfig::all().into_iter().enumerate() {
         let profile = scale.profile(&model, 0x500 + i as u64);
@@ -507,7 +564,8 @@ pub fn ffn_table(scale: &Scale) -> ExperimentResult {
             format!("{:.1}%", e.attention_ops_fraction * 100.0),
         ]);
     }
-    result.push_note("paper: BERT-B 2.2x/1.8x, BERT-L 2.4x/2.0x, ViT-B 1.1x/1.0x, Synth-2 7.7x/4.7x");
+    result
+        .push_note("paper: BERT-B 2.2x/1.8x, BERT-L 2.4x/2.0x, ViT-B 1.1x/1.0x, Synth-2 7.7x/4.7x");
     result
 }
 
@@ -636,9 +694,9 @@ mod tests {
         let r = fig8(&scale());
         // Rows alternate Sequential/Interleaving per CORELET count.
         for pair in r.rows.chunks(2) {
-            for col in 2..5 {
-                let seq: f64 = pair[0][col].parse().unwrap();
-                let int: f64 = pair[1][col].parse().unwrap();
+            for (seq_cell, int_cell) in pair[0][2..5].iter().zip(&pair[1][2..5]) {
+                let seq: f64 = seq_cell.parse().unwrap();
+                let int: f64 = int_cell.parse().unwrap();
                 assert!(int <= seq + 1e-9, "interleaving {int} vs sequential {seq}");
             }
         }
@@ -663,7 +721,10 @@ mod tests {
         let g: f64 = last[1].trim_end_matches('x').parse().unwrap();
         assert!(g > 1.0, "SPRINT must win on average, geomean {g}");
         let r12 = fig12(&scale());
-        let g12: f64 = r12.rows.last().unwrap()[1].trim_end_matches('x').parse().unwrap();
+        let g12: f64 = r12.rows.last().unwrap()[1]
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
         assert!(g12 > 1.0, "energy geomean {g12}");
         // The capacity-pressure shape (energy reduction well above
         // speedup, 19.6x vs 7.5x in the paper) emerges at paper-size

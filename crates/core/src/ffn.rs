@@ -79,8 +79,7 @@ pub fn end_to_end(model: &ModelConfig, cfg: &SprintConfig, profile: &HeadProfile
     let live_fraction = profile.live as f64 / profile.seq_len as f64;
     let ffn_speedup = 1.0 / live_fraction;
 
-    let speedup =
-        1.0 / ((1.0 - f_attn) / ffn_speedup + f_attn / attention_speedup);
+    let speedup = 1.0 / ((1.0 - f_attn) / ffn_speedup + f_attn / attention_speedup);
     let energy_reduction =
         1.0 / ((1.0 - f_attn) / ffn_speedup + f_attn / attention_energy_reduction);
 

@@ -170,7 +170,10 @@ mod tests {
         assert!((spatten.gops_per_mm2() - 225.0).abs() < 15.0, "paper: 238");
         let leopard = PriorArt::Leopard.metrics();
         assert!((leopard.gops_per_mm2() - 164.0).abs() < 3.0, "paper: 165.5");
-        assert!((leopard.gops_per_joule_per_mm2() - 148.4).abs() < 35.0, "paper: 119.7");
+        assert!(
+            (leopard.gops_per_joule_per_mm2() - 148.4).abs() < 35.0,
+            "paper: 119.7"
+        );
     }
 
     #[test]

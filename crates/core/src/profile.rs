@@ -61,13 +61,7 @@ impl HeadProfile {
     ///
     /// Panics unless `live <= seq_len`, `0 < keep_rate <= 1` and
     /// `0 <= overlap <= 1`.
-    pub fn synthetic(
-        seq_len: usize,
-        live: usize,
-        keep_rate: f64,
-        overlap: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn synthetic(seq_len: usize, live: usize, keep_rate: f64, overlap: f64, seed: u64) -> Self {
         assert!(live >= 1 && live <= seq_len, "live tokens within sequence");
         assert!(keep_rate > 0.0 && keep_rate <= 1.0, "keep rate in (0, 1]");
         assert!((0.0..=1.0).contains(&overlap), "overlap in [0, 1]");
@@ -202,7 +196,11 @@ mod tests {
     #[test]
     fn synthetic_hits_keep_rate_and_overlap() {
         let p = HeadProfile::synthetic(256, 200, 0.25, 0.85, 11);
-        assert!((p.keep_rate() - 0.25).abs() < 0.03, "keep {}", p.keep_rate());
+        assert!(
+            (p.keep_rate() - 0.25).abs() < 0.03,
+            "keep {}",
+            p.keep_rate()
+        );
         assert!(
             (p.mean_overlap() - 0.85).abs() < 0.06,
             "overlap {}",

@@ -9,9 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use sprint_attention::{
-    quantized_attention, softmax_exact, AttentionError, Matrix, PruneDecision,
-};
+use sprint_attention::{quantized_attention, softmax_exact, AttentionError, Matrix, PruneDecision};
 use sprint_memory::{MemoryController, MemoryError, MemoryStats};
 use sprint_reram::{InMemoryPruner, NoiseModel, PruneHardwareStats, ReramError, ThresholdSpec};
 use sprint_workloads::HeadTrace;
@@ -157,8 +155,8 @@ impl SprintSystem {
             // Extend the live-region decision to the full sequence:
             // padded keys are always pruned.
             let mut pruned = vec![true; s];
-            for j in 0..live {
-                pruned[j] = outcome.decision.is_pruned(j);
+            for (j, flag) in pruned.iter_mut().enumerate().take(live) {
+                *flag = outcome.decision.is_pruned(j);
             }
             controller.process_query(&pruned[..live])?;
             let mut row = vec![f32::NEG_INFINITY; s];
@@ -247,10 +245,10 @@ mod tests {
         let live = trace.live_tokens();
         let mut agree = 0usize;
         let mut total = 0usize;
-        for i in 0..live {
+        for (d, r) in out.decisions.iter().zip(reference.iter()).take(live) {
             for j in 0..live {
                 total += 1;
-                if out.decisions[i].is_pruned(j) == reference[i].is_pruned(j) {
+                if d.is_pruned(j) == r.is_pruned(j) {
                     agree += 1;
                 }
             }
@@ -300,8 +298,7 @@ mod tests {
         let without = sys_b
             .run_head(&trace, &ThresholdSpec::default(), false)
             .unwrap();
-        let err_with =
-            sprint_attention::mean_abs_error(&with.output, &reference.output).unwrap();
+        let err_with = sprint_attention::mean_abs_error(&with.output, &reference.output).unwrap();
         let err_without =
             sprint_attention::mean_abs_error(&without.output, &reference.output).unwrap();
         assert!(
@@ -318,9 +315,12 @@ mod tests {
             .run_head(&trace, &ThresholdSpec::default(), true)
             .unwrap();
         let stats = out.memory_stats;
-        assert!(stats.reused_vectors > stats.fetched_vectors,
+        assert!(
+            stats.reused_vectors > stats.fetched_vectors,
             "locality should dominate: reused {} vs fetched {}",
-            stats.reused_vectors, stats.fetched_vectors);
+            stats.reused_vectors,
+            stats.fetched_vectors
+        );
         assert_eq!(stats.queries as usize, trace.live_tokens());
     }
 

@@ -1,0 +1,44 @@
+//! Counting-simulator dominance property (ISSUE 1 satellite): on every
+//! Table I configuration, SPRINT execution must never cost more cycles
+//! or energy than the baseline, across a seeded grid of synthetic head
+//! profiles.
+
+use sprint_core::counting::simulate_head;
+use sprint_core::{ExecutionMode, HeadProfile, SprintConfig};
+
+#[test]
+fn sprint_never_exceeds_baseline_cycles_or_energy() {
+    let configs = [
+        ("S", SprintConfig::small()),
+        ("M", SprintConfig::medium()),
+        ("L", SprintConfig::large()),
+    ];
+    for (name, cfg) in &configs {
+        for &seq in &[64usize, 128, 384, 1024] {
+            for &keep in &[0.1f64, 0.25, 0.45] {
+                for &overlap in &[0.5f64, 0.85] {
+                    for seed in 0..4u64 {
+                        let live = (seq * 3) / 4;
+                        let profile = HeadProfile::synthetic(seq, live, keep, overlap, seed);
+                        let base = simulate_head(&profile, cfg, ExecutionMode::Baseline);
+                        let sprint = simulate_head(&profile, cfg, ExecutionMode::Sprint);
+                        assert!(
+                            sprint.cycles <= base.cycles,
+                            "{name}-SPRINT seq={seq} keep={keep} overlap={overlap} seed={seed}: \
+                             sprint {} cycles > baseline {}",
+                            sprint.cycles,
+                            base.cycles
+                        );
+                        assert!(
+                            sprint.energy.total() <= base.energy.total(),
+                            "{name}-SPRINT seq={seq} keep={keep} overlap={overlap} seed={seed}: \
+                             sprint {:?} energy > baseline {:?}",
+                            sprint.energy.total(),
+                            base.energy.total()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

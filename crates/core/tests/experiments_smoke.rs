@@ -1,0 +1,55 @@
+//! Experiment-driver smoke test (ISSUE 1 satellite): every paper-figure
+//! driver behind the 13 criterion benches must produce an
+//! `ExperimentResult` with non-empty, finite rows, without running
+//! criterion itself.
+
+use sprint_core::experiments::{self, Scale};
+use sprint_core::ExperimentResult;
+
+fn assert_well_formed(r: &ExperimentResult) {
+    assert!(!r.id.is_empty(), "result has an id");
+    assert!(!r.title.is_empty(), "{}: result has a title", r.id);
+    assert!(!r.rows.is_empty(), "{}: no rows produced", r.id);
+    for (i, row) in r.rows.iter().enumerate() {
+        assert!(!row.is_empty(), "{}: row {i} is empty", r.id);
+        for cell in row {
+            let lower = cell.to_ascii_lowercase();
+            assert!(
+                !lower.contains("nan") && !lower.contains("inf"),
+                "{}: row {i} contains a non-finite cell: {cell:?}",
+                r.id
+            );
+        }
+    }
+}
+
+#[test]
+fn every_driver_produces_finite_rows() {
+    let scale = Scale {
+        seq_cap: 128,
+        accuracy_seq: 48,
+        seed: 0x5bc1,
+    };
+    let results = experiments::all(&scale).expect("all experiment drivers run");
+    // `all` covers every table/figure the benches regenerate: the two
+    // static tables, Figs. 1-3, 5, 8-14, Table III, the FFN table, the
+    // extras, and each ablation.
+    assert!(
+        results.len() >= 16,
+        "expected the full driver set, got {} results",
+        results.len()
+    );
+    let ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
+    for required in [
+        "tab1", "tab2", "tab3", "fig1", "fig2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "fig14",
+    ] {
+        assert!(
+            ids.iter().any(|id| id.starts_with(required)),
+            "driver {required} missing from experiments::all"
+        );
+    }
+    for r in &results {
+        assert_well_formed(r);
+    }
+}

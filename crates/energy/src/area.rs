@@ -142,7 +142,10 @@ impl AreaModel {
 ///
 /// Panics if either node size is not strictly positive.
 pub fn dennard_scale(metric: f64, from_nm: f64, to_nm: f64) -> f64 {
-    assert!(from_nm > 0.0 && to_nm > 0.0, "process nodes must be positive");
+    assert!(
+        from_nm > 0.0 && to_nm > 0.0,
+        "process nodes must be positive"
+    );
     metric * (from_nm / to_nm).powi(2)
 }
 
@@ -164,7 +167,11 @@ mod tests {
     #[test]
     fn m_sprint_matches_table3_area() {
         let m = AreaModel::m_sprint();
-        assert!((m.total_mm2() - 1.9).abs() / 1.9 < 0.05, "got {}", m.total_mm2());
+        assert!(
+            (m.total_mm2() - 1.9).abs() / 1.9 < 0.05,
+            "got {}",
+            m.total_mm2()
+        );
         // "in-memory thresholding ... takes only 3% out of total M-SPRINT area"
         let frac = m.reram_overhead_fraction();
         assert!(frac > 0.02 && frac < 0.045, "got {frac}");
@@ -180,7 +187,11 @@ mod tests {
 
     #[test]
     fn components_sum_to_total() {
-        for model in [AreaModel::s_sprint(), AreaModel::m_sprint(), AreaModel::l_sprint()] {
+        for model in [
+            AreaModel::s_sprint(),
+            AreaModel::m_sprint(),
+            AreaModel::l_sprint(),
+        ] {
             let sum: f64 = model.components().iter().map(|c| c.area_mm2).sum();
             assert!((sum - model.total_mm2()).abs() < 1e-12);
         }

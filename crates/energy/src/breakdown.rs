@@ -200,7 +200,13 @@ impl fmt::Display for EnergyBreakdown {
         let total = self.total();
         writeln!(f, "total: {total}")?;
         for (c, e) in self.iter() {
-            writeln!(f, "  {:<18} {:>14}  ({:5.1}%)", c.label(), e.to_string(), self.fraction(c) * 100.0)?;
+            writeln!(
+                f,
+                "  {:<18} {:>14}  ({:5.1}%)",
+                c.label(),
+                e.to_string(),
+                self.fraction(c) * 100.0
+            )?;
         }
         Ok(())
     }

@@ -134,7 +134,8 @@ impl Default for AdcCostModel {
         // cited >20x power and >30x area.
         AdcCostModel {
             power_per_level: 20.8 / 31.0,
-            area_per_level: 31.0 / 31.0,
+            // 31.0 / 31.0: one comparator-area per level.
+            area_per_level: 1.0,
         }
     }
 }
@@ -209,7 +210,10 @@ mod tests {
     #[test]
     fn adc_cost_ratios_match_cited_asymmetry() {
         let m = AdcCostModel::default();
-        assert!(m.relative_power(5) > 20.0, "paper cites >20x power at 5 bits");
+        assert!(
+            m.relative_power(5) > 20.0,
+            "paper cites >20x power at 5 bits"
+        );
         assert!(m.relative_area(5) > 30.0, "paper cites >30x area at 5 bits");
         assert_eq!(m.relative_power(1), 1.0);
         assert_eq!(m.relative_area(1), 1.0);

@@ -13,8 +13,7 @@ use serde::{Deserialize, Serialize};
 use sprint_energy::{Cycles, TimingParams};
 
 use crate::{
-    ChannelScheduler, CommandTrace, MemoryError, MemoryGeometry, MemoryRequestGenerator,
-    SldEngine,
+    ChannelScheduler, CommandTrace, MemoryError, MemoryGeometry, MemoryRequestGenerator, SldEngine,
 };
 
 /// Aggregate controller statistics.
@@ -198,14 +197,10 @@ impl MemoryController {
             if fetches.is_empty() {
                 continue;
             }
-            let r = sched.schedule_fetches(
-                &fetches,
-                pruning_ready,
-                self.geometry.bursts_per_fetch,
-            )?;
+            let r =
+                sched.schedule_fetches(&fetches, pruning_ready, self.geometry.bursts_per_fetch)?;
             self.stats.fetched_vectors += fetches.len() as u64;
-            self.stats.bytes_fetched +=
-                (fetches.len() * self.geometry.bytes_per_fetch) as u64;
+            self.stats.bytes_fetched += (fetches.len() * self.geometry.bytes_per_fetch) as u64;
             self.stats.row_hits += r.row_hits;
             self.stats.row_misses += r.row_misses;
             finish = finish.max(r.finish);
@@ -302,17 +297,16 @@ mod tests {
         let mut mc = controller();
         let g = mc.geometry();
         mc.process_query(&keep(64, &[0, 1, 2, 3, 4])).unwrap();
-        assert_eq!(
-            mc.stats().bytes_fetched,
-            5 * g.bytes_per_fetch as u64
-        );
+        assert_eq!(mc.stats().bytes_fetched, 5 * g.bytes_per_fetch as u64);
     }
 
     #[test]
     fn recorded_traces_are_globally_legal_per_channel() {
         let mut mc = controller();
         mc.set_trace_recording(true);
-        let o1 = mc.process_query(&keep(64, &(0..24).collect::<Vec<_>>())).unwrap();
+        let o1 = mc
+            .process_query(&keep(64, &(0..24).collect::<Vec<_>>()))
+            .unwrap();
         let o2 = mc
             .process_query(&keep(64, &(8..40).collect::<Vec<_>>()))
             .unwrap();

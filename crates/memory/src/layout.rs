@@ -150,8 +150,10 @@ mod tests {
 
     #[test]
     fn zero_fields_are_rejected() {
-        let mut g = MemoryGeometry::default();
-        g.channels = 0;
+        let g = MemoryGeometry {
+            channels: 0,
+            ..Default::default()
+        };
         assert!(g.validate().is_err());
     }
 

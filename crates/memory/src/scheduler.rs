@@ -163,7 +163,11 @@ impl ChannelScheduler {
                 if open.is_some() {
                     self.issue(MemoryCommand::Precharge { bank }, not_before, &mut trace)?;
                 }
-                self.issue(MemoryCommand::Activate { bank, row }, not_before, &mut trace)?;
+                self.issue(
+                    MemoryCommand::Activate { bank, row },
+                    not_before,
+                    &mut trace,
+                )?;
                 // The access that opened the row is the miss; the rest
                 // of the group rides the now-open row buffer.
                 row_misses += 1;
@@ -229,8 +233,8 @@ mod tests {
     #[test]
     fn same_row_fetches_hit_the_row_buffer() {
         let g = geometry();
-        let mut sched = ChannelScheduler::new(0, g.banks_per_channel, TimingParams::default())
-            .unwrap();
+        let mut sched =
+            ChannelScheduler::new(0, g.banks_per_channel, TimingParams::default()).unwrap();
         // Keys 0, 16, 32 are consecutive slots of one row on channel 0.
         let fetches: Vec<KeyAddress> = [0usize, 16, 32].iter().map(|&k| addr(&g, k)).collect();
         let r = sched
@@ -276,8 +280,14 @@ mod tests {
         let (done, trace) = sched.schedule_thresholding(2, Cycles::ZERO).unwrap();
         audit(&trace, g.banks_per_channel);
         assert_eq!(trace.len(), 3, "2 CopyQ + 1 ReadP");
-        assert!(matches!(trace[0].command, MemoryCommand::CopyQ { start: false }));
-        assert!(matches!(trace[1].command, MemoryCommand::CopyQ { start: true }));
+        assert!(matches!(
+            trace[0].command,
+            MemoryCommand::CopyQ { start: false }
+        ));
+        assert!(matches!(
+            trace[1].command,
+            MemoryCommand::CopyQ { start: true }
+        ));
         assert!(matches!(trace[2].command, MemoryCommand::ReadP));
         let t = TimingParams::default();
         assert!(trace[2].at >= trace[1].at + t.t_cl + t.t_ax_th);
@@ -317,8 +327,8 @@ mod tests {
         let g = geometry();
         // Same bank, different rows: forces precharge/activate churn.
         let per_bank_keys = g.channels * g.vectors_per_row * g.banks_per_channel;
-        let conflict_keys = vec![0usize, per_bank_keys, 2 * per_bank_keys];
-        let hit_keys = vec![0usize, 16, 32];
+        let conflict_keys = [0usize, per_bank_keys, 2 * per_bank_keys];
+        let hit_keys = [0usize, 16, 32];
 
         let mut s1 =
             ChannelScheduler::new(0, g.banks_per_channel, TimingParams::default()).unwrap();

@@ -196,10 +196,14 @@ mod tests {
             let mut sld = SldEngine::new();
             sld.process(prev).unwrap();
             let split = sld.process(cur).unwrap();
-            for j in 0..n {
-                let kept = !cur[j];
-                let req = split.memory_requests[j];
-                let hit = split.locality_hits[j];
+            for (j, ((&req, &hit), &c)) in split
+                .memory_requests
+                .iter()
+                .zip(&split.locality_hits)
+                .zip(cur)
+                .enumerate()
+            {
+                let kept = !c;
                 prop_assert!(!(req && hit), "disjoint at {j}");
                 prop_assert_eq!(req || hit, kept, "union is the kept set at {}", j);
             }

@@ -94,7 +94,11 @@ impl TimingChecker {
     /// [`MemoryError::RowNotOpen`] for a column access to a closed or
     /// mismatched row, and [`MemoryError::NoThresholdingInFlight`] for
     /// a `ReadP` with nothing pending.
-    pub fn earliest(&self, command: MemoryCommand, not_before: Cycles) -> Result<Cycles, MemoryError> {
+    pub fn earliest(
+        &self,
+        command: MemoryCommand,
+        not_before: Cycles,
+    ) -> Result<Cycles, MemoryError> {
         let t = self.timing;
         match command {
             MemoryCommand::Activate { bank, .. } => {
@@ -161,7 +165,11 @@ impl TimingChecker {
     /// Returns [`MemoryError::TimingViolation`] when `at` precedes the
     /// earliest legal cycle, plus the addressing errors of
     /// [`TimingChecker::earliest`].
-    pub fn check_and_apply(&mut self, command: MemoryCommand, at: Cycles) -> Result<(), MemoryError> {
+    pub fn check_and_apply(
+        &mut self,
+        command: MemoryCommand,
+        at: Cycles,
+    ) -> Result<(), MemoryError> {
         let earliest = self.earliest(command, self.last_issue)?;
         if at < earliest {
             return Err(MemoryError::TimingViolation {
@@ -219,11 +227,13 @@ impl TimingChecker {
 
     fn bank_mut(&mut self, bank: usize) -> Result<&mut BankState, MemoryError> {
         let bound = self.banks.len();
-        self.banks.get_mut(bank).ok_or(MemoryError::AddressOutOfRange {
-            what: "bank",
-            index: bank,
-            bound,
-        })
+        self.banks
+            .get_mut(bank)
+            .ok_or(MemoryError::AddressOutOfRange {
+                what: "bank",
+                index: bank,
+                bound,
+            })
     }
 }
 

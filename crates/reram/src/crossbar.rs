@@ -53,6 +53,9 @@ struct StdRngState {
     rng: Option<StdRng>,
 }
 
+// Referenced only from the `#[serde(default)]` attribute above, which
+// the vendored no-op derive does not expand.
+#[allow(dead_code)]
 fn none_rng() -> Option<StdRng> {
     None
 }
@@ -361,13 +364,13 @@ mod tests {
             let col: Vec<i32> = (0..64).map(|r| ((r + c) % 15) as i32 - 7).collect();
             xb.program_column(c, &col).unwrap();
         }
-        let input: Vec<i32> = (0..64).map(|r| (r % 15) as i32 - 7).collect();
+        let input: Vec<i32> = (0..64).map(|r| (r % 15) - 7).collect();
         let exact = xb.exact_vmm(&input).unwrap();
         let fs = xb.full_scale(&input);
         // Mean over many noisy reads converges to near the exact value
         // (programming variation adds a static offset of ~1%).
         let reps = 200;
-        let mut mean = vec![0.0f64; 16];
+        let mut mean = [0.0f64; 16];
         for _ in 0..reps {
             let out = xb.vmm(&input).unwrap();
             for (m, o) in mean.iter_mut().zip(&out) {

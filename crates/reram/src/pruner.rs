@@ -614,8 +614,14 @@ mod tests {
         let coarse = divergence(1);
         let four = divergence(4);
         let fine = divergence(10);
-        assert!(coarse > four, "1-bit ({coarse}) must diverge more than 4-bit ({four})");
-        assert!(four >= fine, "4-bit ({four}) must diverge at least as much as 10-bit ({fine})");
+        assert!(
+            coarse > four,
+            "1-bit ({coarse}) must diverge more than 4-bit ({four})"
+        );
+        assert!(
+            four >= fine,
+            "4-bit ({four}) must diverge at least as much as 10-bit ({fine})"
+        );
     }
 
     #[test]
@@ -720,13 +726,13 @@ mod cell_bit_tests {
         let exact_full: Vec<f32> = {
             // Full-precision digital reference through the same
             // quantizers (8-bit codes).
-            let p8 = InMemoryPruner::with_cell_bits(&q, &k, 0.18, NoiseModel::ideal(), 9, 8)
-                .unwrap();
+            let p8 =
+                InMemoryPruner::with_cell_bits(&q, &k, 0.18, NoiseModel::ideal(), 9, 8).unwrap();
             p8.exact_msb_scores(q.row(0)).unwrap()
         };
         let err_of = |bits: u32| -> f64 {
-            let p = InMemoryPruner::with_cell_bits(&q, &k, 0.18, NoiseModel::ideal(), 9, bits)
-                .unwrap();
+            let p =
+                InMemoryPruner::with_cell_bits(&q, &k, 0.18, NoiseModel::ideal(), 9, bits).unwrap();
             let approx = p.exact_msb_scores(q.row(0)).unwrap();
             approx
                 .iter()
@@ -749,15 +755,9 @@ mod cell_bit_tests {
         let q = random_matrix(4, 64, 11);
         let k = random_matrix(96, 64, 12);
         let spread_of = |bits: u32| -> f64 {
-            let mut p = InMemoryPruner::with_cell_bits(
-                &q,
-                &k,
-                0.125,
-                NoiseModel::default(),
-                13,
-                bits,
-            )
-            .unwrap();
+            let mut p =
+                InMemoryPruner::with_cell_bits(&q, &k, 0.125, NoiseModel::default(), 13, bits)
+                    .unwrap();
             let exact = p.exact_msb_scores(q.row(0)).unwrap();
             let mut sq = 0.0f64;
             let n = 20;

@@ -193,9 +193,9 @@ mod tests {
         // exactly what the transposed read returns.
         let q = vec![1, 0, 0, 0];
         let scores = arr.in_situ_compute(&q).unwrap();
-        for slot in 0..3 {
+        for (slot, &score) in scores.iter().enumerate().take(3) {
             let key = arr.transposed_read(slot).unwrap();
-            assert_eq!(scores[slot], key[0] as f64, "slot {slot}");
+            assert_eq!(score, key[0] as f64, "slot {slot}");
         }
     }
 

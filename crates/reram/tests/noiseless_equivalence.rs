@@ -1,0 +1,79 @@
+//! In-memory pruning engine invariants (ISSUE 1 satellite): a
+//! zero-sigma analog path must reproduce the digital MSB decision
+//! exactly, and a fixed seed must make the noisy path fully
+//! deterministic.
+
+use sprint_attention::{Matrix, PruneDecision};
+use sprint_reram::{InMemoryPruner, NoiseModel, ThresholdSpec};
+
+fn qk(seq: usize, d: usize, seed_phase: f32) -> (Matrix, Matrix) {
+    let gen = |rows: usize, phase: f32| {
+        let data: Vec<Vec<f32>> = (0..rows)
+            .map(|r| {
+                (0..d)
+                    .map(|c| ((r * d + c) as f32 * 0.31 + phase).sin())
+                    .collect()
+            })
+            .collect();
+        Matrix::from_rows(&data).unwrap()
+    };
+    (gen(seq, seed_phase), gen(seq, seed_phase + 1.9))
+}
+
+#[test]
+fn zero_sigma_pruner_matches_digital_decision_exactly() {
+    let d = 16;
+    let seq = 48;
+    let (q, k) = qk(seq, d, 0.0);
+    let scale = 1.0 / (d as f32).sqrt();
+    let noise = NoiseModel::ideal();
+    assert_eq!(noise.relative_sigma(), 0.0);
+    assert_eq!(noise.programming_sigma(), 0.0);
+    let mut pruner = InMemoryPruner::new(&q, &k, scale, noise, 11).unwrap();
+    let spec = ThresholdSpec::default();
+    for i in 0..seq {
+        // Digital reference: threshold the exact MSB-level scores.
+        let exact = pruner.exact_msb_scores(q.row(i)).unwrap();
+        let max = exact.iter().cloned().fold(f32::MIN, f32::max);
+        // Off-lattice threshold so analog/digital rounding can't
+        // straddle an exact tie.
+        let threshold = 0.37 * max + 1e-4;
+        let digital = PruneDecision::from_scores(&exact, threshold);
+        let outcome = pruner.prune_query(q.row(i), threshold, &spec).unwrap();
+        assert_eq!(
+            outcome.decision.as_slice(),
+            digital.as_slice(),
+            "query {i}: noiseless analog decision diverged from digital"
+        );
+    }
+}
+
+#[test]
+fn fixed_seed_pruner_is_deterministic_under_noise() {
+    let d = 16;
+    let seq = 32;
+    let (q, k) = qk(seq, d, 0.4);
+    let scale = 1.0 / (d as f32).sqrt();
+    let noise = NoiseModel::from_sigmas(0.05, 0.03).unwrap();
+    let run = |seed: u64| {
+        let mut pruner = InMemoryPruner::new(&q, &k, scale, noise, seed).unwrap();
+        let spec = ThresholdSpec::analog_with_noise_margin(&noise);
+        let mut decisions = Vec::new();
+        let mut scores = Vec::new();
+        for i in 0..seq {
+            let out = pruner.prune_query(q.row(i), 0.2, &spec).unwrap();
+            decisions.push(out.decision);
+            scores.push(out.approx_scores);
+        }
+        (decisions, scores)
+    };
+    let (d1, s1) = run(77);
+    let (d2, s2) = run(77);
+    assert_eq!(d1, d2, "same seed must give identical pruning decisions");
+    assert_eq!(s1, s2, "same seed must give identical approximate scores");
+    let (d3, _) = run(78);
+    assert_ne!(
+        d1, d3,
+        "different seeds should perturb at least one noisy decision"
+    );
+}

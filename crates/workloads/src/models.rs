@@ -329,7 +329,10 @@ mod tests {
     #[test]
     fn pruning_rates_match_section_seven() {
         let rates: Vec<f64> = ModelConfig::all().iter().map(|m| m.pruning_rate).collect();
-        assert_eq!(rates, vec![0.746, 0.755, 0.651, 0.731, 0.644, 0.739, 0.75, 0.75]);
+        assert_eq!(
+            rates,
+            vec![0.746, 0.755, 0.651, 0.731, 0.644, 0.739, 0.75, 0.75]
+        );
     }
 
     #[test]
@@ -342,7 +345,10 @@ mod tests {
         let vit = ModelConfig::vit_base();
         assert_eq!(vit.padding_fraction, 0.0, "ViT has no padded area");
         let gpt = ModelConfig::gpt2_large();
-        assert!((gpt.padding_fraction - 0.29).abs() < 1e-9, "causal-mask equivalent");
+        assert!(
+            (gpt.padding_fraction - 0.29).abs() < 1e-9,
+            "causal-mask equivalent"
+        );
         let bert = ModelConfig::bert_base();
         assert!((bert.padding_fraction - 0.46).abs() < 1e-9, "46% for SQuAD");
         assert_eq!(ModelConfig::synth2().padding_fraction, 0.5);

@@ -412,6 +412,14 @@ fn build_trace(spec: &TraceSpec, lambda: f64, seed: u64) -> Result<HeadTrace, At
         for (j, flag) in pruned.iter_mut().enumerate().take(live) {
             *flag = live_scores.get(i, j) < threshold;
         }
+        // Threshold pruning is relative to the row's own score scale:
+        // the argmax key always survives (softmax over zero keys is
+        // undefined), so force-keep it even when the globally
+        // calibrated threshold would drop the whole row.
+        let argmax = (0..live)
+            .max_by(|&a, &b| live_scores.get(i, a).total_cmp(&live_scores.get(i, b)))
+            .expect("live > 0 for live rows");
+        pruned[argmax] = false;
         decisions.push(PruneDecision::new(pruned));
     }
     let stats = pruning_stats(&decisions[..live]);
@@ -447,10 +455,30 @@ mod tests {
     fn spec_validation_rejects_bad_values() {
         let base = quick_spec();
         assert!(TraceSpec { seq_len: 0, ..base }.validate().is_err());
-        assert!(TraceSpec { head_dim: 0, ..base }.validate().is_err());
-        assert!(TraceSpec { prune_rate: 1.0, ..base }.validate().is_err());
-        assert!(TraceSpec { padding_fraction: 1.0, ..base }.validate().is_err());
-        assert!(TraceSpec { target_overlap: 1.5, ..base }.validate().is_err());
+        assert!(TraceSpec {
+            head_dim: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(TraceSpec {
+            prune_rate: 1.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(TraceSpec {
+            padding_fraction: 1.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(TraceSpec {
+            target_overlap: 1.5,
+            ..base
+        }
+        .validate()
+        .is_err());
         assert!(base.validate().is_ok());
     }
 
@@ -574,12 +602,18 @@ mod tests {
         for i in (0..live).step_by(17) {
             let row = t.score_row(i);
             let d = &t.reference_decisions()[i];
-            for j in 0..live {
-                assert_eq!(
-                    d.is_pruned(j),
-                    row[j] < t.threshold(),
-                    "mismatch at ({i},{j})"
-                );
+            // The row's argmax key is force-kept regardless of the
+            // global threshold (softmax needs at least one key), so it
+            // is exempt from the pure-threshold relation.
+            let argmax = (0..live)
+                .max_by(|&a, &b| row[a].total_cmp(&row[b]))
+                .unwrap();
+            assert!(d.is_kept(argmax), "argmax of query {i} must be kept");
+            for (j, &rv) in row.iter().enumerate().take(live) {
+                if j == argmax {
+                    continue;
+                }
+                assert_eq!(d.is_pruned(j), rv < t.threshold(), "mismatch at ({i},{j})");
             }
         }
     }

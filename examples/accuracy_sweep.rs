@@ -2,7 +2,7 @@
 //! four-scenario comparison, on the proxy tasks.
 //!
 //! ```sh
-//! cargo run -p sprint-examples --bin accuracy_sweep --release
+//! cargo run -p sprint-examples --example accuracy_sweep --release
 //! ```
 
 use sprint_core::experiments::{fig5, fig9, Scale};

@@ -3,7 +3,7 @@
 //! adopter would run before taping out their own SPRINT variant.
 //!
 //! ```sh
-//! cargo run -p sprint-examples --bin design_space --release
+//! cargo run -p sprint-examples --example design_space --release
 //! ```
 
 use sprint_core::counting::{simulate_head, ExecutionMode};

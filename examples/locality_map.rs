@@ -3,7 +3,7 @@
 //! engine.
 //!
 //! ```sh
-//! cargo run -p sprint-examples --bin locality_map --release
+//! cargo run -p sprint-examples --example locality_map --release
 //! ```
 
 use sprint_core::experiments::{fig2, fig3, Scale};
@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = TraceGenerator::new(5).generate(&spec)?;
     let mut sld = SldEngine::new();
     println!("\nSLD engine on the first queries of a BERT-like head:");
-    println!("{:>6} {:>6} {:>8} {:>8}", "query", "kept", "fetches", "reuses");
+    println!(
+        "{:>6} {:>6} {:>8} {:>8}",
+        "query", "kept", "fetches", "reuses"
+    );
     for i in 0..8.min(trace.live_tokens()) {
         let pruned: Vec<bool> = (0..trace.seq_len())
             .map(|j| trace.reference_decisions()[i].is_pruned(j))

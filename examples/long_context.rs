@@ -3,7 +3,7 @@
 //! an ever-smaller fraction of the sequence.
 //!
 //! ```sh
-//! cargo run -p sprint-examples --bin long_context --release
+//! cargo run -p sprint-examples --example long_context --release
 //! ```
 
 use sprint_core::counting::{simulate_head, ExecutionMode};

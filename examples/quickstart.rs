@@ -2,7 +2,7 @@
 //! and compare it against the iso-resource baseline.
 //!
 //! ```sh
-//! cargo run -p sprint-examples --bin quickstart --release
+//! cargo run -p sprint-examples --example quickstart --release
 //! ```
 
 use sprint_core::counting::{simulate_head, ExecutionMode};
@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
     let sprint = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
-    println!("\ncounting simulator at s={} on {}:", model.seq_len, cfg.name);
+    println!(
+        "\ncounting simulator at s={} on {}:",
+        model.seq_len, cfg.name
+    );
     println!(
         "  baseline: {:>12} cycles  {:>14}  {:>10} bytes moved",
         base.cycles,

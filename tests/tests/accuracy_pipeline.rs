@@ -41,6 +41,14 @@ fn four_bits_reach_the_accuracy_plateau() {
     let sweep = bit_sensitivity(&model, Some(128), 8, 0x51).unwrap();
     let acc = |b: u32| sweep[(b - 1) as usize].1;
     let plateau = (acc(6) + acc(7) + acc(8)) / 3.0;
-    assert!(acc(4) > plateau - 0.08, "4-bit {} vs plateau {plateau}", acc(4));
-    assert!(acc(1) < plateau - 0.2, "1-bit must collapse, got {}", acc(1));
+    assert!(
+        acc(4) > plateau - 0.08,
+        "4-bit {} vs plateau {plateau}",
+        acc(4)
+    );
+    assert!(
+        acc(1) < plateau - 0.2,
+        "1-bit must collapse, got {}",
+        acc(1)
+    );
 }

@@ -1,7 +1,7 @@
 //! Cross-crate integration: the full functional pipeline against the
 //! analytical reference implementations.
 
-use sprint_attention::{mean_abs_error, pruned_attention, prune_set_overlap, PruneDecision};
+use sprint_attention::{mean_abs_error, prune_set_overlap, pruned_attention, PruneDecision};
 use sprint_core::{SprintConfig, SprintSystem};
 use sprint_reram::{InMemoryPruner, NoiseModel, ThresholdSpec};
 use sprint_workloads::{ModelConfig, TraceGenerator};
@@ -51,7 +51,9 @@ fn margin_protects_reference_kept_set_across_the_stack() {
 fn sprint_system_output_matches_runtime_pruning_reference() {
     let trace = bert_trace(96, 32);
     let mut sys = SprintSystem::new(SprintConfig::medium(), NoiseModel::default(), 5);
-    let out = sys.run_head(&trace, &ThresholdSpec::default(), true).unwrap();
+    let out = sys
+        .run_head(&trace, &ThresholdSpec::default(), true)
+        .unwrap();
     let (reference, _) = pruned_attention(
         trace.q(),
         trace.k(),
@@ -71,10 +73,12 @@ fn memory_side_reuse_matches_trace_locality() {
     // adjacent-query overlap statistic.
     let trace = bert_trace(128, 33);
     let mut sys = SprintSystem::new(SprintConfig::medium(), NoiseModel::ideal(), 5);
-    let out = sys.run_head(&trace, &ThresholdSpec::default(), true).unwrap();
+    let out = sys
+        .run_head(&trace, &ThresholdSpec::default(), true)
+        .unwrap();
     let stats = out.memory_stats;
-    let reuse = stats.reused_vectors as f64
-        / (stats.reused_vectors + stats.fetched_vectors).max(1) as f64;
+    let reuse =
+        stats.reused_vectors as f64 / (stats.reused_vectors + stats.fetched_vectors).max(1) as f64;
     let overlap = trace.stats().mean_adjacent_overlap;
     assert!(
         (reuse - overlap).abs() < 0.15,
@@ -86,14 +90,12 @@ fn memory_side_reuse_matches_trace_locality() {
 fn sprint_decisions_drive_both_memory_and_compute_consistently() {
     let trace = bert_trace(80, 34);
     let mut sys = SprintSystem::new(SprintConfig::small(), NoiseModel::ideal(), 9);
-    let out = sys.run_head(&trace, &ThresholdSpec::default(), true).unwrap();
+    let out = sys
+        .run_head(&trace, &ThresholdSpec::default(), true)
+        .unwrap();
     // Every kept decision appears as either a fetch or a reuse in the
     // memory stats.
-    let kept_total: u64 = out
-        .decisions
-        .iter()
-        .map(|d| d.kept_count() as u64)
-        .sum();
+    let kept_total: u64 = out.decisions.iter().map(|d| d.kept_count() as u64).sum();
     assert_eq!(
         kept_total,
         out.memory_stats.fetched_vectors + out.memory_stats.reused_vectors,

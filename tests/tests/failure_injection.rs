@@ -9,11 +9,13 @@ use sprint_workloads::{TraceGenerator, TraceSpec};
 
 #[test]
 fn pruning_vector_length_drift_is_caught_at_the_controller() {
-    let mut mc =
-        MemoryController::new(MemoryGeometry::default(), sprint_energy::TimingParams::default())
-            .unwrap();
-    mc.process_query(&vec![false; 32]).unwrap();
-    let err = mc.process_query(&vec![false; 33]).unwrap_err();
+    let mut mc = MemoryController::new(
+        MemoryGeometry::default(),
+        sprint_energy::TimingParams::default(),
+    )
+    .unwrap();
+    mc.process_query(&[false; 32]).unwrap();
+    let err = mc.process_query(&[false; 33]).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("length"), "unhelpful error: {msg}");
 }

@@ -33,8 +33,7 @@ fn counting_and_functional_fetch_counts_agree_at_ample_capacity() {
         "functional fetched {f_fetched} vs counted {c_fetched}"
     );
 
-    let f_total =
-        functional.memory_stats.fetched_vectors + functional.memory_stats.reused_vectors;
+    let f_total = functional.memory_stats.fetched_vectors + functional.memory_stats.reused_vectors;
     let c_total = counted.fetched_pairs + counted.reused_pairs;
     assert!(
         (f_total as f64 - c_total as f64).abs() / (c_total.max(1) as f64) < 0.1,

@@ -55,7 +55,12 @@ fn headline_geomeans_land_in_paper_bands() {
     assert!(gs[0] > gs[2], "S speedup {} must beat L {}", gs[0], gs[2]);
     assert!(ge[0] > ge[2], "S energy {} must beat L {}", ge[0], ge[2]);
     // Energy reductions exceed speedups (19.6 vs 7.5 in the paper).
-    assert!(ge[0] > gs[0] * 0.9, "energy {} should rival speedup {}", ge[0], gs[0]);
+    assert!(
+        ge[0] > gs[0] * 0.9,
+        "energy {} should rival speedup {}",
+        ge[0],
+        gs[0]
+    );
 }
 
 #[test]
@@ -139,8 +144,7 @@ fn fig10_sprint_dominates_mask_only_everywhere() {
     let scale = shape_scale();
     for (i, model) in ModelConfig::all().into_iter().enumerate() {
         let profile = scale.profile(&model, 0xa0 + i as u64);
-        let s_baseline =
-            simulate_head(&profile, &SprintConfig::small(), ExecutionMode::Baseline);
+        let s_baseline = simulate_head(&profile, &SprintConfig::small(), ExecutionMode::Baseline);
         for cfg in SprintConfig::all() {
             let mask = simulate_head(&profile, &cfg, ExecutionMode::MaskOnly);
             let sprint = simulate_head(&profile, &cfg, ExecutionMode::Sprint);

@@ -1,0 +1,178 @@
+//! Offline stand-in for the slice of the `criterion` API the SPRINT
+//! benches use.
+//!
+//! The build environment has no network access, so the 13 paper-figure
+//! benches link against this minimal harness instead of real criterion.
+//! It preserves the API shape (`benchmark_group` → `sample_size` →
+//! `bench_function(|b| b.iter(..))` → `finish`, plus the
+//! [`criterion_group!`]/[`criterion_main!`] macros) and does honest
+//! wall-clock timing — median over `sample_size` samples — but none of
+//! criterion's statistics, warm-up calibration, or HTML reports. Swap
+//! the `criterion` entry in the workspace manifest for the real crate
+//! to get those back; no bench source changes are needed.
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::Criterion;
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("demo");
+//! group.sample_size(10);
+//! group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+//! group.finish();
+//! ```
+
+use std::time::Instant;
+
+/// Re-export so benches may use `criterion::black_box` interchangeably
+/// with `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints a one-line median/min/max summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed_ns: 0 };
+            f(&mut b);
+            samples.push(b.elapsed_ns);
+        }
+        samples.sort_unstable();
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        println!(
+            "bench {label}: median {} (min {}, max {}, n={})",
+            fmt_ns(samples[samples.len() / 2]),
+            fmt_ns(samples[0]),
+            fmt_ns(*samples.last().unwrap()),
+            samples.len(),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times one sample.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `routine` once and records its wall-clock time as this
+    /// sample. (Real criterion iterates adaptively; one iteration per
+    /// sample keeps the stub's full-pipeline benches bounded.)
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundles bench functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running each group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert!(fmt_ns(1_500).contains("µs"));
+        assert!(fmt_ns(2_000_000).contains("ms"));
+        assert!(fmt_ns(3_000_000_000).ends_with(" s"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for the slice of the `proptest` API this workspace
+//! uses.
+//!
+//! The build environment has no network access, so property tests run
+//! against this dependency-free re-implementation instead of real
+//! proptest. Supported surface:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` parameters and an
+//!   optional `#![proptest_config(ProptestConfig::with_cases(n))]`
+//!   header;
+//! * [`Strategy`] impls for integer and float [`Range`]s,
+//!   [`collection::vec`], and [`bool::ANY`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is **no shrinking and no persisted
+//! failure corpus**: each test draws `cases` inputs (default 64) from a
+//! fixed per-test seed derived from the test's name, so runs are fully
+//! deterministic. Swap the `proptest` entry in the workspace manifest
+//! for the real crate to get shrinking back; the test sources are
+//! written against the real API.
+//!
+//! # Example
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     // (write `#[test]` here in real test modules)
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many random cases each property runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of inputs drawn per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — lighter than real proptest's 256, since the stub
+    /// cannot shrink a failure down to a small counterexample.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs (the stand-in for proptest's `Strategy`).
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Rng, StdRng, Strategy};
+
+    /// Strategy producing `true`/`false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Range, Rng, StdRng, Strategy};
+
+    /// Strategy producing `Vec`s of an element strategy, with length
+    /// drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `size`
+    /// (`proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Derives the per-test RNG seed from the test's name, so every
+/// property gets a distinct but fully deterministic input stream.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a; DefaultHasher's keys are unspecified, this is stable.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the RNG for one property run.
+pub fn runner(test_name: &str) -> StdRng {
+    StdRng::seed_from_u64(seed_for(test_name))
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` drawing `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut proptest_rng = $crate::runner(concat!(module_path!(), "::", stringify!($name)));
+                for proptest_case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);
+                    )+
+                    let run = || -> () { $body };
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest stub: property {} failed on case {} (no shrinking available)",
+                            stringify!($name),
+                            proptest_case,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..50, f in -1.0f64..1.0) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u32..10, 3..8)) {
+            prop_assert!((3..8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn bools_vary(bits in crate::collection::vec(crate::bool::ANY, 64..65)) {
+            let trues = bits.iter().filter(|&&b| b).count();
+            prop_assert!(trues > 0 && trues < 64, "unexpectedly constant: {trues}");
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test() {
+        assert_ne!(crate::seed_for("a::one"), crate::seed_for("a::two"));
+        assert_eq!(crate::seed_for("a::one"), crate::seed_for("a::one"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Only what this workspace uses: the `Serialize` / `Deserialize`
+//! derive macros (vendored as no-ops in `serde_derive`) plus empty
+//! marker traits of the same names so `use serde::{Serialize,
+//! Deserialize}` resolves for both the macro and any trait-bound
+//! position. No actual serialization is performed anywhere in the
+//! workspace; JSON output is hand-rolled (see
+//! `sprint_core::ExperimentResult::to_json`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`'s name; never implemented
+/// by the no-op derive and never required by workspace code.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}

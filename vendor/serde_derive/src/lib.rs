@@ -1,0 +1,20 @@
+//! No-op replacements for serde's derive macros.
+//!
+//! The build environment has no network access, so the workspace
+//! vendors a serialization-free stand-in: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` parse (including `#[serde(...)]` field and
+//! container attributes, registered as helper attributes) but expand to
+//! nothing. Swap the `serde`/`serde_derive` entries in the workspace
+//! manifest for the real crates to get actual serialization.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,11 +1,19 @@
 //! Dense, pruned and quantized self-attention (§II-A, §VI).
+//!
+//! These are the *fused* kernels: scores come from a cache-blocked
+//! `Q × Kᵀ` ([`Matrix::matmul_transposed`]) written once per row,
+//! softmax runs in place on matrix rows, and the post-prune `A × V`
+//! product iterates only the kept indices of each [`PruneDecision`] —
+//! the software mirror of the paper's "on-chip recomputation of the
+//! surviving scores". Per-query staging lives in a reusable
+//! [`Workspace`]; the naive originals survive in [`crate::reference`]
+//! as the property-test oracle and bench baseline.
 
 use serde::{Deserialize, Serialize};
 
-use crate::matrix::dot;
+use crate::matrix::matmul_transposed_scaled_into;
 use crate::{
-    quantize_matrix, softmax_exact, softmax_masked, AttentionError, Matrix, PruneDecision,
-    SoftmaxLut,
+    quantize_matrix, softmax_inplace, AttentionError, Matrix, PruneDecision, SoftmaxLut, Workspace,
 };
 
 /// The "sufficiently large negative value" placed in padded positions
@@ -135,7 +143,7 @@ pub struct AttentionOutput {
     pub output: Matrix,
 }
 
-fn check_shapes(q: &Matrix, k: &Matrix, v: &Matrix) -> Result<(), AttentionError> {
+pub(crate) fn check_shapes(q: &Matrix, k: &Matrix, v: &Matrix) -> Result<(), AttentionError> {
     if q.cols() != k.cols() {
         return Err(AttentionError::ShapeMismatch {
             op: "attention q/k embedding",
@@ -153,6 +161,81 @@ fn check_shapes(q: &Matrix, k: &Matrix, v: &Matrix) -> Result<(), AttentionError
     Ok(())
 }
 
+/// The padding mask, when given, must cover exactly the key sequence.
+pub(crate) fn validate_padding(
+    k: &Matrix,
+    padding: Option<&PaddingMask>,
+) -> Result<(), AttentionError> {
+    if let Some(p) = padding {
+        if p.total() != k.rows() {
+            return Err(AttentionError::ShapeMismatch {
+                op: "padding mask",
+                left: (p.total(), 1),
+                right: (k.rows(), 1),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A decision slice, when given, must contain one decision of length
+/// `s_k` per query.
+pub(crate) fn validate_decisions(
+    s_q: usize,
+    s_k: usize,
+    decisions: Option<&[PruneDecision]>,
+) -> Result<(), AttentionError> {
+    if let Some(ds) = decisions {
+        if ds.len() != s_q {
+            return Err(AttentionError::ShapeMismatch {
+                op: "pruning decisions per query",
+                left: (ds.len(), 1),
+                right: (s_q, 1),
+            });
+        }
+        if let Some(d) = ds.iter().find(|d| d.len() != s_k) {
+            return Err(AttentionError::ShapeMismatch {
+                op: "pruning decision length",
+                left: (d.len(), 1),
+                right: (s_k, 1),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Whether query `i` is a live (non-padded) query.
+///
+/// The padding mask describes the *key* sequence; queries share it in
+/// the self-attention case (`s_q == s_k`). A query index beyond the
+/// mask — possible only in cross-shaped calls where `s_q > s_k` — is
+/// not covered by the mask and therefore live. (The seed implementation
+/// clamped the query index against the key mask length, silently
+/// marking trailing queries live or dead by whatever the last key's
+/// state happened to be.)
+pub(crate) fn query_is_live(i: usize, padding: Option<&PaddingMask>) -> bool {
+    padding.map_or(true, |p| i >= p.total() || p.is_live(i))
+}
+
+/// `out += a * x` over equal-length rows (the sparse AV inner step).
+/// The d = 64 case (every studied model) takes a fixed-size path so the
+/// loop fully unrolls with no bounds checks.
+#[inline]
+fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
+    if let (Ok(o), Ok(xv)) = (
+        <&mut [f32; 64]>::try_from(&mut *out),
+        <&[f32; 64]>::try_from(x),
+    ) {
+        for t in 0..64 {
+            o[t] += a * xv[t];
+        }
+        return;
+    }
+    for (o, &xv) in out.iter_mut().zip(x) {
+        *o += a * xv;
+    }
+}
+
 /// Reference dense self-attention in `f32`:
 /// `softmax(scale · Q Kᵀ) × V`.
 ///
@@ -166,20 +249,43 @@ pub fn dense_attention(
     v: &Matrix,
     cfg: &AttentionConfig,
 ) -> Result<AttentionOutput, AttentionError> {
+    dense_attention_with(q, k, v, cfg, &mut Workspace::new())
+}
+
+/// [`dense_attention`] with a caller-provided [`Workspace`]: output
+/// matrices come from the workspace's buffer pool (see
+/// [`Workspace::recycle`]), the register-blocked `Q × Kᵀ` pass writes
+/// the scores once, and the softmax runs in place on each
+/// probability-matrix row.
+///
+/// # Errors
+///
+/// Same shape errors as [`dense_attention`].
+pub fn dense_attention_with(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    cfg: &AttentionConfig,
+    ws: &mut Workspace,
+) -> Result<AttentionOutput, AttentionError> {
     check_shapes(q, k, v)?;
     let (s_q, s_k) = (q.rows(), k.rows());
-    let mut scores = Matrix::zeros(s_q, s_k)?;
+    let d_v = v.cols();
+    let mut scores = ws.zeroed_matrix(s_q, s_k)?;
+    matmul_transposed_scaled_into(q, k, cfg.scale(), 0..s_q, 0..s_k, &mut scores);
+    let mut probs = ws.zeroed_matrix(s_q, s_k)?;
+    let mut output = ws.zeroed_matrix(s_q, d_v)?;
     for i in 0..s_q {
-        for j in 0..s_k {
-            scores.set(i, j, cfg.scale() * dot(q.row(i), k.row(j)));
+        let prow = probs.row_mut(i);
+        prow.copy_from_slice(scores.row(i));
+        softmax_inplace(prow);
+        let orow = output.row_mut(i);
+        for (&p, v_row) in prow.iter().zip(v.as_slice().chunks_exact(d_v)) {
+            if p != 0.0 {
+                axpy(orow, p, v_row);
+            }
         }
     }
-    let mut probs = Matrix::zeros(s_q, s_k)?;
-    for i in 0..s_q {
-        let p = softmax_exact(scores.row(i));
-        probs.row_mut(i).copy_from_slice(&p);
-    }
-    let output = probs.matmul(v)?;
     Ok(AttentionOutput {
         scores,
         probs,
@@ -207,60 +313,105 @@ pub fn pruned_attention(
     threshold: f32,
     padding: Option<&PaddingMask>,
 ) -> Result<(AttentionOutput, Vec<PruneDecision>), AttentionError> {
+    pruned_attention_with(q, k, v, cfg, threshold, padding, &mut Workspace::new())
+}
+
+/// [`pruned_attention`] with a caller-provided [`Workspace`].
+///
+/// The fused flow per live query row: the blocked `Q × Kᵀ` pass has
+/// already written the raw scores for the live region, the keep mask is
+/// built in the workspace, pruned entries are masked to `-inf` in the
+/// scores row, the masked softmax runs in place on the probability row,
+/// and the value product accumulates **only the kept indices** — work
+/// in the AV stage scales with the keep rate, the software counterpart
+/// of SPRINT recomputing only the ~O(10%) surviving scores on chip.
+///
+/// # Errors
+///
+/// Same errors as [`pruned_attention`].
+pub fn pruned_attention_with(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    cfg: &AttentionConfig,
+    threshold: f32,
+    padding: Option<&PaddingMask>,
+    ws: &mut Workspace,
+) -> Result<(AttentionOutput, Vec<PruneDecision>), AttentionError> {
     check_shapes(q, k, v)?;
-    if let Some(p) = padding {
-        if p.total() != k.rows() {
-            return Err(AttentionError::ShapeMismatch {
-                op: "padding mask",
-                left: (p.total(), 1),
-                right: (k.rows(), 1),
-            });
+    validate_padding(k, padding)?;
+    let (s_q, s_k) = (q.rows(), k.rows());
+    let live_k = padding.map_or(s_k, |p| p.live());
+    let mut scores = ws.zeroed_matrix(s_q, s_k)?;
+    // Blocked Q·Kᵀ over the live region only; padded rows/columns are
+    // masked below without ever computing their dot products.
+    match padding {
+        None => matmul_transposed_scaled_into(q, k, cfg.scale(), 0..s_q, 0..s_k, &mut scores),
+        Some(p) => {
+            let live_q = p.live().min(s_q);
+            matmul_transposed_scaled_into(q, k, cfg.scale(), 0..live_q, 0..live_k, &mut scores);
+            if s_q > p.total() {
+                // Queries beyond the key mask are live (see
+                // `query_is_live`).
+                matmul_transposed_scaled_into(
+                    q,
+                    k,
+                    cfg.scale(),
+                    p.total()..s_q,
+                    0..live_k,
+                    &mut scores,
+                );
+            }
         }
     }
-    let (s_q, s_k) = (q.rows(), k.rows());
-    let mut scores = Matrix::zeros(s_q, s_k)?;
-    let mut probs = Matrix::zeros(s_q, s_k)?;
+    let mut probs = ws.zeroed_matrix(s_q, s_k)?;
+    let d_v = v.cols();
+    let mut output = ws.zeroed_matrix(s_q, d_v)?;
     let mut decisions = Vec::with_capacity(s_q);
     for i in 0..s_q {
-        let query_live = padding.map_or(true, |p| p.is_live(i.min(p.total() - 1)));
-        if !query_live {
-            // Padded query: everything pruned, zero output row.
-            for j in 0..s_k {
-                scores.set(i, j, f32::NEG_INFINITY);
-            }
+        if !query_is_live(i, padding) {
+            // Padded query: everything pruned, zero prob/output rows.
+            scores.row_mut(i).fill(f32::NEG_INFINITY);
             decisions.push(PruneDecision::new(vec![true; s_k]));
             continue;
         }
-        let mut row_scores = vec![0.0f32; s_k];
-        for (j, rs) in row_scores.iter_mut().enumerate() {
-            let key_live = padding.map_or(true, |p| p.is_live(j));
-            *rs = if key_live {
-                cfg.scale() * dot(q.row(i), k.row(j))
-            } else {
-                MASK_NEG
-            };
+        // One fused pass over the live keys: the pruned flag (Eq. 3,
+        // `s < th` mirroring `PruneDecision::from_scores`), the -inf
+        // masking of the scores row, and the staging of the masked row
+        // as the probability row — all branchless selects. Padded keys
+        // (always pruned) are handled by the `true`-initialized flag
+        // tail and a fill. The flag vector becomes the returned
+        // decision — the only per-query allocation left on this path.
+        let srow = scores.row_mut(i);
+        let prow = probs.row_mut(i);
+        let mut flags = vec![true; s_k];
+        for ((flag, s), p) in flags[..live_k]
+            .iter_mut()
+            .zip(&mut srow[..live_k])
+            .zip(&mut prow[..live_k])
+        {
+            let pruned = *s < threshold;
+            *flag = pruned;
+            let masked = if pruned { f32::NEG_INFINITY } else { *s };
+            *s = masked;
+            *p = masked;
         }
-        let mut decision = PruneDecision::from_scores(&row_scores, threshold);
-        if let Some(p) = padding {
-            decision.apply_padding(p.live());
+        srow[live_k..].fill(f32::NEG_INFINITY);
+        // Padded keys get exactly zero probability; the exact softmax
+        // runs in place over the live prefix only (-inf pruned entries
+        // get zero — the masked softmax).
+        prow[live_k..].fill(0.0);
+        softmax_inplace(&mut prow[..live_k]);
+        // Sparse AV: only surviving (live, kept) keys contribute to the
+        // output row — the work here scales with the keep rate.
+        let orow = output.row_mut(i);
+        for (&p, v_row) in prow[..live_k].iter().zip(v.as_slice().chunks_exact(d_v)) {
+            if p != 0.0 {
+                axpy(orow, p, v_row);
+            }
         }
-        for (j, s) in row_scores.iter().enumerate() {
-            scores.set(
-                i,
-                j,
-                if decision.is_pruned(j) {
-                    f32::NEG_INFINITY
-                } else {
-                    *s
-                },
-            );
-        }
-        let keep: Vec<bool> = (0..s_k).map(|j| decision.is_kept(j)).collect();
-        let p = softmax_masked(&row_scores, &keep)?;
-        probs.row_mut(i).copy_from_slice(&p);
-        decisions.push(decision);
+        decisions.push(PruneDecision::new(flags));
     }
-    let output = probs.matmul(v)?;
     Ok((
         AttentionOutput {
             scores,
@@ -303,24 +454,32 @@ pub fn quantized_attention(
     cfg: &AttentionConfig,
     decisions: Option<&[PruneDecision]>,
 ) -> Result<QuantizedAttentionOutput, AttentionError> {
+    quantized_attention_with(q, k, v, cfg, decisions, &mut Workspace::new())
+}
+
+/// [`quantized_attention`] with a caller-provided [`Workspace`].
+///
+/// Fused like the float path: integer score rows are written once,
+/// probabilities go straight into the probability matrix via
+/// [`SoftmaxLut::probabilities_into`], and the V-PU accumulates each
+/// output row in the workspace's integer accumulator — probabilities
+/// are encoded once per key instead of once per key *per output
+/// column*, and pruned keys are skipped entirely.
+///
+/// # Errors
+///
+/// Same errors as [`quantized_attention`].
+pub fn quantized_attention_with(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    cfg: &AttentionConfig,
+    decisions: Option<&[PruneDecision]>,
+    ws: &mut Workspace,
+) -> Result<QuantizedAttentionOutput, AttentionError> {
     check_shapes(q, k, v)?;
     let (s_q, s_k) = (q.rows(), k.rows());
-    if let Some(ds) = decisions {
-        if ds.len() != s_q {
-            return Err(AttentionError::ShapeMismatch {
-                op: "pruning decisions per query",
-                left: (ds.len(), 1),
-                right: (s_q, 1),
-            });
-        }
-        if let Some(d) = ds.iter().find(|d| d.len() != s_k) {
-            return Err(AttentionError::ShapeMismatch {
-                op: "pruning decision length",
-                left: (d.len(), 1),
-                right: (s_k, 1),
-            });
-        }
-    }
+    validate_decisions(s_q, s_k, decisions)?;
 
     // 8-bit quantization of the operand matrices (per-tensor symmetric).
     let qq = quantize_matrix(q, 8)?;
@@ -328,22 +487,18 @@ pub fn quantized_attention(
     let qv = quantize_matrix(v, 8)?;
     let score_lsb = qq.params().step() * qk.params().step() * cfg.scale();
 
-    let mut scores = Matrix::zeros(s_q, s_k)?;
+    let mut scores = ws.zeroed_matrix(s_q, s_k)?;
     for i in 0..s_q {
-        for j in 0..s_k {
+        let q_codes = qq.code_row(i);
+        let srow = scores.row_mut(i);
+        for (j, slot) in srow.iter_mut().enumerate() {
             let kept = decisions.map_or(true, |ds| ds[i].is_kept(j));
-            if !kept {
-                scores.set(i, j, f32::NEG_INFINITY);
-                continue;
-            }
-            // Integer MAC: i8 x i8 accumulated in i32 (the QK-PU).
-            let acc: i32 = qq
-                .code_row(i)
-                .iter()
-                .zip(qk.code_row(j))
-                .map(|(&a, &b)| a * b)
-                .sum();
-            scores.set(i, j, acc as f32 * score_lsb);
+            *slot = if kept {
+                // Integer MAC: i8 x i8 accumulated in i32 (the QK-PU).
+                idot(q_codes, qk.code_row(j)) as f32 * score_lsb
+            } else {
+                f32::NEG_INFINITY
+            };
         }
     }
 
@@ -363,28 +518,33 @@ pub fn quantized_attention(
         }
     }
     let unit = SoftmaxLut::new(max_offset.max(1e-3))?;
-    let mut probs = Matrix::zeros(s_q, s_k)?;
+    let mut probs = ws.zeroed_matrix(s_q, s_k)?;
     for i in 0..s_q {
-        let p = unit.probabilities(scores.row(i))?;
-        probs.row_mut(i).copy_from_slice(&p);
+        unit.probabilities_into(scores.row(i), probs.row_mut(i))?;
     }
 
-    // V-PU: 8-bit probabilities x 8-bit values, 16-bit accumulation.
+    // V-PU: 8-bit probabilities x 8-bit values, accumulated per output
+    // row in i32 and clamped to 16 bits at the end (same arithmetic as
+    // the per-element form, one probability encode per key).
+    let d_v = v.cols();
     let out_lsb = qv.params().step() / 255.0;
-    let mut output = Matrix::zeros(s_q, v.cols())?;
+    let mut output = ws.zeroed_matrix(s_q, d_v)?;
+    let acc = ws.acc_row(d_v);
     for i in 0..s_q {
-        for c in 0..v.cols() {
-            let mut acc: i32 = 0;
-            for j in 0..s_k {
-                let p_code = (probs.get(i, j) * 255.0).round() as i32;
-                if p_code == 0 {
-                    continue;
-                }
-                acc += p_code * qv.code(j, c);
+        acc.fill(0);
+        for (j, &p) in probs.row(i).iter().enumerate() {
+            let p_code = (p * 255.0).round() as i32;
+            if p_code == 0 {
+                continue;
             }
+            for (a, &vc) in acc.iter_mut().zip(qv.code_row(j)) {
+                *a += p_code * vc;
+            }
+        }
+        for (slot, &a) in output.row_mut(i).iter_mut().zip(acc.iter()) {
             // Final attention value kept in 16 bits.
-            let acc16 = acc.clamp(i32::from(i16::MIN), i32::from(i16::MAX));
-            output.set(i, c, acc16 as f32 * out_lsb);
+            let acc16 = a.clamp(i32::from(i16::MIN), i32::from(i16::MAX));
+            *slot = acc16 as f32 * out_lsb;
         }
     }
 
@@ -393,6 +553,12 @@ pub fn quantized_attention(
         probs,
         output,
     })
+}
+
+/// Integer dot product (the QK-PU's i8 × i8 → i32 MAC chain).
+#[inline]
+fn idot(a: &[i32], b: &[i32]) -> i32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
 #[cfg(test)]
@@ -510,6 +676,55 @@ mod tests {
         // Query 2 is padding: fully pruned, zero output row.
         assert_eq!(decisions[2].kept_count(), 0);
         assert!(out.output.row(2).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pruned_attention_queries_beyond_key_mask_are_live() {
+        // Regression: with s_q > s_k the query index used to be clamped
+        // against the *key* mask length, so trailing queries inherited
+        // the last key's padding state. Queries beyond the mask are not
+        // covered by it and must be treated as live.
+        let q = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.5, 0.5, 0.0, 0.0],
+            vec![1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let k = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let v = k.clone();
+        let cfg = AttentionConfig::new(4);
+        let pad = PaddingMask::new(3, 2).unwrap();
+        let (out, decisions) = pruned_attention(&q, &k, &v, &cfg, -1e30, Some(&pad)).unwrap();
+        // Queries 3 and 4 sit beyond the 3-token key mask: live, with
+        // only the padded key pruned.
+        for (i, d) in decisions.iter().enumerate().take(5).skip(3) {
+            assert_eq!(d.kept_indices(), vec![0, 1], "query {i}");
+            let sum: f32 = out.probs.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "query {i} row sums to {sum}");
+        }
+        // Queries inside the mask still follow it exactly.
+        assert!(decisions[1].kept_count() > 0);
+        assert_eq!(decisions[2].kept_count(), 0, "query 2 is padded");
+        assert!(out.output.row(2).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn fused_variants_share_a_workspace() {
+        let (q, k, v) = small_qkv();
+        let cfg = AttentionConfig::new(4);
+        let mut ws = Workspace::with_capacity(3, 4);
+        let dense = dense_attention_with(&q, &k, &v, &cfg, &mut ws).unwrap();
+        let (pruned, _) = pruned_attention_with(&q, &k, &v, &cfg, -1e30, None, &mut ws).unwrap();
+        let hw = quantized_attention_with(&q, &k, &v, &cfg, None, &mut ws).unwrap();
+        assert_eq!(dense.probs, pruned.probs, "unpruned path is dense");
+        assert_eq!(hw.output.shape(), (3, 4));
     }
 
     #[test]

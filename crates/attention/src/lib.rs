@@ -30,15 +30,21 @@ mod fixed;
 mod matrix;
 mod metrics;
 mod pruning;
+pub mod reference;
 mod softmax;
+mod workspace;
 
 pub use attention::{
-    dense_attention, pruned_attention, quantized_attention, AttentionConfig, AttentionOutput,
-    PaddingMask, QuantizedAttentionOutput, MASK_NEG,
+    dense_attention, dense_attention_with, pruned_attention, pruned_attention_with,
+    quantized_attention, quantized_attention_with, AttentionConfig, AttentionOutput, PaddingMask,
+    QuantizedAttentionOutput, MASK_NEG,
 };
 pub use error::AttentionError;
 pub use fixed::{dequantize, quantize_matrix, quantize_value, QuantParams, QuantizedMatrix};
 pub use matrix::Matrix;
 pub use metrics::{kl_divergence, mean_abs_error, prune_set_overlap, top1_agreement};
 pub use pruning::{calibrate_threshold, pruning_stats, PruneDecision, PruningStats, ThresholdSet};
-pub use softmax::{softmax_exact, softmax_masked, SoftmaxLut};
+pub use softmax::{
+    softmax_exact, softmax_inplace, softmax_masked, softmax_masked_inplace, SoftmaxLut,
+};
+pub use workspace::Workspace;

@@ -27,17 +27,79 @@ use crate::AttentionError;
 /// assert_eq!(p[2], 0.0);
 /// ```
 pub fn softmax_exact(scores: &[f32]) -> Vec<f32> {
-    if scores.is_empty() {
-        return Vec::new();
+    let mut out = scores.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// Numerically-stable exact softmax computed in place, with no
+/// allocation.
+///
+/// Entries equal to `f32::NEG_INFINITY` (pruned or masked positions)
+/// become exactly zero; a row that is entirely `-inf` becomes all-zero
+/// (the convention of [`softmax_exact`]). This is the fused-kernel
+/// primitive: the caller supplies the row (typically a matrix row) and
+/// it is overwritten with the probabilities.
+///
+/// # Example
+///
+/// ```
+/// use sprint_attention::softmax_inplace;
+///
+/// let mut row = [1.0, 1.0, f32::NEG_INFINITY];
+/// softmax_inplace(&mut row);
+/// assert!((row[0] - 0.5).abs() < 1e-6);
+/// assert_eq!(row[2], 0.0);
+/// ```
+pub fn softmax_inplace(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
     }
-    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     if max == f32::NEG_INFINITY {
         // Every position masked: define the output as all-zero.
-        return vec![0.0; scores.len()];
+        row.fill(0.0);
+        return;
     }
-    let exps: Vec<f32> = scores.iter().map(|&s| (s - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    let mut sum = 0.0f32;
+    for s in row.iter_mut() {
+        let e = if *s == f32::NEG_INFINITY {
+            0.0
+        } else {
+            (*s - max).exp()
+        };
+        *s = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for s in row.iter_mut() {
+        *s *= inv;
+    }
+}
+
+/// Exact masked softmax computed in place: positions where `keep[i]` is
+/// `false` get exactly zero probability, the rest are renormalized over
+/// the kept set. Allocation-free counterpart of [`softmax_masked`].
+///
+/// # Errors
+///
+/// Returns [`AttentionError::ShapeMismatch`] if the mask length differs
+/// from the row length.
+pub fn softmax_masked_inplace(row: &mut [f32], keep: &[bool]) -> Result<(), AttentionError> {
+    if row.len() != keep.len() {
+        return Err(AttentionError::ShapeMismatch {
+            op: "softmax_masked",
+            left: (row.len(), 1),
+            right: (keep.len(), 1),
+        });
+    }
+    for (s, &k) in row.iter_mut().zip(keep) {
+        if !k {
+            *s = f32::NEG_INFINITY;
+        }
+    }
+    softmax_inplace(row);
+    Ok(())
 }
 
 /// Exact softmax with a boolean keep-mask.
@@ -58,12 +120,9 @@ pub fn softmax_masked(scores: &[f32], keep: &[bool]) -> Result<Vec<f32>, Attenti
             right: (keep.len(), 1),
         });
     }
-    let masked: Vec<f32> = scores
-        .iter()
-        .zip(keep)
-        .map(|(&s, &k)| if k { s } else { f32::NEG_INFINITY })
-        .collect();
-    Ok(softmax_exact(&masked))
+    let mut out = scores.to_vec();
+    softmax_masked_inplace(&mut out, keep)?;
+    Ok(out)
 }
 
 /// The SPRINT hardware softmax unit: 12-bit inputs, two 64-entry
@@ -168,32 +227,57 @@ impl SoftmaxLut {
     ///
     /// Returns [`AttentionError::EmptyInput`] for an empty score row.
     pub fn probabilities(&self, scores: &[f32]) -> Result<Vec<f32>, AttentionError> {
+        let mut out = vec![0.0; scores.len()];
+        self.probabilities_into(scores, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`SoftmaxLut::probabilities`]: writes the 8-bit
+    /// probabilities into `out` (typically a probability-matrix row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::EmptyInput`] for an empty score row and
+    /// [`AttentionError::ShapeMismatch`] if `out` has a different length.
+    pub fn probabilities_into(
+        &self,
+        scores: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), AttentionError> {
         if scores.is_empty() {
             return Err(AttentionError::EmptyInput("softmax scores"));
         }
+        if scores.len() != out.len() {
+            return Err(AttentionError::ShapeMismatch {
+                op: "softmax probabilities",
+                left: (scores.len(), 1),
+                right: (out.len(), 1),
+            });
+        }
         let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         if max == f32::NEG_INFINITY {
-            return Ok(vec![0.0; scores.len()]);
+            out.fill(0.0);
+            return Ok(());
         }
-        let exps: Vec<f32> = scores
-            .iter()
-            .map(|&s| {
-                if s == f32::NEG_INFINITY {
-                    0.0
-                } else {
-                    self.exp_neg(max - s)
-                }
-            })
-            .collect();
-        let sum: f32 = exps.iter().sum();
+        let mut sum = 0.0f32;
+        for (slot, &s) in out.iter_mut().zip(scores) {
+            let e = if s == f32::NEG_INFINITY {
+                0.0
+            } else {
+                self.exp_neg(max - s)
+            };
+            *slot = e;
+            sum += e;
+        }
         if sum == 0.0 {
-            return Ok(vec![0.0; scores.len()]);
+            out.fill(0.0);
+            return Ok(());
         }
         // The divider output is an 8-bit probability.
-        Ok(exps
-            .into_iter()
-            .map(|e| ((e / sum) * 255.0).round() / 255.0)
-            .collect())
+        for slot in out.iter_mut() {
+            *slot = (*slot / sum * 255.0).round() / 255.0;
+        }
+        Ok(())
     }
 }
 
@@ -239,6 +323,43 @@ mod tests {
     #[test]
     fn masked_softmax_checks_lengths() {
         assert!(softmax_masked(&[1.0], &[true, false]).is_err());
+        assert!(softmax_masked_inplace(&mut [1.0], &[true, false]).is_err());
+    }
+
+    #[test]
+    fn inplace_softmax_matches_exact() {
+        let scores = [0.3f32, -1.2, 2.5, f32::NEG_INFINITY, 0.0];
+        let reference = softmax_exact(&scores);
+        let mut row = scores;
+        softmax_inplace(&mut row);
+        for (a, b) in row.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-7);
+        }
+        let mut empty: [f32; 0] = [];
+        softmax_inplace(&mut empty);
+    }
+
+    #[test]
+    fn masked_inplace_matches_masked() {
+        let scores = [1.0f32, 2.0, 3.0, 4.0];
+        let keep = [true, false, true, false];
+        let reference = softmax_masked(&scores, &keep).unwrap();
+        let mut row = scores;
+        softmax_masked_inplace(&mut row, &keep).unwrap();
+        assert_eq!(row.to_vec(), reference);
+        assert_eq!(row[1], 0.0);
+    }
+
+    #[test]
+    fn lut_probabilities_into_matches_allocating_variant() {
+        let unit = SoftmaxLut::new(16.0).unwrap();
+        let scores = [1.5, 0.2, f32::NEG_INFINITY, 3.0];
+        let reference = unit.probabilities(&scores).unwrap();
+        let mut out = [0.0f32; 4];
+        unit.probabilities_into(&scores, &mut out).unwrap();
+        assert_eq!(out.to_vec(), reference);
+        let mut wrong = [0.0f32; 3];
+        assert!(unit.probabilities_into(&scores, &mut wrong).is_err());
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Reusable scratch buffers for the fused attention kernels.
+
+/// Per-pipeline scratch for the fused attention kernels: a probability
+/// staging row, an integer accumulator row, and a pool of recyclable
+/// matrix buffers, all grown on demand and reused across calls.
+///
+/// The fused kernels write scores and probabilities directly into
+/// their output matrices, so the only per-query heap traffic left is
+/// what a kernel genuinely returns (the [`crate::PruneDecision`]
+/// vectors). A single `Workspace` threaded through a pipeline of
+/// [`crate::dense_attention_with`] / [`crate::pruned_attention_with`] /
+/// [`crate::quantized_attention_with`] calls supplies their output
+/// matrices from the buffer pool and stages the quantized V-PU's
+/// accumulation; [`Workspace::prob_row`] is a caller-side staging row
+/// (the system pipeline's no-recompute softmax uses it).
+///
+/// # Example
+///
+/// ```
+/// use sprint_attention::{pruned_attention_with, AttentionConfig, Matrix, Workspace};
+///
+/// # fn main() -> Result<(), sprint_attention::AttentionError> {
+/// let q = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]])?;
+/// let mut ws = Workspace::new();
+/// // The same workspace serves any number of heads/layers:
+/// for _ in 0..3 {
+///     let (_out, _dec) =
+///         pruned_attention_with(&q, &q, &q, &AttentionConfig::new(2), 0.0, None, &mut ws)?;
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    prob_row: Vec<f32>,
+    acc_row: Vec<i32>,
+    pool: Vec<Vec<f32>>,
+}
+
+/// Recycled matrix buffers kept per workspace. Three per kernel call
+/// (scores, probs, output) plus headroom for a second head size.
+const POOL_CAP: usize = 8;
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Creates a workspace pre-sized for `s_k` keys and `d_v` value
+    /// columns, so the first call allocates nothing beyond its output
+    /// matrices.
+    pub fn with_capacity(s_k: usize, d_v: usize) -> Self {
+        Workspace {
+            prob_row: vec![0.0; s_k],
+            acc_row: vec![0; d_v],
+            pool: Vec::new(),
+        }
+    }
+
+    /// Returns a matrix's backing buffer to the workspace pool, so the
+    /// next kernel call reuses warm memory instead of paying a fresh
+    /// allocation (and its page faults). Recycling is optional — the
+    /// kernels work identically without it — but a steady-state loop
+    /// over heads that recycles its finished outputs runs with zero
+    /// heap traffic in the float kernels.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sprint_attention::{dense_attention_with, AttentionConfig, Matrix, Workspace};
+    ///
+    /// # fn main() -> Result<(), sprint_attention::AttentionError> {
+    /// let q = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]])?;
+    /// let mut ws = Workspace::new();
+    /// for _ in 0..10 {
+    ///     let out = dense_attention_with(&q, &q, &q, &AttentionConfig::new(2), &mut ws)?;
+    ///     // ... use out ...
+    ///     ws.recycle(out.scores);
+    ///     ws.recycle(out.probs);
+    ///     ws.recycle(out.output);
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn recycle(&mut self, m: crate::Matrix) {
+        if self.pool.len() < POOL_CAP {
+            self.pool.push(m.into_vec());
+        }
+    }
+
+    /// An all-zero `rows × cols` matrix, backed by a pooled buffer when
+    /// one with enough capacity is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AttentionError::InvalidDimension`] for zero
+    /// dimensions (as [`crate::Matrix::zeros`] does).
+    pub(crate) fn zeroed_matrix(
+        &mut self,
+        rows: usize,
+        cols: usize,
+    ) -> Result<crate::Matrix, crate::AttentionError> {
+        let n = rows * cols;
+        // On a miss, allocate fresh rather than consuming (and
+        // reallocating) a pooled buffer that is too small — mixed-size
+        // pipelines keep their small-buffer slots.
+        let mut buf = match self.pool.iter().position(|b| b.capacity() >= n) {
+            Some(i) => self.pool.swap_remove(i),
+            None => Vec::new(),
+        };
+        buf.clear();
+        buf.resize(n, 0.0);
+        crate::Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// A zeroed probability staging row of length `n`.
+    pub fn prob_row(&mut self, n: usize) -> &mut [f32] {
+        self.prob_row.clear();
+        self.prob_row.resize(n, 0.0);
+        &mut self.prob_row
+    }
+
+    /// A zeroed integer accumulator row of length `n` (the quantized
+    /// V-PU's 16-bit-bounded accumulation lives here before clamping).
+    pub fn acc_row(&mut self, n: usize) -> &mut [i32] {
+        self.acc_row.clear();
+        self.acc_row.resize(n, 0);
+        &mut self.acc_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_zeroed_between_uses() {
+        let mut ws = Workspace::new();
+        ws.prob_row(4)[2] = 7.0;
+        assert_eq!(ws.prob_row(4), &[0.0; 4]);
+        ws.acc_row(2)[1] = 5;
+        assert_eq!(ws.acc_row(2), &[0; 2]);
+    }
+
+    #[test]
+    fn recycled_buffers_come_back_zeroed() {
+        let mut ws = Workspace::new();
+        let mut m = ws.zeroed_matrix(4, 4).unwrap();
+        m.row_mut(2).fill(7.0);
+        ws.recycle(m);
+        let again = ws.zeroed_matrix(4, 4).unwrap();
+        assert!(again.as_slice().iter().all(|&x| x == 0.0));
+        // A smaller request reuses the same capacity.
+        let small = ws.zeroed_matrix(2, 2).unwrap();
+        assert_eq!(small.shape(), (2, 2));
+        assert!(small.as_slice().iter().all(|&x| x == 0.0));
+        assert!(ws.zeroed_matrix(0, 3).is_err());
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut ws = Workspace::new();
+        for _ in 0..20 {
+            ws.recycle(crate::Matrix::zeros(2, 2).unwrap());
+        }
+        assert!(ws.pool.len() <= super::POOL_CAP);
+    }
+
+    #[test]
+    fn rows_resize_on_demand() {
+        let mut ws = Workspace::with_capacity(2, 2);
+        assert_eq!(ws.prob_row(5).len(), 5);
+        assert_eq!(ws.prob_row(1).len(), 1);
+        assert_eq!(ws.acc_row(3).len(), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests: the fused attention kernels must match the naive
+//! reference implementations (ISSUE 2 satellite).
+//!
+//! Every fused kernel is compared against its counterpart in
+//! `sprint_attention::reference` on random Q/K/V across sizes,
+//! thresholds and padding splits, including the `threshold = -inf`
+//! case where the pruned path must reduce to dense attention exactly.
+
+use proptest::prelude::*;
+use sprint_attention::reference::{
+    dense_attention_naive, pruned_attention_naive, quantized_attention_naive,
+};
+use sprint_attention::{
+    dense_attention, pruned_attention, quantized_attention, AttentionConfig, Matrix, PaddingMask,
+    PruneDecision, Workspace,
+};
+
+/// Deterministic pseudo-random matrix from a seed (splitmix-style).
+fn random_matrix(rows: usize, cols: usize, seed: u64, amp: f32) -> Matrix {
+    let mut x = seed
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(0x2545f4914f6cdd1d);
+    let mut next = move || {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51afd7ed558ccd);
+        x ^= x >> 29;
+        amp * (((x >> 40) as f32 / 16777216.0) - 0.5)
+    };
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what} shapes");
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            let (x, y) = (a.get(r, c), b.get(r, c));
+            if x == f32::NEG_INFINITY || y == f32::NEG_INFINITY {
+                assert_eq!(x, y, "{what} at ({r},{c}): {x} vs {y}");
+            } else {
+                assert!(
+                    (x - y).abs() < tol,
+                    "{what} diverges at ({r},{c}): {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_dense_fused_matches_naive(
+        s_q in 1usize..24,
+        s_k in 1usize..24,
+        d in 1usize..20,
+        seed in 0u64..400,
+    ) {
+        let q = random_matrix(s_q, d, seed, 2.0);
+        let k = random_matrix(s_k, d, seed ^ 1, 2.0);
+        let v = random_matrix(s_k, d, seed ^ 2, 1.0);
+        let cfg = AttentionConfig::new(d);
+        let fused = dense_attention(&q, &k, &v, &cfg).unwrap();
+        let naive = dense_attention_naive(&q, &k, &v, &cfg).unwrap();
+        assert_close(&fused.scores, &naive.scores, 1e-5, "dense scores");
+        assert_close(&fused.probs, &naive.probs, 1e-5, "dense probs");
+        assert_close(&fused.output, &naive.output, 1e-5, "dense output");
+    }
+
+    #[test]
+    fn prop_pruned_fused_matches_naive(
+        s in 2usize..24,
+        d in 1usize..20,
+        threshold in -2.0f32..2.0,
+        pad in 0usize..8,
+        seed in 0u64..400,
+    ) {
+        let q = random_matrix(s, d, seed, 2.0);
+        let k = random_matrix(s, d, seed ^ 1, 2.0);
+        let v = random_matrix(s, d, seed ^ 2, 1.0);
+        let cfg = AttentionConfig::new(d);
+        let live = s - pad.min(s - 1);
+        let mask = PaddingMask::new(s, live).unwrap();
+        let (fused, fd) = pruned_attention(&q, &k, &v, &cfg, threshold, Some(&mask)).unwrap();
+        let (naive, nd) = pruned_attention_naive(&q, &k, &v, &cfg, threshold, Some(&mask)).unwrap();
+        prop_assert_eq!(fd, nd, "decisions must be identical");
+        assert_close(&fused.scores, &naive.scores, 1e-5, "pruned scores");
+        assert_close(&fused.probs, &naive.probs, 1e-5, "pruned probs");
+        assert_close(&fused.output, &naive.output, 1e-5, "pruned output");
+    }
+
+    #[test]
+    fn prop_pruned_at_neg_inf_threshold_equals_dense(
+        s in 1usize..20,
+        d in 1usize..16,
+        seed in 0u64..400,
+    ) {
+        let q = random_matrix(s, d, seed, 2.0);
+        let k = random_matrix(s, d, seed ^ 1, 2.0);
+        let v = random_matrix(s, d, seed ^ 2, 1.0);
+        let cfg = AttentionConfig::new(d);
+        let dense = dense_attention(&q, &k, &v, &cfg).unwrap();
+        let (pruned, decisions) =
+            pruned_attention(&q, &k, &v, &cfg, f32::NEG_INFINITY, None).unwrap();
+        for dec in &decisions {
+            prop_assert_eq!(dec.kept_count(), s, "nothing pruned at -inf threshold");
+        }
+        // Same kernel, same region, no mask writes: bitwise equality.
+        prop_assert_eq!(&pruned.scores, &dense.scores);
+        prop_assert_eq!(&pruned.probs, &dense.probs);
+        assert_close(&pruned.output, &dense.output, 1e-5, "output vs dense");
+    }
+
+    #[test]
+    fn prop_fused_matches_naive_at_monomorphized_dims(
+        s in 2usize..40,
+        d_pick in 0usize..3,
+        threshold in -2.0f32..2.0,
+        pad in 0usize..10,
+        seed in 0u64..200,
+    ) {
+        // The d = 32/64/128 kernels are separate monomorphized paths
+        // (register-blocked two rows at a time, with a single-row tail
+        // for odd row counts); their reduction order matches `dot`
+        // exactly, so fused and naive must agree BITWISE here — scores,
+        // probabilities and outputs alike.
+        let d = [32usize, 64, 128][d_pick];
+        let q = random_matrix(s, d, seed, 2.0);
+        let k = random_matrix(s, d, seed ^ 1, 2.0);
+        let v = random_matrix(s, d, seed ^ 2, 1.0);
+        let cfg = AttentionConfig::new(d);
+        let live = s - pad.min(s - 1);
+        let mask = PaddingMask::new(s, live).unwrap();
+        let (fused, fd) = pruned_attention(&q, &k, &v, &cfg, threshold, Some(&mask)).unwrap();
+        let (naive, nd) = pruned_attention_naive(&q, &k, &v, &cfg, threshold, Some(&mask)).unwrap();
+        prop_assert_eq!(fd, nd);
+        prop_assert_eq!(&fused.scores, &naive.scores);
+        prop_assert_eq!(&fused.probs, &naive.probs);
+        prop_assert_eq!(&fused.output, &naive.output);
+        let dense_fused = dense_attention(&q, &k, &v, &cfg).unwrap();
+        let dense_naive = dense_attention_naive(&q, &k, &v, &cfg).unwrap();
+        prop_assert_eq!(&dense_fused.scores, &dense_naive.scores);
+        prop_assert_eq!(&dense_fused.probs, &dense_naive.probs);
+        prop_assert_eq!(&dense_fused.output, &dense_naive.output);
+    }
+
+    #[test]
+    fn prop_quantized_fused_matches_naive(
+        s in 2usize..16,
+        d in 1usize..12,
+        prune_mod in 1usize..5,
+        seed in 0u64..400,
+    ) {
+        let q = random_matrix(s, d, seed, 2.0);
+        let k = random_matrix(s, d, seed ^ 1, 2.0);
+        let v = random_matrix(s, d, seed ^ 2, 1.0);
+        let cfg = AttentionConfig::new(d);
+        // A deterministic decision pattern keeping every prune_mod-th key.
+        let decisions: Vec<PruneDecision> = (0..s)
+            .map(|i| {
+                PruneDecision::new(
+                    (0..s).map(|j| (i + j) % (prune_mod + 1) == prune_mod).collect(),
+                )
+            })
+            .collect();
+        let fused = quantized_attention(&q, &k, &v, &cfg, Some(&decisions)).unwrap();
+        let naive = quantized_attention_naive(&q, &k, &v, &cfg, Some(&decisions)).unwrap();
+        // The integer datapath is identical arithmetic: bitwise equality.
+        prop_assert_eq!(&fused.scores, &naive.scores);
+        prop_assert_eq!(&fused.probs, &naive.probs);
+        prop_assert_eq!(&fused.output, &naive.output);
+    }
+
+    #[test]
+    fn prop_workspace_reuse_is_transparent(
+        s in 2usize..16,
+        d in 1usize..12,
+        threshold in -1.0f32..1.0,
+        seed in 0u64..200,
+    ) {
+        // Running many heads through one workspace must give the same
+        // results as fresh workspaces per call.
+        let cfg = AttentionConfig::new(d);
+        let mut ws = Workspace::new();
+        for head in 0..3u64 {
+            let q = random_matrix(s, d, seed ^ (head * 3), 2.0);
+            let k = random_matrix(s, d, seed ^ (head * 3 + 1), 2.0);
+            let v = random_matrix(s, d, seed ^ (head * 3 + 2), 1.0);
+            let shared =
+                sprint_attention::pruned_attention_with(&q, &k, &v, &cfg, threshold, None, &mut ws)
+                    .unwrap();
+            let fresh = pruned_attention(&q, &k, &v, &cfg, threshold, None).unwrap();
+            prop_assert_eq!(shared.0.probs, fresh.0.probs);
+            prop_assert_eq!(shared.1, fresh.1);
+        }
+    }
+}

@@ -5,7 +5,15 @@
 //! cargo run -p sprint-bench --bin report --release fig11     # one artifact
 //! cargo run -p sprint-bench --bin report --release -- --json # machine readable
 //! cargo run -p sprint-bench --bin report --release -- --quick
+//! cargo run -p sprint-bench --bin report -- --check          # validate BENCH_report.json
 //! ```
+//!
+//! `--json` additionally records the results in the `"experiments"`
+//! section of `BENCH_report.json` at the repo root (preserving the
+//! `"benches"` section written by `cargo bench -- --bench-json`), so
+//! the perf trajectory is versioned. `--check` validates that file:
+//! it must exist, parse, and hold non-empty entries with finite
+//! timings — the CI bench-smoke job runs it after a bench pass.
 
 use sprint_core::experiments::{self, Scale};
 use sprint_core::ExperimentResult;
@@ -34,8 +42,79 @@ fn run_one(id: &str, scale: &Scale) -> Result<Vec<ExperimentResult>, Box<dyn std
     })
 }
 
+/// The repo-root report file both writers share.
+fn report_path() -> std::path::PathBuf {
+    criterion::report::repo_root().join("BENCH_report.json")
+}
+
+/// Replaces the `"experiments"` section of `BENCH_report.json`,
+/// preserving any `"benches"` section in place.
+fn write_experiments_section(results_json: &str) -> std::io::Result<std::path::PathBuf> {
+    use criterion::report::{raw_section, render_report};
+    let path = report_path();
+    let mut sections = vec![("experiments", results_json.to_string())];
+    if let Some(existing) = std::fs::read_to_string(&path)
+        .ok()
+        .as_deref()
+        .and_then(|text| raw_section(text, "benches"))
+    {
+        sections.push(("benches", existing));
+    }
+    std::fs::write(&path, render_report(&sections))?;
+    Ok(path)
+}
+
+/// Validates a bench-report file (the repo-root `BENCH_report.json` by
+/// default, or an explicit path — CI points this at the file a fresh
+/// `--bench-json` run just emitted, so a silently-broken emission
+/// cannot hide behind the committed snapshot): present, parseable, and
+/// every bench entry non-empty with finite (parseable, positive-sample)
+/// numbers.
+fn check_report(explicit: Option<&str>) -> Result<(), String> {
+    use criterion::report::{array_items, raw_section, string_field, u128_field};
+    let path = explicit.map_or_else(report_path, std::path::PathBuf::from);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let benches = raw_section(&text, "benches")
+        .ok_or_else(|| format!("{}: no \"benches\" section", path.display()))?;
+    let items = array_items(&benches);
+    if items.is_empty() {
+        return Err(format!("{}: \"benches\" is empty", path.display()));
+    }
+    for (n, item) in items.iter().enumerate() {
+        let id = string_field(item, "id")
+            .filter(|id| !id.is_empty())
+            .ok_or_else(|| format!("bench entry {n}: missing or empty id"))?;
+        for field in ["median_ns", "min_ns", "max_ns"] {
+            u128_field(item, field)
+                .ok_or_else(|| format!("bench '{id}': missing or non-finite {field}"))?;
+        }
+        let samples =
+            u128_field(item, "samples").ok_or_else(|| format!("bench '{id}': missing samples"))?;
+        if samples == 0 {
+            return Err(format!("bench '{id}': zero samples"));
+        }
+    }
+    println!(
+        "{} ok: {} bench entr{} with finite timings{}",
+        path.display(),
+        items.len(),
+        if items.len() == 1 { "y" } else { "ies" },
+        if raw_section(&text, "experiments").is_some() {
+            ", experiments section present"
+        } else {
+            ""
+        },
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let explicit = args.get(pos + 1).filter(|a| !a.starts_with("--"));
+        return check_report(explicit.map(String::as_str)).map_err(Into::into);
+    }
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
@@ -45,13 +124,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if ids.is_empty() {
         results.extend(run_one("all", &scale)?);
     } else {
-        for id in ids {
+        for id in &ids {
             results.extend(run_one(id, &scale)?);
         }
     }
 
     if json {
-        println!("{}", sprint_core::results_to_json(&results));
+        let rendered = sprint_core::results_to_json(&results);
+        println!("{rendered}");
+        // Only a full-scale, unfiltered run may update the versioned
+        // snapshot — partial or reduced-scale JSON stays on stdout.
+        if quick || !ids.is_empty() {
+            eprintln!("partial/quick run: BENCH_report.json left untouched");
+        } else {
+            let path = write_experiments_section(&rendered)?;
+            eprintln!("wrote experiments section to {}", path.display());
+        }
     } else {
         for r in &results {
             println!("{r}");

@@ -14,7 +14,7 @@ use crate::accuracy::{bit_sensitivity, evaluate_scenarios};
 use crate::counting::{simulate_head, ExecutionMode};
 use crate::ffn::end_to_end;
 use crate::prior_art::{sprint_metrics, PriorArt};
-use crate::{geomean, ExperimentResult, HeadProfile, SprintConfig, SystemError};
+use crate::{geomean, ExperimentResult, HeadProfile, SprintConfig, SyntheticHeadSpec, SystemError};
 
 /// How large to run the experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +65,29 @@ impl Scale {
             self.seed ^ salt,
         )
     }
+
+    /// Counting profiles for a model list, generated across cores.
+    ///
+    /// Profile `i` is seeded with `salt_base + i`, so the result is
+    /// element-for-element identical to calling
+    /// [`Scale::profile`]`(model, salt_base + i)` sequentially.
+    pub fn profiles(&self, models: &[ModelConfig], salt_base: u64) -> Vec<HeadProfile> {
+        let specs: Vec<SyntheticHeadSpec> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let (seq, live) = self.sized(m);
+                SyntheticHeadSpec {
+                    seq_len: seq,
+                    live,
+                    keep_rate: m.keep_rate(),
+                    overlap: m.adjacent_overlap,
+                    seed: self.seed ^ (salt_base + i as u64),
+                }
+            })
+            .collect();
+        HeadProfile::synthetic_many(&specs)
+    }
 }
 
 /// Fig. 1: percentage of baseline energy spent on memory accesses vs
@@ -82,14 +105,26 @@ pub fn fig1(scale: &Scale) -> ExperimentResult {
     .headers(
         std::iter::once("Capacity %".to_string()).chain(seq_lens.iter().map(|s| format!("S={s}"))),
     );
+    // One profile per sequence length, generated across cores (the
+    // capacity sweep reuses them — the profile depends only on `s`).
+    let specs: Vec<SyntheticHeadSpec> = seq_lens
+        .iter()
+        .map(|&s| SyntheticHeadSpec {
+            seq_len: s,
+            live: s,
+            keep_rate: 0.25,
+            overlap: 0.85,
+            seed: scale.seed ^ s as u64,
+        })
+        .collect();
+    let profiles = HeadProfile::synthetic_many(&specs);
     for pct in capacities {
         let mut row = vec![format!("{pct}%")];
-        for &s in &seq_lens {
-            let profile = HeadProfile::synthetic(s, s, 0.25, 0.85, scale.seed ^ s as u64);
+        for (&s, profile) in seq_lens.iter().zip(&profiles) {
             let requisite_kib = (s * 2 * 64).div_ceil(1024);
             let mut cfg = SprintConfig::small();
             cfg.onchip_kib = (requisite_kib * pct / 100).max(1);
-            let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
+            let base = simulate_head(profile, &cfg, ExecutionMode::Baseline);
             let frac = base.energy.memory_access().as_pj() / base.energy.total().as_pj();
             row.push(format!("{:.1}%", frac * 100.0));
         }
@@ -145,20 +180,26 @@ pub fn fig3(scale: &Scale) -> Result<ExperimentResult, SystemError> {
         "Adjacent-query kept-set overlap: dataset vs random (Eq. 1)",
     )
     .headers(["Model", "Random E(L)/M", "Dataset", "Gain"]);
-    for (i, model) in ModelConfig::real_models().into_iter().enumerate() {
-        let (seq, _) = scale.sized(&model);
+    // Trace synthesis dominates this figure; one worker per model.
+    let models: Vec<(usize, ModelConfig)> =
+        ModelConfig::real_models().into_iter().enumerate().collect();
+    let rows = sprint_parallel::par_try_map(&models, |&(i, ref model)| {
+        let (seq, _) = scale.sized(model);
         let spec = model.trace_spec().with_seq_len(seq);
         let trace = TraceGenerator::new(scale.seed ^ (i as u64 + 1)).generate(&spec)?;
         let live = trace.live_tokens() as u64;
         let m = ((live as f64) * model.keep_rate()).round() as u64;
         let random = overlap::expected_overlap_fraction(live, m.min(live));
         let observed = trace.stats().mean_adjacent_overlap;
-        result.push_row([
+        Ok::<_, SystemError>([
             model.name.to_string(),
             format!("{:.1}%", random * 100.0),
             format!("{:.1}%", observed * 100.0),
             format!("{:.1}x", observed / random.max(1e-9)),
-        ]);
+        ])
+    })?;
+    for row in rows {
+        result.push_row(row);
     }
     result.push_note("paper: a striking 2-3x increase over the random expectation");
     Ok(result)
@@ -180,11 +221,12 @@ pub fn fig5(scale: &Scale) -> Result<ExperimentResult, SystemError> {
         "Task accuracy vs in-memory score bits b (with recompute)",
     )
     .headers(["b", "BERT-MRPC", "BERT-SQUAD", "ViT"]);
-    let sweeps = [
-        bit_sensitivity(&mrpc, Some(scale.accuracy_seq), 8, scale.seed ^ 0xa)?,
-        bit_sensitivity(&squad, Some(scale.accuracy_seq), 8, scale.seed ^ 0xb)?,
-        bit_sensitivity(&vit, Some(scale.accuracy_seq), 8, scale.seed ^ 0xc)?,
-    ];
+    // The three sweeps each run the full analog + digital datapath per
+    // bit width; fan them out across cores.
+    let jobs = [(mrpc, 0xau64), (squad, 0xb), (vit, 0xc)];
+    let sweeps = sprint_parallel::par_try_map(&jobs, |(model, salt)| {
+        bit_sensitivity(model, Some(scale.accuracy_seq), 8, scale.seed ^ salt)
+    })?;
     for (b, ((s0, s1), s2)) in sweeps[0].iter().zip(&sweeps[1]).zip(&sweeps[2]).enumerate() {
         result.push_row([
             format!("{}", b + 1),
@@ -209,14 +251,14 @@ pub fn fig8(scale: &Scale) -> ExperimentResult {
         "CORELET utilization imbalance (max/min kept tokens)",
     )
     .headers(["CORELETs", "Mapping", "BERT-B", "ViT-B", "GPT-2-L"]);
+    let profiles = scale.profiles(&models, 0x80);
     for corelets in [2usize, 4, 8, 16] {
         for (policy, label) in [
             (MappingPolicy::Sequential, "Sequential"),
             (MappingPolicy::Interleaved, "Interleaving"),
         ] {
             let mut row = vec![format!("{corelets}"), label.to_string()];
-            for (i, model) in models.iter().enumerate() {
-                let profile = scale.profile(model, 0x80 + i as u64);
+            for profile in &profiles {
                 // Sequential blocks partition the *live* extent: the
                 // scheduler knows the input length, so no CORELET is
                 // assigned a purely padded block.
@@ -255,12 +297,19 @@ pub fn fig9(scale: &Scale) -> Result<ExperimentResult, SystemError> {
         "SPRINT",
     ]);
     let mut scores = Vec::new();
-    for (i, model) in ModelConfig::real_models().into_iter().enumerate() {
-        let s = evaluate_scenarios(
-            &model,
+    // Each scenario evaluation runs four full pipelines; this is the
+    // most expensive driver, one worker per model.
+    let models: Vec<(usize, ModelConfig)> =
+        ModelConfig::real_models().into_iter().enumerate().collect();
+    let evaluated = sprint_parallel::par_try_map(&models, |&(i, ref model)| {
+        evaluate_scenarios(
+            model,
             Some(scale.accuracy_seq),
             scale.seed ^ (0x90 + i as u64),
-        )?;
+        )
+        .map(|s| (model.clone(), s))
+    })?;
+    for (model, s) in evaluated {
         let fmt = |t: sprint_workloads::TaskScore| {
             if model.is_generative() {
                 format!("ppl {:.2}", t.perplexity)
@@ -293,12 +342,13 @@ pub fn fig10(scale: &Scale) -> ExperimentResult {
         "Data movement reduction vs S-Baseline (Mask Only / SPRINT)",
     )
     .headers(["Model", "Config", "Mask Only", "SPRINT"]);
-    for (i, model) in ModelConfig::all().into_iter().enumerate() {
-        let profile = scale.profile(&model, 0x100 + i as u64);
-        let s_baseline = simulate_head(&profile, &SprintConfig::small(), ExecutionMode::Baseline);
+    let models = ModelConfig::all();
+    let profiles = scale.profiles(&models, 0x100);
+    for (model, profile) in models.iter().zip(&profiles) {
+        let s_baseline = simulate_head(profile, &SprintConfig::small(), ExecutionMode::Baseline);
         for cfg in SprintConfig::all() {
-            let mask = simulate_head(&profile, &cfg, ExecutionMode::MaskOnly);
-            let sprint = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
+            let mask = simulate_head(profile, &cfg, ExecutionMode::MaskOnly);
+            let sprint = simulate_head(profile, &cfg, ExecutionMode::Sprint);
             result.push_row([
                 model.name.to_string(),
                 cfg.name.to_string(),
@@ -328,12 +378,13 @@ fn speedup_like(
     let mut result =
         ExperimentResult::new(id, title).headers(["Model", "S-SPRINT", "M-SPRINT", "L-SPRINT"]);
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for (i, model) in ModelConfig::all().into_iter().enumerate() {
-        let profile = scale.profile(&model, 0x200 + i as u64);
+    let models = ModelConfig::all();
+    let profiles = scale.profiles(&models, 0x200);
+    for (model, profile) in models.iter().zip(&profiles) {
         let mut row = vec![model.name.to_string()];
         for (c, cfg) in SprintConfig::all().into_iter().enumerate() {
-            let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
-            let sprint = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
+            let base = simulate_head(profile, &cfg, ExecutionMode::Baseline);
+            let sprint = simulate_head(profile, &cfg, ExecutionMode::Sprint);
             let x = metric(&sprint, &base);
             per_config[c].push(x);
             row.push(format!("{x:.2}x"));
@@ -386,16 +437,17 @@ pub fn fig13(scale: &Scale) -> ExperimentResult {
             .chain(std::iter::once("Total".to_string())),
     );
     let cfg = SprintConfig::medium();
-    for (i, model) in ModelConfig::all().into_iter().enumerate() {
-        let profile = scale.profile(&model, 0x300 + i as u64);
-        let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
+    let models = ModelConfig::all();
+    let profiles = scale.profiles(&models, 0x300);
+    for (model, profile) in models.iter().zip(&profiles) {
+        let base = simulate_head(profile, &cfg, ExecutionMode::Baseline);
         let reference = base.energy.total();
         for (mode, label) in [
             (ExecutionMode::Baseline, "Baseline"),
             (ExecutionMode::PruningOnly, "Pruning"),
             (ExecutionMode::Sprint, "SPRINT"),
         ] {
-            let perf = simulate_head(&profile, &cfg, mode);
+            let perf = simulate_head(profile, &cfg, mode);
             let mut row = vec![model.name.to_string(), label.to_string()];
             for (_, frac) in perf.energy.normalized_to(reference) {
                 row.push(format!("{:.2}%", frac * 100.0));
@@ -476,11 +528,7 @@ pub fn tab2() -> ExperimentResult {
 
 /// Table III: comparison with A3, SpAtten and LeOPArd.
 pub fn tab3(scale: &Scale) -> ExperimentResult {
-    let profiles: Vec<HeadProfile> = ModelConfig::all()
-        .iter()
-        .enumerate()
-        .map(|(i, m)| scale.profile(m, 0x400 + i as u64))
-        .collect();
+    let profiles = scale.profiles(&ModelConfig::all(), 0x400);
     let m_sprint = sprint_metrics(&SprintConfig::medium(), &profiles);
     let mut rows = PriorArt::all();
     rows.push(m_sprint);
@@ -554,9 +602,10 @@ pub fn ffn_table(scale: &Scale) -> ExperimentResult {
             "Attention ops share",
         ]);
     let cfg = SprintConfig::medium();
-    for (i, model) in ModelConfig::all().into_iter().enumerate() {
-        let profile = scale.profile(&model, 0x500 + i as u64);
-        let e = end_to_end(&model, &cfg, &profile);
+    let models = ModelConfig::all();
+    let profiles = scale.profiles(&models, 0x500);
+    for (model, profile) in models.iter().zip(&profiles) {
+        let e = end_to_end(model, &cfg, profile);
         result.push_row([
             model.name.to_string(),
             format!("{:.1}x", e.energy_reduction),
@@ -574,11 +623,11 @@ pub fn extras(scale: &Scale) -> ExperimentResult {
     let mut result = ExperimentResult::new("extras", "Motivation ablations");
     // Pruning-only speedup (paper: 1.8/1.7/1.7x geomean).
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for (i, model) in ModelConfig::all().into_iter().enumerate() {
-        let profile = scale.profile(&model, 0x600 + i as u64);
+    let models = ModelConfig::all();
+    for profile in &scale.profiles(&models, 0x600) {
         for (c, cfg) in SprintConfig::all().into_iter().enumerate() {
-            let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
-            let pruned = simulate_head(&profile, &cfg, ExecutionMode::PruningOnly);
+            let base = simulate_head(profile, &cfg, ExecutionMode::Baseline);
+            let pruned = simulate_head(profile, &cfg, ExecutionMode::PruningOnly);
             per_config[c].push(pruned.speedup_over(&base));
         }
     }
@@ -618,32 +667,51 @@ pub fn extras(scale: &Scale) -> ExperimentResult {
     result
 }
 
-/// Runs every experiment at the given scale, ablations included.
+/// One experiment driver, boxed for the parallel fan-out of [`all`].
+type Driver = Box<dyn Fn(&Scale) -> Result<Vec<ExperimentResult>, SystemError> + Send + Sync>;
+
+/// Outer worker cap for the driver fan-out of [`all`]. Most drivers
+/// parallelize their own model loops at the full worker count, so the
+/// outer level stays narrow to bound the nested thread product at
+/// `OUTER_DRIVERS × max_threads` (rather than `max_threads²`) while
+/// still overlapping the drivers whose inner loops are sequential.
+const OUTER_DRIVERS: usize = 4;
+
+/// Runs every experiment at the given scale, ablations included,
+/// fanned out across cores.
+///
+/// Drivers are independent: up to [`OUTER_DRIVERS`] run concurrently,
+/// each free to fan its inner model loops out across all workers. The
+/// result order is fixed regardless of scheduling, and the error
+/// reported on failure is that of the first failing driver in listed
+/// order.
 ///
 /// # Errors
 ///
 /// Propagates the first driver error.
 pub fn all(scale: &Scale) -> Result<Vec<ExperimentResult>, SystemError> {
-    let mut out = vec![
-        tab1(),
-        tab2(),
-        fig1(scale),
-        fig2(scale)?,
-        fig3(scale)?,
-        fig5(scale)?,
-        fig8(scale),
-        fig9(scale)?,
-        fig10(scale),
-        fig11(scale),
-        fig12(scale),
-        fig13(scale),
-        fig14(),
-        tab3(scale),
-        ffn_table(scale),
-        extras(scale),
+    let drivers: Vec<Driver> = vec![
+        Box::new(|_| Ok(vec![tab1()])),
+        Box::new(|_| Ok(vec![tab2()])),
+        Box::new(|s| Ok(vec![fig1(s)])),
+        Box::new(|s| Ok(vec![fig2(s)?])),
+        Box::new(|s| Ok(vec![fig3(s)?])),
+        Box::new(|s| Ok(vec![fig5(s)?])),
+        Box::new(|s| Ok(vec![fig8(s)])),
+        Box::new(|s| Ok(vec![fig9(s)?])),
+        Box::new(|s| Ok(vec![fig10(s)])),
+        Box::new(|s| Ok(vec![fig11(s)])),
+        Box::new(|s| Ok(vec![fig12(s)])),
+        Box::new(|s| Ok(vec![fig13(s)])),
+        Box::new(|_| Ok(vec![fig14()])),
+        Box::new(|s| Ok(vec![tab3(s)])),
+        Box::new(|s| Ok(vec![ffn_table(s)])),
+        Box::new(|s| Ok(vec![extras(s)])),
+        Box::new(crate::ablations::all),
     ];
-    out.extend(crate::ablations::all(scale)?);
-    Ok(out)
+    let outer = sprint_parallel::max_threads().min(OUTER_DRIVERS);
+    let batches = sprint_parallel::par_try_map_threads(outer, &drivers, |driver| driver(scale))?;
+    Ok(batches.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

@@ -49,6 +49,6 @@ pub use config::SprintConfig;
 pub use counting::{ExecutionMode, HeadPerf};
 pub use ffn::{end_to_end, EndToEnd, FfnConfig};
 pub use prior_art::{sprint_metrics, AcceleratorMetrics, PriorArt};
-pub use profile::HeadProfile;
+pub use profile::{HeadProfile, SyntheticHeadSpec};
 pub use report::{geomean, results_to_json, ExperimentResult};
 pub use system::{SprintSystem, SystemError, SystemOutput};

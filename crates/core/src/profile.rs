@@ -37,6 +37,22 @@ pub struct HeadProfile {
     pub kept_per_query: Vec<Vec<usize>>,
 }
 
+/// Parameters of one [`HeadProfile::synthetic`] call, for batched
+/// parallel generation via [`HeadProfile::synthetic_many`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticHeadSpec {
+    /// Total sequence length including padding.
+    pub seq_len: usize,
+    /// Live (non-padded) tokens.
+    pub live: usize,
+    /// Fraction of live keys kept per live query.
+    pub keep_rate: f64,
+    /// Adjacent-query kept-set overlap target.
+    pub overlap: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
 impl HeadProfile {
     /// Extracts the profile of a generated head trace.
     pub fn from_trace(trace: &HeadTrace) -> Self {
@@ -143,6 +159,22 @@ impl HeadProfile {
             head_dim: 64,
             kept_per_query,
         }
+    }
+
+    /// Generates many synthetic profiles in parallel, one per spec, in
+    /// spec order. Each head's mask evolution is inherently sequential
+    /// in its queries, but heads are independent — the per-head loop
+    /// fans out across cores with deterministic output (each profile is
+    /// a pure function of its spec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spec violates the [`HeadProfile::synthetic`]
+    /// preconditions.
+    pub fn synthetic_many(specs: &[SyntheticHeadSpec]) -> Vec<HeadProfile> {
+        sprint_parallel::par_map(specs, |s| {
+            HeadProfile::synthetic(s.seq_len, s.live, s.keep_rate, s.overlap, s.seed)
+        })
     }
 
     /// Mean kept keys per live query.
@@ -266,5 +298,29 @@ mod tests {
     #[should_panic(expected = "keep rate")]
     fn synthetic_rejects_zero_keep_rate() {
         let _ = HeadProfile::synthetic(64, 64, 0.0, 0.5, 1);
+    }
+
+    #[test]
+    fn synthetic_many_matches_sequential_generation() {
+        let specs: Vec<SyntheticHeadSpec> = (0..6)
+            .map(|i| SyntheticHeadSpec {
+                seq_len: 96,
+                live: 80,
+                keep_rate: 0.25,
+                overlap: 0.8,
+                seed: 40 + i,
+            })
+            .collect();
+        let batched = HeadProfile::synthetic_many(&specs);
+        for (spec, profile) in specs.iter().zip(&batched) {
+            let sequential = HeadProfile::synthetic(
+                spec.seq_len,
+                spec.live,
+                spec.keep_rate,
+                spec.overlap,
+                spec.seed,
+            );
+            assert_eq!(profile, &sequential, "seed {}", spec.seed);
+        }
     }
 }

@@ -9,7 +9,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use sprint_attention::{quantized_attention, softmax_exact, AttentionError, Matrix, PruneDecision};
+use sprint_attention::{
+    quantized_attention_with, softmax_inplace, AttentionError, Matrix, PruneDecision, Workspace,
+};
 use sprint_memory::{MemoryController, MemoryError, MemoryStats};
 use sprint_reram::{InMemoryPruner, NoiseModel, PruneHardwareStats, ReramError, ThresholdSpec};
 use sprint_workloads::HeadTrace;
@@ -172,31 +174,35 @@ impl SprintSystem {
             decisions.push(PruneDecision::new(vec![true; s]));
         }
 
+        let mut ws = Workspace::new();
         let output = if recompute {
             // On-chip recompute: full-precision (8-bit datapath) scores
             // for every surviving key.
-            quantized_attention(
+            quantized_attention_with(
                 trace.q(),
                 trace.k(),
                 trace.v(),
                 &trace.config(),
                 Some(&decisions),
+                &mut ws,
             )?
             .output
         } else {
             // No recompute: the approximate in-memory scores drive the
-            // softmax and weighted sum directly.
+            // softmax and weighted sum directly. The workspace stages
+            // each probability row; surviving keys accumulate row-wise.
             let mut out = Matrix::zeros(s, trace.v().cols())?;
+            let prow = ws.prob_row(s);
             for (i, row) in approx_rows.iter().enumerate() {
-                let probs = softmax_exact(row);
-                for c in 0..trace.v().cols() {
-                    let mut acc = 0.0f32;
-                    for (j, &p) in probs.iter().enumerate() {
-                        if p > 0.0 {
-                            acc += p * trace.v().get(j, c);
+                prow.copy_from_slice(row);
+                softmax_inplace(prow);
+                let orow = out.row_mut(i);
+                for (j, &p) in prow.iter().enumerate() {
+                    if p > 0.0 {
+                        for (o, &vx) in orow.iter_mut().zip(trace.v().row(j)) {
+                            *o += p * vx;
                         }
                     }
-                    out.set(i, c, acc);
                 }
             }
             out

@@ -1,0 +1,225 @@
+//! Scoped-thread fan-out with deterministic result ordering.
+//!
+//! The experiment drivers, profile generators and trace synthesizers of
+//! the SPRINT reproduction are embarrassingly parallel: every item is
+//! independent and the result order must match the input order so that
+//! reports, seeds and tests stay reproducible. This crate provides that
+//! one primitive — [`par_map`] — built on `std::thread::scope` with no
+//! external dependencies (the build environment is offline).
+//!
+//! Work distribution is a shared atomic cursor: each worker claims the
+//! next unclaimed index, computes `f(&items[i])`, and stores the result
+//! in slot `i`. Slot `i` therefore always holds `f(&items[i])`
+//! regardless of which worker ran it or in which order — the output is
+//! bit-identical across thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = sprint_parallel::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count (`0`/unset means
+/// "use every available core").
+pub const THREADS_ENV: &str = "SPRINT_THREADS";
+
+/// The default worker count: `SPRINT_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn max_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on up to [`max_threads`] workers, returning
+/// results in input order (slot `i` holds `f(&items[i])`).
+///
+/// Spawns no threads when `items` has zero or one element or only one
+/// worker is available; the closure then runs on the caller's thread.
+///
+/// # Panics
+///
+/// Panics if any invocation of `f` panics (the scope rethrows on join,
+/// reporting "a scoped thread panicked").
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_threads(max_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker-count cap (used by the ordering
+/// tests; production code should prefer `par_map`).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero; propagates panics from `f`.
+pub fn par_map_threads<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    assert!(threads > 0, "at least one worker is required");
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Mutex<Option<U>> rather than OnceLock<U>: each slot is written by
+    // exactly one claiming worker, and Mutex only demands `U: Send`.
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let value = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by a claiming worker")
+        })
+        .collect()
+}
+
+/// Fallible [`par_map`]: runs every item, then returns either all
+/// results in input order or the error of the *lowest-indexed* failing
+/// item — so the reported error is deterministic across thread counts
+/// too.
+///
+/// # Errors
+///
+/// The first (by input index) error produced by `f`.
+pub fn par_try_map<T, U, E, F>(items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    par_try_map_threads(max_threads(), items, f)
+}
+
+/// [`par_try_map`] with an explicit worker-count cap. Use this for the
+/// *outer* level of a nested fan-out: capping it bounds the total
+/// thread product when the mapped tasks spawn their own `par_map`
+/// workers internally.
+///
+/// # Errors
+///
+/// The first (by input index) error produced by `f`.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero; propagates panics from `f`.
+pub fn par_try_map_threads<T, U, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    let outcomes = par_map_threads(threads, items, f);
+    outcomes.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = par_map(&[] as &[u32], |&x| x);
+        assert!(none.is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |&i| i * 3);
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map_threads(8, &items, |&i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..64).collect();
+        let err = par_try_map(&items, |&i| if i % 10 == 3 { Err(i) } else { Ok(i) });
+        assert_eq!(err, Err(3), "error of the lowest failing index wins");
+        let ok = par_try_map(&items, |&i| Ok::<_, ()>(i * 2));
+        assert_eq!(ok.unwrap()[5], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = par_map_threads(0, &[1], |&x: &i32| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = par_map_threads(4, &items, |&i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ordering_deterministic_across_thread_counts(
+            n in 0usize..200,
+            threads in 1usize..9,
+        ) {
+            let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+            let sequential: Vec<u64> = items.iter().map(|&x| x ^ (x >> 7)).collect();
+            let parallel = par_map_threads(threads, &items, |&x| x ^ (x >> 7));
+            prop_assert_eq!(parallel, sequential);
+        }
+    }
+}

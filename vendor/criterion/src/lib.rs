@@ -9,7 +9,12 @@
 //! wall-clock timing — median over `sample_size` samples — but none of
 //! criterion's statistics, warm-up calibration, or HTML reports. Swap
 //! the `criterion` entry in the workspace manifest for the real crate
-//! to get those back; no bench source changes are needed.
+//! to get those back; the *bench sources* need no changes. The
+//! `BENCH_report.json` plumbing ([`report`], the `--bench-json` mode,
+//! and the section scanner the `sprint-bench` report binary reuses) is
+//! **stub-only**: real criterion has no `report` module and writes its
+//! own JSON under `target/criterion`, so a swap must also port or
+//! retire the `criterion::report` uses in `sprint-bench`.
 //!
 //! # Example
 //!
@@ -23,11 +28,37 @@
 //! group.finish();
 //! ```
 
+use std::sync::Mutex;
 use std::time::Instant;
+
+pub mod report;
 
 /// Re-export so benches may use `criterion::black_box` interchangeably
 /// with `std::hint::black_box`.
 pub use std::hint::black_box;
+
+/// One timed benchmark, as collected for `--bench-json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Group/function label ("group/id").
+    pub id: String,
+    /// Median sample wall-clock time.
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Every record timed by this process, in execution order.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drains the records collected so far (used by [`report`] and tests).
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut RECORDS.lock().expect("bench records poisoned"))
+}
 
 /// Top-level harness handle, mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
@@ -90,6 +121,16 @@ impl BenchmarkGroup<'_> {
             fmt_ns(*samples.last().unwrap()),
             samples.len(),
         );
+        RECORDS
+            .lock()
+            .expect("bench records poisoned")
+            .push(BenchRecord {
+                id: label,
+                median_ns: samples[samples.len() / 2],
+                min_ns: samples[0],
+                max_ns: *samples.last().unwrap(),
+                samples: samples.len(),
+            });
         self
     }
 
@@ -139,12 +180,15 @@ macro_rules! criterion_group {
 }
 
 /// Expands to `fn main` running each group, mirroring
-/// `criterion::criterion_main!`.
+/// `criterion::criterion_main!`. After the groups run, the stub's
+/// `--bench-json` mode (if requested on the command line) merges the
+/// collected timings into `BENCH_report.json` — see [`report`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::report::maybe_write_bench_json();
         }
     };
 }

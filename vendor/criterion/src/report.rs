@@ -1,0 +1,463 @@
+//! `BENCH_report.json` plumbing: a minimal JSON section scanner and the
+//! `--bench-json` writer.
+//!
+//! The repo tracks its performance trajectory in a single
+//! `BENCH_report.json` at the workspace root with two sections:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "experiments": [ ... ],   // written by `report --json`
+//!   "benches": [ ... ]        // written by benches run with --bench-json
+//! }
+//! ```
+//!
+//! Two independent writers update one file, so each writer must
+//! preserve the other's section verbatim. The offline build has no
+//! `serde_json`, hence the hand-rolled — but fully string/escape/depth
+//! aware — scanner below. The writers only ever *replace or append
+//! whole sections*; nothing here interprets the other section's
+//! contents beyond locating it.
+
+use std::path::{Path, PathBuf};
+
+use crate::BenchRecord;
+
+/// Returns the end index (exclusive) of the JSON value starting at
+/// `start` (which must point at the value's first byte).
+fn value_end(bytes: &[u8], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut i = start;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == b'\\' {
+                escaped = true;
+            } else if c == b'"' {
+                in_str = false;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+        } else {
+            match c {
+                b'"' => in_str = true,
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => {
+                    if depth == 0 {
+                        return i;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                b',' if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses the JSON string starting at `start` (a `"`); returns the raw
+/// contents (escapes untouched) and the index just past the closing
+/// quote.
+fn string_token(bytes: &[u8], start: usize) -> Option<(String, usize)> {
+    if bytes.get(start) != Some(&b'"') {
+        return None;
+    }
+    let mut i = start + 1;
+    let mut escaped = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if escaped {
+            escaped = false;
+        } else if c == b'\\' {
+            escaped = true;
+        } else if c == b'"' {
+            let raw = String::from_utf8_lossy(&bytes[start + 1..i]).into_owned();
+            return Some((raw, i + 1));
+        }
+        i += 1;
+    }
+    None
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && (bytes[i] as char).is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Extracts the raw text of a top-level key's value from a JSON object.
+///
+/// Returns `None` when the key is absent or the text is not an object.
+///
+/// # Example
+///
+/// ```
+/// let raw = criterion::report::raw_section(r#"{"a": [1, 2], "b": 3}"#, "a");
+/// assert_eq!(raw.as_deref(), Some("[1, 2]"));
+/// ```
+pub fn raw_section(json: &str, key: &str) -> Option<String> {
+    let bytes = json.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    loop {
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(b'}') | None => return None,
+            Some(b',') => {
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let (k, after_key) = string_token(bytes, i)?;
+        i = skip_ws(bytes, after_key);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let end = value_end(bytes, i);
+        if k == key {
+            return Some(json[i..end].trim().to_string());
+        }
+        i = end;
+    }
+}
+
+/// Splits the raw text of a JSON array into its element texts.
+///
+/// Returns an empty vector for anything that is not an array.
+pub fn array_items(raw: &str) -> Vec<String> {
+    let bytes = raw.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if bytes.get(i) != Some(&b'[') {
+        return Vec::new();
+    }
+    i += 1;
+    let mut items = Vec::new();
+    loop {
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(b']') | None => return items,
+            Some(b',') => {
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let end = value_end(bytes, i);
+        items.push(raw[i..end].trim().to_string());
+        i = end;
+    }
+}
+
+/// Extracts a string field's (raw) contents from a JSON object text.
+pub fn string_field(obj: &str, key: &str) -> Option<String> {
+    let raw = raw_section(obj, key)?;
+    let bytes = raw.as_bytes();
+    string_token(bytes, 0).map(|(s, _)| s)
+}
+
+/// Extracts an unsigned integer field from a JSON object text.
+pub fn u128_field(obj: &str, key: &str) -> Option<u128> {
+    raw_section(obj, key)?.parse().ok()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchRecord {
+    /// Renders the record as a one-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
+            json_escape(&self.id),
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples,
+        )
+    }
+}
+
+/// Renders the `BENCH_report.json` object from raw `(key, value)`
+/// sections (a `"schema": 1` header is always prepended).
+pub fn render_report(sections: &[(&str, String)]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1");
+    for (k, v) in sections {
+        out.push_str(&format!(",\n  \"{k}\": {v}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Renders a bench-record array with the report file's indentation.
+pub fn render_bench_array(items: &[String]) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    format!("[\n    {}\n  ]", items.join(",\n    "))
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// first ancestor holding a `Cargo.lock`), falling back to `.`.
+pub fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Merges `records` into the `"benches"` section of the report file at
+/// `path`, preserving any `"experiments"` section and any existing
+/// bench entries whose ids are not being re-reported.
+///
+/// # Errors
+///
+/// I/O errors from reading or writing the file.
+pub fn merge_bench_records(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).ok();
+    let mut items: Vec<String> = Vec::new();
+    if let Some(text) = &existing {
+        if let Some(benches) = raw_section(text, "benches") {
+            for item in array_items(&benches) {
+                // Preserve the entry unless a fresh record re-reports
+                // its id; entries without a parseable id are kept too.
+                let re_reported =
+                    string_field(&item, "id").is_some_and(|id| records.iter().any(|r| r.id == id));
+                if !re_reported {
+                    items.push(item);
+                }
+            }
+        }
+    }
+    items.extend(records.iter().map(BenchRecord::to_json));
+    let mut sections: Vec<(&str, String)> = Vec::new();
+    if let Some(text) = &existing {
+        if let Some(experiments) = raw_section(text, "experiments") {
+            sections.push(("experiments", experiments));
+        }
+    }
+    sections.push(("benches", render_bench_array(&items)));
+    std::fs::write(path, render_report(&sections))
+}
+
+/// Parses the stub's command line for `--bench-json [PATH]` /
+/// `--bench-json=PATH`. Returns the target path when the mode is
+/// requested (`PATH` defaults to `<repo root>/BENCH_report.json`).
+pub fn bench_json_target<I: IntoIterator<Item = String>>(args: I) -> Option<PathBuf> {
+    let mut requested = false;
+    let mut path: Option<PathBuf> = None;
+    let mut iter = args.into_iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg == "--bench-json" {
+            requested = true;
+            if let Some(next) = iter.peek() {
+                if !next.starts_with('-') {
+                    path = iter.next().map(PathBuf::from);
+                }
+            }
+        } else if let Some(rest) = arg.strip_prefix("--bench-json=") {
+            requested = true;
+            path = Some(PathBuf::from(rest));
+        }
+    }
+    requested.then(|| path.unwrap_or_else(|| repo_root().join("BENCH_report.json")))
+}
+
+/// The `--bench-json` mode: called by `criterion_main!` after the
+/// groups finish. Writes the collected records when requested on the
+/// command line; exits non-zero on I/O failure so CI notices.
+pub fn maybe_write_bench_json() {
+    let Some(path) = bench_json_target(std::env::args().skip(1)) else {
+        return;
+    };
+    let records = crate::take_records();
+    match merge_bench_records(&path, &records) {
+        Ok(()) => println!(
+            "bench-json: wrote {} record(s) to {}",
+            records.len(),
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!("bench-json: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_section_finds_top_level_values() {
+        let json =
+            r#"{"schema": 1, "experiments": [{"id": "a,b", "rows": [["x"]]}], "benches": []}"#;
+        assert_eq!(raw_section(json, "schema").as_deref(), Some("1"));
+        assert_eq!(raw_section(json, "benches").as_deref(), Some("[]"));
+        let exp = raw_section(json, "experiments").unwrap();
+        assert!(exp.starts_with('[') && exp.ends_with(']'));
+        assert!(exp.contains("a,b"), "commas inside strings don't split");
+        assert_eq!(raw_section(json, "missing"), None);
+        assert_eq!(raw_section("not json", "x"), None);
+    }
+
+    #[test]
+    fn raw_section_skips_nested_keys() {
+        let json = r#"{"outer": {"benches": "inner"}, "benches": [1]}"#;
+        assert_eq!(raw_section(json, "benches").as_deref(), Some("[1]"));
+    }
+
+    #[test]
+    fn array_items_split_on_top_level_commas() {
+        let raw = r#"[{"a": [1, 2]}, "s,tr", 3]"#;
+        let items = array_items(raw);
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], r#"{"a": [1, 2]}"#);
+        assert_eq!(items[1], r#""s,tr""#);
+        assert_eq!(items[2], "3");
+        assert!(array_items("[]").is_empty());
+        assert!(array_items("{}").is_empty());
+    }
+
+    #[test]
+    fn fields_parse_strings_and_integers() {
+        let obj = r#"{"id": "grp/fn", "median_ns": 1234, "samples": 10}"#;
+        assert_eq!(string_field(obj, "id").as_deref(), Some("grp/fn"));
+        assert_eq!(u128_field(obj, "median_ns"), Some(1234));
+        assert_eq!(u128_field(obj, "id"), None, "strings are not integers");
+    }
+
+    #[test]
+    fn record_roundtrips_through_its_own_json() {
+        let r = BenchRecord {
+            id: "g/f".into(),
+            median_ns: 5,
+            min_ns: 4,
+            max_ns: 9,
+            samples: 10,
+        };
+        let json = r.to_json();
+        assert_eq!(string_field(&json, "id").as_deref(), Some("g/f"));
+        assert_eq!(u128_field(&json, "median_ns"), Some(5));
+        assert_eq!(u128_field(&json, "samples"), Some(10));
+    }
+
+    #[test]
+    fn merge_preserves_experiments_and_dedups_by_id() {
+        let dir = std::env::temp_dir().join(format!("criterion-stub-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_report.json");
+        let record = |id: &str, median: u128| BenchRecord {
+            id: id.into(),
+            median_ns: median,
+            min_ns: median,
+            max_ns: median,
+            samples: 3,
+        };
+        // Seed the file with an experiments section and one record.
+        std::fs::write(
+            &path,
+            render_report(&[
+                ("experiments", r#"[{"id": "fig11"}]"#.to_string()),
+                (
+                    "benches",
+                    render_bench_array(&[record("old/one", 7).to_json()]),
+                ),
+            ]),
+        )
+        .unwrap();
+        // Re-report old/one and add new/two.
+        merge_bench_records(&path, &[record("old/one", 9), record("new/two", 2)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("fig11"), "experiments preserved");
+        let benches = raw_section(&text, "benches").unwrap();
+        let items = array_items(&benches);
+        assert_eq!(items.len(), 2, "old/one deduplicated");
+        let medians: Vec<u128> = items
+            .iter()
+            .filter_map(|i| u128_field(i, "median_ns"))
+            .collect();
+        assert!(medians.contains(&9) && medians.contains(&2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_keeps_entries_without_parseable_ids() {
+        let dir = std::env::temp_dir().join(format!("criterion-stub-noid-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_report.json");
+        std::fs::write(
+            &path,
+            render_report(&[(
+                "benches",
+                render_bench_array(&[r#"{"note": "hand-added, no id"}"#.to_string()]),
+            )]),
+        )
+        .unwrap();
+        let fresh = BenchRecord {
+            id: "new/one".into(),
+            median_ns: 1,
+            min_ns: 1,
+            max_ns: 1,
+            samples: 1,
+        };
+        merge_bench_records(&path, &[fresh]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let items = array_items(&raw_section(&text, "benches").unwrap());
+        assert_eq!(
+            items.len(),
+            2,
+            "id-less entry preserved alongside fresh one"
+        );
+        assert!(text.contains("hand-added"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_json_flag_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(bench_json_target(args(&["--other"])), None);
+        assert_eq!(
+            bench_json_target(args(&["--bench-json=custom.json"])),
+            Some(PathBuf::from("custom.json"))
+        );
+        assert_eq!(
+            bench_json_target(args(&["--bench-json", "x.json"])),
+            Some(PathBuf::from("x.json"))
+        );
+        // A following flag (cargo's --bench) is not mistaken for a path.
+        let default = bench_json_target(args(&["--bench-json", "--bench"])).unwrap();
+        assert!(default.ends_with("BENCH_report.json"));
+    }
+}

@@ -13,7 +13,7 @@
 //!   token-interleaved distribution of unpruned keys across CORELETs,
 //!   and the imbalance statistics of Fig. 8;
 //! * [`KvBuffer`] — the on-chip K/V buffer with LRU replacement and
-//!   residency lookup (the per-CORELET "look-up-tables [that] record
+//!   residency lookup (the per-CORELET "look-up-tables \[that\] record
 //!   which key and value vectors are currently present on chip");
 //! * [`Corelet`] — per-query stage timing (QK-PU, softmax, V-PU) with
 //!   miss-stall modelling;

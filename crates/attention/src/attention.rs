@@ -368,11 +368,18 @@ pub fn pruned_attention_with(
     let d_v = v.cols();
     let mut output = ws.zeroed_matrix(s_q, d_v)?;
     let mut decisions = Vec::with_capacity(s_q);
+    // Every padded query carries the same all-pruned decision; build it
+    // once and share the storage (decision clones are Arc bumps).
+    let mut all_pruned: Option<PruneDecision> = None;
     for i in 0..s_q {
         if !query_is_live(i, padding) {
             // Padded query: everything pruned, zero prob/output rows.
             scores.row_mut(i).fill(f32::NEG_INFINITY);
-            decisions.push(PruneDecision::new(vec![true; s_k]));
+            decisions.push(
+                all_pruned
+                    .get_or_insert_with(|| PruneDecision::new(vec![true; s_k]))
+                    .clone(),
+            );
             continue;
         }
         // One fused pass over the live keys: the pruned flag (Eq. 3,

@@ -8,6 +8,8 @@
 //! distributions and a target pruning rate (the two are interchangeable
 //! for the architecture study; see DESIGN.md substitutions).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::{AttentionError, Matrix};
@@ -17,23 +19,29 @@ use crate::{AttentionError, Matrix};
 /// Follows the paper's encoding for the binary pruning vector produced
 /// by the in-memory comparators: **`true` (1) means pruned**, `false`
 /// (0) means the key is kept and must be fetched.
+///
+/// The flag storage is shared on clone (`Arc`-backed, copy-on-write on
+/// [`PruneDecision::apply_padding`]): cloning a decision is a
+/// reference-count bump, so the padded tail of a head — one identical
+/// all-pruned decision per padded query — shares a single allocation
+/// instead of materializing `s × s` flags.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PruneDecision {
-    pruned: Vec<bool>,
+    pruned: Arc<Vec<bool>>,
 }
 
 impl PruneDecision {
     /// Builds a decision from per-key pruned flags.
     pub fn new(pruned: Vec<bool>) -> Self {
-        PruneDecision { pruned }
+        PruneDecision {
+            pruned: Arc::new(pruned),
+        }
     }
 
     /// Builds a decision by thresholding a score row: keys with
     /// `score < threshold` are pruned (Eq. 3 of the paper).
     pub fn from_scores(scores: &[f32], threshold: f32) -> Self {
-        PruneDecision {
-            pruned: scores.iter().map(|&s| s < threshold).collect(),
-        }
+        PruneDecision::new(scores.iter().map(|&s| s < threshold).collect())
     }
 
     /// Number of keys covered by the decision.
@@ -93,12 +101,22 @@ impl PruneDecision {
     }
 
     /// Marks every key at or beyond `live` as pruned (padding mask).
+    ///
+    /// Copy-on-write: a decision whose storage is shared with clones is
+    /// detached before mutation, so the clones are unaffected.
     pub fn apply_padding(&mut self, live: usize) {
-        for (i, p) in self.pruned.iter_mut().enumerate() {
+        for (i, p) in Arc::make_mut(&mut self.pruned).iter_mut().enumerate() {
             if i >= live {
                 *p = true;
             }
         }
+    }
+
+    /// Whether two decisions share the same backing allocation (clones
+    /// do, until one is mutated). Sharing is an optimization only —
+    /// equality is always by value.
+    pub fn shares_storage(a: &PruneDecision, b: &PruneDecision) -> bool {
+        Arc::ptr_eq(&a.pruned, &b.pruned)
     }
 
     /// Count of keys kept by `self` that are also kept by `other`
@@ -115,7 +133,7 @@ impl PruneDecision {
         );
         self.pruned
             .iter()
-            .zip(&other.pruned)
+            .zip(other.pruned.iter())
             .filter(|(&a, &b)| !a && !b)
             .count()
     }
@@ -277,6 +295,19 @@ mod tests {
         assert_eq!(d.kept_indices(), vec![1, 2]);
         assert_eq!(d.kept_count(), 2);
         assert!((d.prune_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutated() {
+        let a = PruneDecision::new(vec![false, true, false]);
+        let mut b = a.clone();
+        assert!(PruneDecision::shares_storage(&a, &b));
+        // Copy-on-write: mutation detaches the clone, the original is
+        // untouched.
+        b.apply_padding(1);
+        assert!(!PruneDecision::shares_storage(&a, &b));
+        assert!(a.is_kept(2));
+        assert!(b.is_pruned(2));
     }
 
     #[test]

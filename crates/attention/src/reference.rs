@@ -1,7 +1,7 @@
 //! Naive reference attention kernels.
 //!
 //! These are the original per-pair `dot` + `Matrix::set` implementations
-//! the fused kernels in [`crate::attention`] replaced. They stay in-tree
+//! the fused kernels in `crate::attention` replaced. They stay in-tree
 //! for two jobs:
 //!
 //! 1. **oracle** — the property tests assert the fused kernels match

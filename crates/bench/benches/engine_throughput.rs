@@ -1,0 +1,93 @@
+//! Criterion bench: serving throughput of the unified engine.
+//!
+//! Measures heads/sec through `sprint_engine::Engine` in full SPRINT
+//! mode: the single-head `run_head` path (amortized substrate reuse)
+//! and `run_batch` at 1/2/4 workers over the same head set — the
+//! scaling story of the batched front door. The `fresh/run_head` id
+//! times the pre-engine shape (substrate rebuilt per head, via the
+//! frozen reference pipeline) as the baseline the engine's state
+//! reuse is measured against. Run with `-- --bench-json` to record
+//! the timings in `BENCH_report.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sprint_engine::{reference, Engine, ExecutionMode, HeadRequest, SprintConfig};
+use sprint_reram::{NoiseModel, ThresholdSpec};
+use sprint_workloads::{ModelConfig, TraceGenerator};
+
+/// Heads per batch (per worker sweep).
+const HEADS: usize = 8;
+/// Sequence length of each head (functional pipeline: O(s²·d) work).
+const SEQ: usize = 128;
+
+fn bench(c: &mut Criterion) {
+    let spec = ModelConfig::bert_base().trace_spec().with_seq_len(SEQ);
+    let heads = TraceGenerator::new(0xbe)
+        .generate_many(&spec, HEADS)
+        .expect("trace generation");
+    let engine = Engine::builder(SprintConfig::medium())
+        .noise(NoiseModel::default())
+        .mode(ExecutionMode::Sprint)
+        .seed(7)
+        // Enough slots for the widest sweep even on few-core machines
+        // (the default is available_parallelism, which would silently
+        // clamp the workers2/4 runs below).
+        .worker_slots(4)
+        .build()
+        .expect("engine build");
+    // Tag every request with its index so the single-head loop, the
+    // fresh-substrate baseline and the batched fan-out all execute the
+    // same per-head seeds (identical pruning workloads).
+    let requests: Vec<HeadRequest> = heads
+        .iter()
+        .enumerate()
+        .map(|(i, t)| HeadRequest::from_trace(t).with_head_id(i as u64))
+        .collect();
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    // Steady-state single-head serving: substrate reused across calls.
+    group.bench_function("run_head", |b| {
+        b.iter(|| {
+            for req in &requests {
+                black_box(engine.run_head(req).unwrap());
+            }
+        })
+    });
+    // The pre-engine shape: every head rebuilds pruner + controller +
+    // workspace (the frozen seed pipeline).
+    group.bench_function("fresh/run_head", |b| {
+        let spec = ThresholdSpec::default();
+        b.iter(|| {
+            for req in &requests {
+                let seed = sprint_engine::derive_head_seed(
+                    engine.seed(),
+                    req.head_id().expect("requests are tagged"),
+                );
+                black_box(
+                    reference::run_head_frozen(
+                        req,
+                        engine.config(),
+                        engine.noise(),
+                        seed,
+                        &spec,
+                        ExecutionMode::Sprint,
+                    )
+                    .unwrap(),
+                );
+            }
+        })
+    });
+    // Batched fan-out at fixed worker counts (results are identical
+    // across counts; only wall-clock changes).
+    for workers in [1usize, 2, 4] {
+        group.bench_function(&format!("run_batch/workers{workers}"), |b| {
+            b.iter(|| black_box(engine.run_batch_threads(workers, &requests).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,6 +8,7 @@
 
 use sprint_accelerator::{mean_imbalance, MappingPolicy};
 use sprint_energy::Category;
+use sprint_engine::{Engine, ExecutionMode as EngineMode, HeadRequest};
 use sprint_workloads::{overlap, ModelConfig, TraceGenerator};
 
 use crate::accuracy::{bit_sensitivity, evaluate_scenarios};
@@ -135,11 +136,12 @@ pub fn fig1(scale: &Scale) -> ExperimentResult {
 }
 
 /// Fig. 2: the query/key unpruned map of a CoLA-like head
-/// ('#' kept, '.' pruned, ' ' padded).
+/// ('#' kept, '.' pruned, ' ' padded), as decided by the engine's
+/// full-precision oracle pipeline.
 ///
 /// # Errors
 ///
-/// Propagates trace-generation errors.
+/// Propagates trace-generation and engine errors.
 pub fn fig2(scale: &Scale) -> Result<ExperimentResult, SystemError> {
     let seq = 48.min(scale.seq_cap);
     let live = (seq * 2) / 3;
@@ -149,9 +151,17 @@ pub fn fig2(scale: &Scale) -> Result<ExperimentResult, SystemError> {
         .with_padding(1.0 - live as f64 / seq as f64)
         .with_overlap(0.85);
     let trace = TraceGenerator::new(scale.seed).generate(&spec)?;
+    let engine = Engine::builder(SprintConfig::small())
+        .mode(EngineMode::Oracle)
+        .worker_slots(1)
+        .build()
+        .map_err(SystemError::from)?;
+    let response = engine
+        .run_head(&HeadRequest::from_trace(&trace))
+        .map_err(SystemError::from)?;
     let mut result =
         ExperimentResult::new("fig2", "Query-key unpruned map (rows: queries, cols: keys)");
-    for (i, d) in trace.reference_decisions().iter().enumerate() {
+    for (i, d) in response.decisions.iter().enumerate() {
         let mut line = String::with_capacity(seq);
         for j in 0..seq {
             line.push(if i >= trace.live_tokens() || j >= trace.live_tokens() {
@@ -180,7 +190,13 @@ pub fn fig3(scale: &Scale) -> Result<ExperimentResult, SystemError> {
         "Adjacent-query kept-set overlap: dataset vs random (Eq. 1)",
     )
     .headers(["Model", "Random E(L)/M", "Dataset", "Gain"]);
-    // Trace synthesis dominates this figure; one worker per model.
+    // Trace synthesis dominates this figure; one worker per model. The
+    // overlap is measured on the engine's oracle decisions (one shared
+    // engine — run_head takes &self — rather than per-trace bookkeeping).
+    let engine = Engine::builder(SprintConfig::small())
+        .mode(EngineMode::Oracle)
+        .build()
+        .map_err(SystemError::from)?;
     let models: Vec<(usize, ModelConfig)> =
         ModelConfig::real_models().into_iter().enumerate().collect();
     let rows = sprint_parallel::par_try_map(&models, |&(i, ref model)| {
@@ -190,7 +206,11 @@ pub fn fig3(scale: &Scale) -> Result<ExperimentResult, SystemError> {
         let live = trace.live_tokens() as u64;
         let m = ((live as f64) * model.keep_rate()).round() as u64;
         let random = overlap::expected_overlap_fraction(live, m.min(live));
-        let observed = trace.stats().mean_adjacent_overlap;
+        let response = engine
+            .run_head(&HeadRequest::from_trace(&trace).with_head_id(i as u64))
+            .map_err(SystemError::from)?;
+        let observed = sprint_attention::pruning_stats(&response.decisions[..trace.live_tokens()])
+            .mean_adjacent_overlap;
         Ok::<_, SystemError>([
             model.name.to_string(),
             format!("{:.1}%", random * 100.0),
@@ -680,7 +700,7 @@ const OUTER_DRIVERS: usize = 4;
 /// Runs every experiment at the given scale, ablations included,
 /// fanned out across cores.
 ///
-/// Drivers are independent: up to [`OUTER_DRIVERS`] run concurrently,
+/// Drivers are independent: up to `OUTER_DRIVERS` run concurrently,
 /// each free to fan its inner model loops out across all workers. The
 /// result order is fixed regardless of scheduling, and the error
 /// reported on failure is that of the first failing driver in listed
@@ -740,9 +760,13 @@ mod tests {
     #[test]
     fn fig2_map_has_live_and_masked_regions() {
         let r = fig2(&scale()).unwrap();
-        let first = &r.rows[0][0];
-        assert!(first.contains('#'), "kept cells present");
-        assert!(first.contains('.'), "pruned cells present");
+        // The oracle pipeline (unlike the generator's reference
+        // decisions) has no per-row argmax force-keep, so assert over
+        // the whole map: kept and pruned cells both present, padded
+        // tail blank.
+        let map: Vec<&str> = r.rows.iter().map(|row| row[0].as_str()).collect();
+        assert!(map.iter().any(|l| l.contains('#')), "kept cells present");
+        assert!(map.iter().any(|l| l.contains('.')), "pruned cells present");
         let last = r.rows.last().unwrap()[0].clone();
         assert!(last.trim().is_empty(), "padded query row is blank");
     }

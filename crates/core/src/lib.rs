@@ -35,7 +35,6 @@ pub mod counting;
 pub mod experiments;
 
 mod accuracy;
-mod config;
 mod ffn;
 mod prior_art;
 mod profile;
@@ -45,10 +44,13 @@ mod system;
 pub use accuracy::{
     bit_sensitivity, evaluate_scenarios, mean_degradation, AccuracyScenario, ScenarioScores,
 };
-pub use config::SprintConfig;
 pub use counting::{ExecutionMode, HeadPerf};
 pub use ffn::{end_to_end, EndToEnd, FfnConfig};
 pub use prior_art::{sprint_metrics, AcceleratorMetrics, PriorArt};
 pub use profile::{HeadProfile, SyntheticHeadSpec};
 pub use report::{geomean, results_to_json, ExperimentResult};
-pub use system::{SprintSystem, SystemError, SystemOutput};
+// The hardware configuration and the legacy error now live in
+// `sprint-engine` (the serving front door); re-exported here so every
+// pre-engine path keeps compiling.
+pub use sprint_engine::{SprintConfig, SystemError};
+pub use system::{SprintSystem, SystemOutput};

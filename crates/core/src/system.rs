@@ -1,78 +1,31 @@
-//! The functional end-to-end SPRINT system (Fig. 7 dataflow).
+//! The legacy end-to-end entry point, shimmed over [`sprint_engine`].
 //!
-//! Runs actual numbers through the full pipeline: quantized key MSBs in
-//! transposable ReRAM, analog thresholding with noise, the memory
-//! controller's SLD/selective fetch, and the on-chip 8-bit recompute
-//! datapath. Used by the accuracy studies (Figs. 5 and 9) and the
-//! integration tests; the performance figures use the counting
-//! simulator instead (same split as the paper).
+//! `SprintSystem` was the seed API for running one head through the
+//! functional pipeline (in-memory thresholding → selective fetch →
+//! on-chip recompute). It survives as a thin shim over
+//! [`sprint_engine::Engine`] so the pre-redesign call sites (and the
+//! equivalence tests pinning the engine to the seed outputs) keep
+//! working: `run_head(trace, spec, recompute)` maps onto
+//! [`ExecutionMode::Sprint`] / [`ExecutionMode::NoRecompute`] with the
+//! system's raw seed, which the engine reproduces bit-for-bit. New
+//! code should use the engine directly — it reuses substrate state
+//! across heads and serves batches.
+//!
+//! [`ExecutionMode::Sprint`]: sprint_engine::ExecutionMode::Sprint
+//! [`ExecutionMode::NoRecompute`]: sprint_engine::ExecutionMode::NoRecompute
 
-use serde::{Deserialize, Serialize};
-
-use sprint_attention::{
-    quantized_attention_with, softmax_inplace, AttentionError, Matrix, PruneDecision, Workspace,
-};
-use sprint_memory::{MemoryController, MemoryError, MemoryStats};
-use sprint_reram::{InMemoryPruner, NoiseModel, PruneHardwareStats, ReramError, ThresholdSpec};
+use sprint_engine::{Engine, ExecutionMode, HeadRequest, HeadResponse, SystemError};
+use sprint_reram::{NoiseModel, ThresholdSpec};
 use sprint_workloads::HeadTrace;
 
 use crate::SprintConfig;
 
-/// Errors from the end-to-end system (any substrate can fail).
-#[derive(Debug)]
-pub enum SystemError {
-    /// Attention math error.
-    Attention(AttentionError),
-    /// ReRAM substrate error.
-    Reram(ReramError),
-    /// Memory subsystem error.
-    Memory(MemoryError),
-}
+/// The output of one functional head execution — now an alias of the
+/// engine's [`HeadResponse`] (the field set is unchanged).
+pub type SystemOutput = HeadResponse;
 
-impl std::fmt::Display for SystemError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SystemError::Attention(e) => write!(f, "attention: {e}"),
-            SystemError::Reram(e) => write!(f, "reram: {e}"),
-            SystemError::Memory(e) => write!(f, "memory: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for SystemError {}
-
-impl From<AttentionError> for SystemError {
-    fn from(e: AttentionError) -> Self {
-        SystemError::Attention(e)
-    }
-}
-
-impl From<ReramError> for SystemError {
-    fn from(e: ReramError) -> Self {
-        SystemError::Reram(e)
-    }
-}
-
-impl From<MemoryError> for SystemError {
-    fn from(e: MemoryError) -> Self {
-        SystemError::Memory(e)
-    }
-}
-
-/// The output of one functional head execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SystemOutput {
-    /// Final attention values (`s × d`).
-    pub output: Matrix,
-    /// The in-memory pruning decisions actually applied.
-    pub decisions: Vec<PruneDecision>,
-    /// ReRAM-side operation counters.
-    pub prune_stats: PruneHardwareStats,
-    /// Memory-controller statistics (fetches, reuse, commands).
-    pub memory_stats: MemoryStats,
-}
-
-/// The functional SPRINT system for one configuration.
+/// The functional SPRINT system for one configuration (legacy shim
+/// over [`sprint_engine::Engine`]).
 ///
 /// # Example
 ///
@@ -95,6 +48,9 @@ pub struct SprintSystem {
     config: SprintConfig,
     noise: NoiseModel,
     seed: u64,
+    /// Built lazily so `new` stays infallible (the seed API deferred
+    /// configuration validation to `run_head`).
+    engine: Option<Engine>,
 }
 
 impl SprintSystem {
@@ -105,6 +61,7 @@ impl SprintSystem {
             config,
             noise,
             seed,
+            engine: None,
         }
     }
 
@@ -129,101 +86,31 @@ impl SprintSystem {
         spec: &ThresholdSpec,
         recompute: bool,
     ) -> Result<SystemOutput, SystemError> {
-        let live = trace.live_tokens();
-        let s = trace.seq_len();
-        let threshold = trace.threshold();
-
-        // In-memory pruning over the live region only (the 2-D
-        // reduction filters padded rows/columns before memory ever
-        // sees them).
-        let q_live = submatrix(trace.q(), live)?;
-        let k_live = submatrix(trace.k(), live)?;
-        let mut pruner = InMemoryPruner::new(
-            &q_live,
-            &k_live,
-            trace.config().scale(),
-            self.noise,
-            self.seed,
-        )?;
-
-        let mut controller =
-            MemoryController::new(self.config.memory_geometry(), self.config.timing)?;
-        controller.start_new_head();
-
-        let mut decisions = Vec::with_capacity(s);
-        let mut approx_rows: Vec<Vec<f32>> = Vec::with_capacity(live);
-        for i in 0..live {
-            let outcome = pruner.prune_query(q_live.row(i), threshold, spec)?;
-            // Extend the live-region decision to the full sequence:
-            // padded keys are always pruned.
-            let mut pruned = vec![true; s];
-            for (j, flag) in pruned.iter_mut().enumerate().take(live) {
-                *flag = outcome.decision.is_pruned(j);
-            }
-            controller.process_query(&pruned[..live])?;
-            let mut row = vec![f32::NEG_INFINITY; s];
-            for j in 0..live {
-                if !pruned[j] {
-                    row[j] = outcome.approx_scores[j];
-                }
-            }
-            approx_rows.push(row);
-            decisions.push(PruneDecision::new(pruned));
+        if self.engine.is_none() {
+            self.engine = Some(
+                Engine::builder(self.config.clone())
+                    .noise(self.noise)
+                    .seed(self.seed)
+                    .worker_slots(1)
+                    .build()
+                    .map_err(SystemError::from)?,
+            );
         }
-        for _ in live..s {
-            decisions.push(PruneDecision::new(vec![true; s]));
-        }
-
-        let mut ws = Workspace::new();
-        let output = if recompute {
-            // On-chip recompute: full-precision (8-bit datapath) scores
-            // for every surviving key.
-            quantized_attention_with(
-                trace.q(),
-                trace.k(),
-                trace.v(),
-                &trace.config(),
-                Some(&decisions),
-                &mut ws,
-            )?
-            .output
+        let engine = self.engine.as_ref().expect("engine just built");
+        let mode = if recompute {
+            ExecutionMode::Sprint
         } else {
-            // No recompute: the approximate in-memory scores drive the
-            // softmax and weighted sum directly. The workspace stages
-            // each probability row; surviving keys accumulate row-wise.
-            let mut out = Matrix::zeros(s, trace.v().cols())?;
-            let prow = ws.prob_row(s);
-            for (i, row) in approx_rows.iter().enumerate() {
-                prow.copy_from_slice(row);
-                softmax_inplace(prow);
-                let orow = out.row_mut(i);
-                for (j, &p) in prow.iter().enumerate() {
-                    if p > 0.0 {
-                        for (o, &vx) in orow.iter_mut().zip(trace.v().row(j)) {
-                            *o += p * vx;
-                        }
-                    }
-                }
-            }
-            out
+            ExecutionMode::NoRecompute
         };
-
-        Ok(SystemOutput {
-            output,
-            decisions,
-            prune_stats: pruner.stats(),
-            memory_stats: controller.stats(),
-        })
+        let request = HeadRequest::from_trace(trace)
+            .with_mode(mode)
+            .with_threshold_spec(*spec);
+        // The raw (underived) seed: exactly what the seed path fed its
+        // per-call pruner, so outputs stay bit-identical.
+        engine
+            .run_head_seeded(&request, self.seed)
+            .map_err(SystemError::from)
     }
-}
-
-/// The first `rows` rows of `m` as an owned matrix.
-fn submatrix(m: &Matrix, rows: usize) -> Result<Matrix, AttentionError> {
-    let mut out = Matrix::zeros(rows, m.cols())?;
-    for r in 0..rows {
-        out.row_mut(r).copy_from_slice(m.row(r));
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -340,6 +227,33 @@ mod tests {
         for i in trace.live_tokens()..trace.seq_len() {
             assert!(out.output.row(i).iter().all(|&x| x == 0.0), "row {i}");
             assert_eq!(out.decisions[i].kept_count(), 0);
+        }
+    }
+
+    #[test]
+    fn shim_matches_the_frozen_seed_pipeline_bitwise() {
+        // The shim's contract: identical outputs to the pre-engine
+        // implementation, preserved in sprint_engine::reference.
+        let trace = small_trace();
+        let noise = NoiseModel::default();
+        let spec = ThresholdSpec::default();
+        for (recompute, mode) in [
+            (true, ExecutionMode::Sprint),
+            (false, ExecutionMode::NoRecompute),
+        ] {
+            let mut sys = SprintSystem::new(SprintConfig::medium(), noise, 41);
+            let got = sys.run_head(&trace, &spec, recompute).unwrap();
+            let request = HeadRequest::from_trace(&trace).with_mode(mode);
+            let want = sprint_engine::reference::run_head_frozen(
+                &request,
+                &SprintConfig::medium(),
+                noise,
+                41,
+                &spec,
+                mode,
+            )
+            .unwrap();
+            assert_eq!(got, want, "recompute = {recompute}");
         }
     }
 }

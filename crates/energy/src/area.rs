@@ -122,7 +122,7 @@ impl AreaModel {
 
 /// Dennard-scales a per-operation metric between process nodes.
 ///
-/// The paper uses classic Dennard scaling [37] to compare 65 nm SPRINT
+/// The paper uses classic Dennard scaling \[37\] to compare 65 nm SPRINT
 /// with the 40 nm A3/SpAtten designs: energy per operation scales with
 /// the square of the feature-size ratio, so a *throughput-per-joule*
 /// metric measured at `from_nm` is multiplied by `(from_nm / to_nm)²`

@@ -23,7 +23,7 @@ use sprint_memory::MemoryGeometry;
 /// # Example
 ///
 /// ```
-/// use sprint_core::SprintConfig;
+/// use sprint_engine::SprintConfig;
 ///
 /// let m = SprintConfig::medium();
 /// assert_eq!(m.corelets, 2);

@@ -1,0 +1,813 @@
+//! The reusable serving engine over pruning, memory and recompute.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sprint_attention::{
+    pruned_attention_with, quantized_attention_with, softmax_inplace, Matrix, PruneDecision,
+    Workspace,
+};
+use sprint_memory::MemoryController;
+use sprint_reram::{InMemoryPruner, NoiseModel, ThresholdSpec};
+
+use crate::{ExecutionMode, HeadRequest, HeadResponse, SprintConfig, SprintError};
+
+/// Derives the per-head pruner seed from the engine's base seed and a
+/// stable head identity (splitmix64-style mixing).
+///
+/// [`Engine::run_batch`] seeds head `i` with
+/// `derive_head_seed(engine_seed, head_id.unwrap_or(i))`, so results
+/// depend only on the batch contents and positions — never on the
+/// worker count or scheduling order.
+pub fn derive_head_seed(base_seed: u64, head_id: u64) -> u64 {
+    let mut z = base_seed ^ head_id.wrapping_add(1).wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Builder for [`Engine`] (see [`Engine::builder`]).
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    config: SprintConfig,
+    noise: NoiseModel,
+    threshold_spec: ThresholdSpec,
+    mode: ExecutionMode,
+    seed: u64,
+    worker_slots: usize,
+    memory_accounting: bool,
+}
+
+impl EngineBuilder {
+    /// Sets the analog noise model (default: the paper's
+    /// 5-bit-equivalent [`NoiseModel::default`]).
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the analog comparator configuration (default:
+    /// [`ThresholdSpec::default`] — pure analog comparison, no margin).
+    #[must_use]
+    pub fn threshold_spec(mut self, spec: ThresholdSpec) -> Self {
+        self.threshold_spec = spec;
+        self
+    }
+
+    /// Sets the default [`ExecutionMode`] (default:
+    /// [`ExecutionMode::Sprint`]); individual requests may override it.
+    #[must_use]
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the base seed for per-head seed derivation (default: 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of concurrent worker scratch slots (default:
+    /// [`sprint_parallel::max_threads`]). [`Engine::run_batch`] never
+    /// uses more workers than slots.
+    #[must_use]
+    pub fn worker_slots(mut self, slots: usize) -> Self {
+        self.worker_slots = slots.max(1);
+        self
+    }
+
+    /// Enables or disables memory-controller accounting (default:
+    /// on). The controller only produces statistics — attention
+    /// outputs and pruning decisions never depend on it — so callers
+    /// that discard [`crate::HeadResponse::memory_stats`] (e.g. pure
+    /// accuracy sweeps) can turn it off to skip the per-query DRAM
+    /// timing simulation; `memory_stats` then stays zeroed.
+    #[must_use]
+    pub fn memory_accounting(mut self, on: bool) -> Self {
+        self.memory_accounting = on;
+        self
+    }
+
+    /// Builds the engine, validating the hardware configuration
+    /// eagerly (the memory controller for scratch slot 0 is
+    /// constructed up front so configuration errors surface here, not
+    /// on the first request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory geometry/timing validation errors.
+    pub fn build(self) -> Result<Engine, SprintError> {
+        let mut scratches: Vec<Mutex<HeadScratch>> = (0..self.worker_slots)
+            .map(|_| Mutex::new(HeadScratch::default()))
+            .collect();
+        scratches[0].get_mut().expect("fresh mutex").controller = Some(MemoryController::new(
+            self.config.memory_geometry(),
+            self.config.timing,
+        )?);
+        Ok(Engine {
+            config: self.config,
+            noise: self.noise,
+            threshold_spec: self.threshold_spec,
+            mode: self.mode,
+            seed: self.seed,
+            scratches,
+            memory_accounting: self.memory_accounting,
+            next_slot: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// Per-worker reusable substrate state. Everything heavy a head needs
+/// — pruner crossbars, the memory controller, attention workspace,
+/// approximate-score rows, live-region staging buffers, the shared
+/// all-pruned padded-row decision — lives here and is recycled across
+/// heads, so steady-state execution re-allocates none of it.
+#[derive(Debug, Default)]
+struct HeadScratch {
+    ws: Workspace,
+    pruner: Option<InMemoryPruner>,
+    controller: Option<MemoryController>,
+    /// Backing buffers for the live-region Q/K submatrices.
+    mat_pool: Vec<Vec<f32>>,
+    /// Approximate in-memory score rows, one per live query.
+    approx: Vec<Vec<f32>>,
+    /// Cached all-pruned decision shared by every padded query.
+    all_pruned: Option<PruneDecision>,
+}
+
+impl HeadScratch {
+    /// The shared all-pruned decision of length `len` (one allocation
+    /// per length change; every padded row clones the same storage).
+    fn all_pruned(&mut self, len: usize) -> PruneDecision {
+        match &self.all_pruned {
+            Some(d) if d.len() == len => d.clone(),
+            _ => {
+                let d = PruneDecision::new(vec![true; len]);
+                self.all_pruned = Some(d.clone());
+                d
+            }
+        }
+    }
+
+    /// A matrix holding the first `rows` rows of `src`, backed by a
+    /// pooled buffer.
+    fn live_submatrix(&mut self, src: &Matrix, rows: usize) -> Result<Matrix, SprintError> {
+        let cols = src.cols();
+        let mut buf = self.mat_pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(&src.as_slice()[..rows * cols]);
+        Ok(Matrix::from_vec(rows, cols, buf)?)
+    }
+
+    /// Returns a matrix's backing buffer to the pool.
+    fn recycle(&mut self, m: Matrix) {
+        self.mat_pool.push(m.into_vec());
+    }
+}
+
+/// The unified SPRINT serving engine.
+///
+/// One engine owns every reusable piece of substrate state — ReRAM
+/// pruner crossbars, the extended memory controller, attention
+/// [`Workspace`]s and output-buffer pools, per-head decision scratch —
+/// and exposes the whole pipeline behind two calls:
+/// [`Engine::run_head`] for a single head and [`Engine::run_batch`]
+/// for a fan-out over [`sprint_parallel`] workers. Steady-state head
+/// execution reuses the engine's buffers instead of rebuilding the
+/// substrate per call, and results are bit-identical to the
+/// build-everything-fresh reference path
+/// ([`crate::reference::run_head_frozen`]) regardless of how many
+/// heads ran before or how many workers execute a batch.
+///
+/// # Example
+///
+/// ```
+/// use sprint_engine::{Engine, ExecutionMode, HeadRequest, SprintConfig};
+/// use sprint_reram::NoiseModel;
+/// use sprint_workloads::{ModelConfig, TraceGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = ModelConfig::vit_base().trace_spec().with_seq_len(48);
+/// let trace = TraceGenerator::new(3).generate(&spec)?;
+/// let engine = Engine::builder(SprintConfig::small())
+///     .noise(NoiseModel::ideal())
+///     .mode(ExecutionMode::Sprint)
+///     .seed(1)
+///     .build()?;
+/// let out = engine.run_head(&HeadRequest::from_trace(&trace))?;
+/// assert_eq!(out.output.rows(), 48);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: SprintConfig,
+    noise: NoiseModel,
+    threshold_spec: ThresholdSpec,
+    mode: ExecutionMode,
+    seed: u64,
+    scratches: Vec<Mutex<HeadScratch>>,
+    memory_accounting: bool,
+    /// Rotates overflow callers (more concurrent `run_head`s than
+    /// slots) across blocking locks — see [`Engine::with_scratch`].
+    next_slot: AtomicUsize,
+}
+
+impl Engine {
+    /// Starts building an engine for the given hardware configuration,
+    /// with the paper's defaults for everything else (5-bit-equivalent
+    /// noise, analog comparison, [`ExecutionMode::Sprint`], seed 0).
+    pub fn builder(config: SprintConfig) -> EngineBuilder {
+        EngineBuilder {
+            config,
+            noise: NoiseModel::default(),
+            threshold_spec: ThresholdSpec::default(),
+            mode: ExecutionMode::Sprint,
+            seed: 0,
+            worker_slots: sprint_parallel::max_threads(),
+            memory_accounting: true,
+        }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &SprintConfig {
+        &self.config
+    }
+
+    /// The analog noise model.
+    pub fn noise(&self) -> NoiseModel {
+        self.noise
+    }
+
+    /// The default analog comparator configuration.
+    pub fn threshold_spec(&self) -> ThresholdSpec {
+        self.threshold_spec
+    }
+
+    /// The default execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// The base seed for per-head seed derivation.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of worker scratch slots (the concurrency cap of
+    /// [`Engine::run_batch`]).
+    pub fn worker_slots(&self) -> usize {
+        self.scratches.len()
+    }
+
+    /// Runs one head with the engine defaults (and the request's
+    /// overrides). The pruner seed is derived from the engine seed and
+    /// the request's head id (batch position 0 when untagged), so
+    /// `run_head(&r)` equals `run_batch(&[r])[0]`.
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Request`] for malformed requests; substrate
+    /// errors otherwise.
+    pub fn run_head(&self, request: &HeadRequest) -> Result<HeadResponse, SprintError> {
+        self.run_head_seeded(
+            request,
+            derive_head_seed(self.seed, request.head_id().unwrap_or(0)),
+        )
+    }
+
+    /// [`Engine::run_head`] with an explicit raw pruner seed (no
+    /// derivation). This is the oracle-compatibility entry: the legacy
+    /// `SprintSystem::run_head` shim and the equivalence tests use it
+    /// to reproduce pre-engine outputs bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run_head`].
+    pub fn run_head_seeded(
+        &self,
+        request: &HeadRequest,
+        seed: u64,
+    ) -> Result<HeadResponse, SprintError> {
+        self.with_scratch(|scratch| self.run_on_scratch(scratch, request, seed))
+    }
+
+    /// Runs a batch of heads, fanned out across up to
+    /// [`Engine::worker_slots`] [`sprint_parallel`] workers
+    /// (`SPRINT_THREADS` caps them too, via
+    /// [`sprint_parallel::max_threads`]).
+    ///
+    /// Results are returned in request order and are bit-identical
+    /// across worker counts: head `i` is seeded with
+    /// [`derive_head_seed`]`(engine_seed, head_id.unwrap_or(i))` and
+    /// every worker's scratch produces fresh-state-identical results.
+    /// On failure the reported error is that of the lowest-indexed
+    /// failing request.
+    ///
+    /// # Errors
+    ///
+    /// The first (by request index) error produced.
+    pub fn run_batch(&self, requests: &[HeadRequest]) -> Result<Vec<HeadResponse>, SprintError> {
+        self.run_batch_threads(sprint_parallel::max_threads(), requests)
+    }
+
+    /// [`Engine::run_batch`] with an explicit worker-count cap (the
+    /// thread-independence tests sweep this; production code should
+    /// prefer `run_batch`).
+    ///
+    /// `threads` is clamped to `1..=worker_slots`, so zero runs
+    /// single-threaded rather than panicking.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run_batch`].
+    pub fn run_batch_threads(
+        &self,
+        threads: usize,
+        requests: &[HeadRequest],
+    ) -> Result<Vec<HeadResponse>, SprintError> {
+        let workers = threads.min(self.scratches.len()).max(1);
+        let indexed: Vec<(usize, &HeadRequest)> = requests.iter().enumerate().collect();
+        sprint_parallel::par_try_map_threads(workers, &indexed, |&(i, request)| {
+            let seed = derive_head_seed(self.seed, request.head_id().unwrap_or(i as u64));
+            self.with_scratch(|scratch| self.run_on_scratch(scratch, request, seed))
+        })
+    }
+
+    /// Claims a worker scratch. Batch workers never exceed the slot
+    /// count, so their first sweep always finds a free slot; external
+    /// concurrent `run_head` callers beyond the slot count fall back
+    /// to a blocking lock on a rotating slot instead of spinning.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut HeadScratch) -> R) -> R {
+        for slot in &self.scratches {
+            if let Ok(mut scratch) = slot.try_lock() {
+                return f(&mut scratch);
+            }
+        }
+        let i = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.scratches.len();
+        let mut scratch = self.scratches[i].lock().expect("scratch mutex poisoned");
+        f(&mut scratch)
+    }
+
+    /// The mode-dispatched head pipeline over one worker's scratch.
+    fn run_on_scratch(
+        &self,
+        scratch: &mut HeadScratch,
+        request: &HeadRequest,
+        seed: u64,
+    ) -> Result<HeadResponse, SprintError> {
+        let (live_q, live_k) = validate_request(request)?;
+        let mode = request.mode_override().unwrap_or(self.mode);
+        let spec = request
+            .threshold_spec_override()
+            .unwrap_or(self.threshold_spec);
+        match mode {
+            ExecutionMode::Sprint | ExecutionMode::NoRecompute => self.run_analog(
+                scratch,
+                request,
+                seed,
+                &spec,
+                mode == ExecutionMode::Sprint,
+                live_q,
+                live_k,
+            ),
+            ExecutionMode::Dense | ExecutionMode::Oracle => {
+                let threshold = match mode {
+                    ExecutionMode::Dense => f32::MIN,
+                    _ => request.threshold(),
+                };
+                self.run_digital(scratch, request, threshold, live_q, live_k)
+            }
+        }
+    }
+
+    /// The analog pipeline (Sprint / NoRecompute): in-memory
+    /// thresholding over the live region, selective fetch through the
+    /// memory controller, then either the 8-bit recompute datapath or
+    /// the approximate-score softmax.
+    #[allow(clippy::too_many_arguments)]
+    fn run_analog(
+        &self,
+        scratch: &mut HeadScratch,
+        request: &HeadRequest,
+        seed: u64,
+        spec: &ThresholdSpec,
+        recompute: bool,
+        live_q: usize,
+        live_k: usize,
+    ) -> Result<HeadResponse, SprintError> {
+        let (q, k, v) = (request.q(), request.k(), request.v());
+        let (s_q, s_k) = (q.rows(), k.rows());
+        if live_q == 0 || live_k == 0 {
+            // Nothing live: no thresholding, no fetches, zero output.
+            return empty_response(scratch, s_q, s_k, v.cols());
+        }
+
+        // In-memory pruning over the live region only (the 2-D
+        // reduction filters padded rows/columns before memory ever
+        // sees them). The pruner crossbars are reprogrammed in place —
+        // bit-identical to fresh construction, without the per-head
+        // allocations.
+        let q_live = scratch.live_submatrix(q, live_q)?;
+        let k_live = scratch.live_submatrix(k, live_k)?;
+        let scale = request.config().scale();
+        match scratch.pruner.as_mut() {
+            Some(p) => p.reprogram(&q_live, &k_live, scale, self.noise, seed)?,
+            None => {
+                scratch.pruner = Some(InMemoryPruner::new(
+                    &q_live, &k_live, scale, self.noise, seed,
+                )?)
+            }
+        }
+        scratch.recycle(q_live);
+        scratch.recycle(k_live);
+        if self.memory_accounting && scratch.controller.is_none() {
+            scratch.controller = Some(MemoryController::new(
+                self.config.memory_geometry(),
+                self.config.timing,
+            )?);
+        }
+        if scratch.approx.len() < live_q {
+            scratch.approx.resize_with(live_q, Vec::new);
+        }
+
+        let threshold = request.threshold();
+        let mut decisions = Vec::with_capacity(s_q);
+        let (prune_stats, memory_stats) = {
+            let pruner = scratch.pruner.as_mut().expect("pruner just installed");
+            let mut controller = scratch
+                .controller
+                .as_mut()
+                .filter(|_| self.memory_accounting);
+            if let Some(c) = controller.as_mut() {
+                c.reset_cold();
+            }
+            for i in 0..live_q {
+                let outcome = pruner.prune_query(q.row(i), threshold, spec)?;
+                // Extend the live-region decision to the full key
+                // sequence: padded keys are always pruned.
+                let mut pruned = vec![true; s_k];
+                for (j, flag) in pruned.iter_mut().enumerate().take(live_k) {
+                    *flag = outcome.decision.is_pruned(j);
+                }
+                if let Some(c) = controller.as_mut() {
+                    c.process_query(&pruned[..live_k])?;
+                }
+                let row = &mut scratch.approx[i];
+                row.clear();
+                row.resize(s_k, f32::NEG_INFINITY);
+                for j in 0..live_k {
+                    if !pruned[j] {
+                        row[j] = outcome.approx_scores[j];
+                    }
+                }
+                decisions.push(PruneDecision::new(pruned));
+            }
+            let memory_stats = controller.map(|c| c.stats()).unwrap_or_default();
+            (pruner.stats(), memory_stats)
+        };
+        for _ in live_q..s_q {
+            decisions.push(scratch.all_pruned(s_k));
+        }
+
+        let output = if recompute {
+            // On-chip recompute: full-precision (8-bit datapath) scores
+            // for every surviving key.
+            let out = quantized_attention_with(
+                q,
+                k,
+                v,
+                &request.config(),
+                Some(&decisions),
+                &mut scratch.ws,
+            )?;
+            scratch.ws.recycle(out.scores);
+            scratch.ws.recycle(out.probs);
+            out.output
+        } else {
+            // No recompute: the approximate in-memory scores drive the
+            // softmax and weighted sum directly; the workspace stages
+            // each probability row.
+            let mut out = Matrix::zeros(s_q, v.cols())?;
+            let prow = scratch.ws.prob_row(s_k);
+            for (i, row) in scratch.approx[..live_q].iter().enumerate() {
+                prow.copy_from_slice(row);
+                softmax_inplace(prow);
+                let orow = out.row_mut(i);
+                for (j, &p) in prow.iter().enumerate() {
+                    if p > 0.0 {
+                        for (o, &vx) in orow.iter_mut().zip(v.row(j)) {
+                            *o += p * vx;
+                        }
+                    }
+                }
+            }
+            out
+        };
+
+        Ok(HeadResponse {
+            output,
+            decisions,
+            prune_stats,
+            memory_stats,
+        })
+    }
+
+    /// The digital pipeline (Dense / Oracle): full-precision pruned
+    /// attention over the live region, with the resulting kept sets
+    /// driven through the memory controller for fetch/reuse
+    /// accounting (skipped when [`EngineBuilder::memory_accounting`]
+    /// is off). `threshold == f32::MIN` reduces to the dense baseline.
+    fn run_digital(
+        &self,
+        scratch: &mut HeadScratch,
+        request: &HeadRequest,
+        threshold: f32,
+        live_q: usize,
+        live_k: usize,
+    ) -> Result<HeadResponse, SprintError> {
+        let (q, k, v) = (request.q(), request.k(), request.v());
+        let padding = request.padding();
+        let (out, decisions) = pruned_attention_with(
+            q,
+            k,
+            v,
+            &request.config(),
+            threshold,
+            padding.as_ref(),
+            &mut scratch.ws,
+        )?;
+        scratch.ws.recycle(out.scores);
+        scratch.ws.recycle(out.probs);
+
+        let mut memory_stats = sprint_memory::MemoryStats::default();
+        if self.memory_accounting && live_q > 0 && live_k > 0 {
+            if scratch.controller.is_none() {
+                scratch.controller = Some(MemoryController::new(
+                    self.config.memory_geometry(),
+                    self.config.timing,
+                )?);
+            }
+            let controller = scratch.controller.as_mut().expect("controller installed");
+            controller.reset_cold();
+            for d in decisions.iter().take(live_q) {
+                controller.process_query(&d.as_slice()[..live_k])?;
+            }
+            memory_stats = controller.stats();
+        }
+
+        Ok(HeadResponse {
+            output: out.output,
+            decisions,
+            prune_stats: sprint_reram::PruneHardwareStats::default(),
+            memory_stats,
+        })
+    }
+}
+
+/// A zero response for heads with no live region at all: every
+/// decision all-pruned, all-zero output, idle hardware.
+fn empty_response(
+    scratch: &mut HeadScratch,
+    s_q: usize,
+    s_k: usize,
+    d_v: usize,
+) -> Result<HeadResponse, SprintError> {
+    let decisions = (0..s_q).map(|_| scratch.all_pruned(s_k)).collect();
+    Ok(HeadResponse {
+        output: Matrix::zeros(s_q, d_v)?,
+        decisions,
+        prune_stats: sprint_reram::PruneHardwareStats::default(),
+        memory_stats: sprint_memory::MemoryStats::default(),
+    })
+}
+
+/// Shared request validation: shapes, padding coverage, the
+/// no-padded-cross-heads rule. Returns `(live_q, live_k)`.
+pub(crate) fn validate_request(request: &HeadRequest) -> Result<(usize, usize), SprintError> {
+    let (q, k, v) = (request.q(), request.k(), request.v());
+    if q.cols() != k.cols() {
+        return Err(SprintError::Request(format!(
+            "query embedding {} does not match key embedding {}",
+            q.cols(),
+            k.cols()
+        )));
+    }
+    if k.rows() != v.rows() {
+        return Err(SprintError::Request(format!(
+            "key sequence {} does not match value sequence {}",
+            k.rows(),
+            v.rows()
+        )));
+    }
+    match request.padding() {
+        None => Ok((q.rows(), k.rows())),
+        Some(p) => {
+            if p.total() != k.rows() {
+                return Err(SprintError::Request(format!(
+                    "padding mask covers {} tokens but the key sequence holds {}",
+                    p.total(),
+                    k.rows()
+                )));
+            }
+            if q.rows() != k.rows() {
+                return Err(SprintError::Request(format!(
+                    "padded requests must be self-shaped: s_q = {} vs s_k = {}",
+                    q.rows(),
+                    k.rows()
+                )));
+            }
+            Ok((p.live().min(q.rows()), p.live()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_attention::AttentionConfig;
+    use sprint_workloads::{ModelConfig, TraceGenerator};
+
+    fn trace(seq: usize, seed: u64) -> sprint_workloads::HeadTrace {
+        let spec = ModelConfig::bert_base().trace_spec().with_seq_len(seq);
+        TraceGenerator::new(seed).generate(&spec).unwrap()
+    }
+
+    fn engine(mode: ExecutionMode) -> Engine {
+        Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .mode(mode)
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn seed_derivation_is_stable_and_spreads() {
+        assert_eq!(derive_head_seed(1, 2), derive_head_seed(1, 2));
+        assert_ne!(derive_head_seed(1, 2), derive_head_seed(1, 3));
+        assert_ne!(derive_head_seed(1, 2), derive_head_seed(2, 2));
+    }
+
+    #[test]
+    fn run_head_equals_batch_position_zero() {
+        let t = trace(64, 5);
+        let e = engine(ExecutionMode::Sprint);
+        let single = e.run_head(&HeadRequest::from_trace(&t)).unwrap();
+        let batch = e.run_batch(&[HeadRequest::from_trace(&t)]).unwrap();
+        assert_eq!(single, batch[0]);
+    }
+
+    #[test]
+    fn head_ids_decouple_seed_from_batch_position() {
+        let t = trace(64, 6);
+        // With noise, different seeds give different decisions often
+        // enough; with the same head id the position must not matter.
+        let e_noisy = Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::default())
+            .seed(3)
+            .build()
+            .unwrap();
+        let alone = e_noisy
+            .run_batch(&[HeadRequest::from_trace(&t).with_head_id(42)])
+            .unwrap();
+        let shifted = e_noisy
+            .run_batch(&[
+                HeadRequest::from_trace(&t),
+                HeadRequest::from_trace(&t).with_head_id(42),
+            ])
+            .unwrap();
+        assert_eq!(alone[0], shifted[1], "head id pins the seed");
+    }
+
+    #[test]
+    fn all_modes_produce_well_formed_responses() {
+        let t = trace(64, 7);
+        for mode in ExecutionMode::ALL {
+            let e = engine(mode);
+            let out = e.run_head(&HeadRequest::from_trace(&t)).unwrap();
+            assert_eq!(out.output.rows(), t.seq_len(), "{mode:?}");
+            assert_eq!(out.decisions.len(), t.seq_len(), "{mode:?}");
+            // Padded queries: all-pruned decisions sharing one
+            // allocation, zero output rows.
+            for i in t.live_tokens()..t.seq_len() {
+                assert_eq!(out.decisions[i].kept_count(), 0, "{mode:?} row {i}");
+                assert!(out.output.row(i).iter().all(|&x| x == 0.0));
+                assert!(PruneDecision::shares_storage(
+                    &out.decisions[t.live_tokens()],
+                    &out.decisions[i]
+                ));
+            }
+            if mode.uses_in_memory_pruning() {
+                assert_eq!(out.prune_stats.queries_pruned as usize, t.live_tokens());
+            } else {
+                assert_eq!(out.prune_stats.queries_pruned, 0);
+            }
+            assert_eq!(out.memory_stats.queries as usize, t.live_tokens());
+        }
+    }
+
+    #[test]
+    fn dense_mode_keeps_every_live_key() {
+        let t = trace(48, 8);
+        let out = engine(ExecutionMode::Dense)
+            .run_head(&HeadRequest::from_trace(&t))
+            .unwrap();
+        let live = t.live_tokens();
+        for d in out.decisions.iter().take(live) {
+            assert_eq!(d.kept_count(), live);
+        }
+        // Oracle prunes strictly more than dense.
+        let oracle = engine(ExecutionMode::Oracle)
+            .run_head(&HeadRequest::from_trace(&t))
+            .unwrap();
+        let oracle_kept: usize = oracle.decisions.iter().map(|d| d.kept_count()).sum();
+        assert!(oracle_kept < live * live);
+    }
+
+    #[test]
+    fn cross_shaped_heads_run_unpadded_and_reject_padding() {
+        let t = trace(64, 9);
+        let live = t.live_tokens();
+        // A 1-query decode step against the full key cache.
+        let q1 = {
+            let mut m = Matrix::zeros(1, t.q().cols()).unwrap();
+            m.row_mut(0).copy_from_slice(t.q().row(0));
+            m
+        };
+        let e = engine(ExecutionMode::Sprint);
+        let req = HeadRequest::new(&q1, t.k(), t.v(), t.config(), t.threshold());
+        let out = e.run_head(&req).unwrap();
+        assert_eq!(out.output.rows(), 1);
+        assert_eq!(out.decisions.len(), 1);
+        assert_eq!(out.decisions[0].len(), t.seq_len());
+        let padded =
+            req.with_padding(sprint_attention::PaddingMask::new(t.seq_len(), live).unwrap());
+        assert!(matches!(e.run_head(&padded), Err(SprintError::Request(_))));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_up_front() {
+        let q = Matrix::zeros(4, 8).unwrap();
+        let k = Matrix::zeros(6, 16).unwrap();
+        let v = Matrix::zeros(5, 16).unwrap();
+        let e = engine(ExecutionMode::Sprint);
+        let bad_embed = HeadRequest::new(&q, &k, &v, AttentionConfig::new(8), 0.0);
+        assert!(matches!(
+            e.run_head(&bad_embed),
+            Err(SprintError::Request(_))
+        ));
+        let k2 = Matrix::zeros(6, 8).unwrap();
+        let bad_kv = HeadRequest::new(&q, &k2, &v, AttentionConfig::new(8), 0.0);
+        assert!(matches!(e.run_head(&bad_kv), Err(SprintError::Request(_))));
+        let bad_mask = HeadRequest::new(&q, &k2, &k2, AttentionConfig::new(8), 0.0)
+            .with_padding(sprint_attention::PaddingMask::new(4, 2).unwrap());
+        assert!(matches!(
+            e.run_head(&bad_mask),
+            Err(SprintError::Request(_))
+        ));
+    }
+
+    #[test]
+    fn disabling_memory_accounting_changes_stats_but_not_results() {
+        let t = trace(48, 12);
+        for mode in ExecutionMode::ALL {
+            let with = engine(mode).run_head(&HeadRequest::from_trace(&t)).unwrap();
+            let without = Engine::builder(SprintConfig::small())
+                .noise(NoiseModel::ideal())
+                .mode(mode)
+                .seed(11)
+                .memory_accounting(false)
+                .build()
+                .unwrap()
+                .run_head(&HeadRequest::from_trace(&t))
+                .unwrap();
+            assert_eq!(with.output, without.output, "{mode:?}");
+            assert_eq!(with.decisions, without.decisions, "{mode:?}");
+            assert_eq!(with.prune_stats, without.prune_stats, "{mode:?}");
+            assert_eq!(
+                without.memory_stats,
+                sprint_memory::MemoryStats::default(),
+                "{mode:?}"
+            );
+            assert!(with.memory_stats.queries > 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn fully_padded_heads_return_zero_work() {
+        let t = trace(32, 10);
+        let req = HeadRequest::from_trace(&t)
+            .with_padding(sprint_attention::PaddingMask::new(t.seq_len(), 0).unwrap());
+        for mode in ExecutionMode::ALL {
+            let out = engine(mode).run_head(&req).unwrap();
+            assert!(out.output.as_slice().iter().all(|&x| x == 0.0), "{mode:?}");
+            assert!(out.decisions.iter().all(|d| d.kept_count() == 0));
+            assert_eq!(out.memory_stats.queries, 0);
+            assert_eq!(out.prune_stats.queries_pruned, 0);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The unified engine error type and the legacy [`SystemError`].
+//!
+//! Every substrate crate exposes its own error enum; before the engine
+//! redesign each caller stitched them together ad hoc. [`SprintError`]
+//! is the single error the serving API surfaces: one `From` impl per
+//! substrate (`AttentionError`, `ReramError`, `MemoryError`,
+//! `AcceleratorError`) plus the legacy end-to-end [`SystemError`], so
+//! `?` composes across every layer.
+
+use std::error::Error;
+use std::fmt;
+
+use sprint_accelerator::AcceleratorError;
+use sprint_attention::AttentionError;
+use sprint_memory::MemoryError;
+use sprint_reram::ReramError;
+
+/// Errors from the end-to-end system (any substrate can fail).
+///
+/// This is the pre-engine error of `SprintSystem::run_head`, kept for
+/// the shimmed legacy API; new code should use [`SprintError`].
+#[derive(Debug)]
+pub enum SystemError {
+    /// Attention math error.
+    Attention(AttentionError),
+    /// ReRAM substrate error.
+    Reram(ReramError),
+    /// Memory subsystem error.
+    Memory(MemoryError),
+    /// An engine-level failure with no legacy equivalent (malformed
+    /// request, accelerator model error), carried as text.
+    Engine(String),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Attention(e) => write!(f, "attention: {e}"),
+            SystemError::Reram(e) => write!(f, "reram: {e}"),
+            SystemError::Memory(e) => write!(f, "memory: {e}"),
+            SystemError::Engine(msg) => write!(f, "engine: {msg}"),
+        }
+    }
+}
+
+impl Error for SystemError {}
+
+impl From<AttentionError> for SystemError {
+    fn from(e: AttentionError) -> Self {
+        SystemError::Attention(e)
+    }
+}
+
+impl From<ReramError> for SystemError {
+    fn from(e: ReramError) -> Self {
+        SystemError::Reram(e)
+    }
+}
+
+impl From<MemoryError> for SystemError {
+    fn from(e: MemoryError) -> Self {
+        SystemError::Memory(e)
+    }
+}
+
+/// The one error type of the engine API.
+///
+/// # Example
+///
+/// ```
+/// use sprint_engine::SprintError;
+///
+/// fn run() -> Result<(), SprintError> {
+///     let m = sprint_attention::Matrix::zeros(0, 4); // invalid
+///     m.map_err(SprintError::from)?;
+///     Ok(())
+/// }
+/// let err = run().unwrap_err();
+/// assert!(matches!(err, SprintError::Attention(_)));
+/// assert!(err.to_string().contains("attention"));
+/// ```
+#[derive(Debug)]
+pub enum SprintError {
+    /// Attention math error (shapes, quantization, softmax).
+    Attention(AttentionError),
+    /// ReRAM substrate error (crossbar geometry, programming, pruning).
+    Reram(ReramError),
+    /// Memory subsystem error (geometry, timing, addressing).
+    Memory(MemoryError),
+    /// Accelerator model error (CORELET configuration, mapping).
+    Accelerator(AcceleratorError),
+    /// The request itself is malformed (inconsistent shapes, padding
+    /// over a cross-shaped head).
+    Request(String),
+}
+
+impl fmt::Display for SprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SprintError::Attention(e) => write!(f, "attention: {e}"),
+            SprintError::Reram(e) => write!(f, "reram: {e}"),
+            SprintError::Memory(e) => write!(f, "memory: {e}"),
+            SprintError::Accelerator(e) => write!(f, "accelerator: {e}"),
+            SprintError::Request(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl Error for SprintError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SprintError::Attention(e) => Some(e),
+            SprintError::Reram(e) => Some(e),
+            SprintError::Memory(e) => Some(e),
+            SprintError::Accelerator(e) => Some(e),
+            SprintError::Request(_) => None,
+        }
+    }
+}
+
+impl From<AttentionError> for SprintError {
+    fn from(e: AttentionError) -> Self {
+        SprintError::Attention(e)
+    }
+}
+
+impl From<ReramError> for SprintError {
+    fn from(e: ReramError) -> Self {
+        SprintError::Reram(e)
+    }
+}
+
+impl From<MemoryError> for SprintError {
+    fn from(e: MemoryError) -> Self {
+        SprintError::Memory(e)
+    }
+}
+
+impl From<AcceleratorError> for SprintError {
+    fn from(e: AcceleratorError) -> Self {
+        SprintError::Accelerator(e)
+    }
+}
+
+impl From<SystemError> for SprintError {
+    fn from(e: SystemError) -> Self {
+        match e {
+            SystemError::Attention(e) => SprintError::Attention(e),
+            SystemError::Reram(e) => SprintError::Reram(e),
+            SystemError::Memory(e) => SprintError::Memory(e),
+            SystemError::Engine(msg) => SprintError::Request(msg),
+        }
+    }
+}
+
+impl From<SprintError> for SystemError {
+    fn from(e: SprintError) -> Self {
+        match e {
+            SprintError::Attention(e) => SystemError::Attention(e),
+            SprintError::Reram(e) => SystemError::Reram(e),
+            SprintError::Memory(e) => SystemError::Memory(e),
+            SprintError::Accelerator(e) => SystemError::Engine(e.to_string()),
+            SprintError::Request(msg) => SystemError::Engine(msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SprintError>();
+        assert_err::<SystemError>();
+    }
+
+    #[test]
+    fn conversions_round_trip_the_substrate_variants() {
+        let e = SprintError::from(ReramError::InvalidParameter("x".into()));
+        let legacy = SystemError::from(e);
+        assert!(matches!(legacy, SystemError::Reram(_)));
+        let back = SprintError::from(legacy);
+        assert!(matches!(back, SprintError::Reram(_)));
+    }
+
+    #[test]
+    fn request_errors_survive_the_legacy_boundary_as_text() {
+        let e = SprintError::Request("padding over cross-shaped head".into());
+        let legacy = SystemError::from(e);
+        assert!(legacy.to_string().contains("cross-shaped"));
+    }
+
+    #[test]
+    fn display_names_the_layer() {
+        let e = SprintError::from(AttentionError::EmptyInput("scores"));
+        assert!(e.to_string().starts_with("attention:"));
+        assert!(e.source().is_some());
+    }
+}

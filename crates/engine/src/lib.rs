@@ -1,0 +1,66 @@
+//! `sprint-engine` — the unified session/serving API of the SPRINT
+//! reproduction.
+//!
+//! The paper's headline claim is *synergy*: in-ReRAM MSB pruning
+//! (§III), DRAM-side access scheduling (§V) and on-chip 8-bit
+//! recomputation (§VI) operating as one pipeline. This crate is that
+//! pipeline's front door — one [`Engine`], built once per hardware
+//! configuration via [`Engine::builder`], that owns every piece of
+//! reusable substrate state and executes a stream of attention heads
+//! through it:
+//!
+//! * [`Engine::run_head`] — one [`HeadRequest`] in, one
+//!   [`HeadResponse`] out, with the pruner crossbars reprogrammed in
+//!   place, the memory controller cold-reset, and all attention
+//!   scratch pooled — steady-state execution rebuilds none of the
+//!   substrate;
+//! * [`Engine::run_batch`] — the same over a request slice, fanned out
+//!   across [`sprint_parallel`] workers with deterministic,
+//!   thread-count-independent per-head seeding ([`derive_head_seed`]);
+//! * [`ExecutionMode`] — the four functional pipelines of Fig. 9
+//!   (`Dense` baseline, `Oracle` runtime pruning, `NoRecompute`,
+//!   full `Sprint`), replacing the pre-engine `recompute: bool` flag;
+//! * [`SprintError`] — the one error type of the API, with `From`
+//!   impls for every substrate error enum;
+//! * [`SprintConfig`] — the S/M/L hardware configurations of Table I
+//!   (moved here from `sprint-core`, which re-exports it);
+//! * [`mod@reference`] — the frozen pre-engine pipeline, kept as the
+//!   oracle that the engine's state reuse is proven bit-identical
+//!   against.
+//!
+//! # Example
+//!
+//! ```
+//! use sprint_engine::{Engine, ExecutionMode, HeadRequest, SprintConfig};
+//! use sprint_workloads::{ModelConfig, TraceGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Synthesize two BERT-like heads and serve them as one batch.
+//! let spec = ModelConfig::bert_base().trace_spec().with_seq_len(64);
+//! let mut generator = TraceGenerator::new(7);
+//! let heads = generator.generate_many(&spec, 2)?;
+//!
+//! let engine = Engine::builder(SprintConfig::medium())
+//!     .mode(ExecutionMode::Sprint)
+//!     .seed(42)
+//!     .build()?;
+//! let requests: Vec<HeadRequest> = heads.iter().map(HeadRequest::from_trace).collect();
+//! let responses = engine.run_batch(&requests)?;
+//! assert_eq!(responses.len(), 2);
+//! assert!(responses[0].memory_stats.reused_vectors > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod engine;
+mod error;
+mod mode;
+pub mod reference;
+mod request;
+
+pub use config::SprintConfig;
+pub use engine::{derive_head_seed, Engine, EngineBuilder};
+pub use error::{SprintError, SystemError};
+pub use mode::ExecutionMode;
+pub use request::{HeadRequest, HeadResponse};

@@ -148,6 +148,22 @@ impl MemoryController {
         self.resident.clear();
     }
 
+    /// Restores the controller to its freshly-constructed state —
+    /// cold schedulers, empty SLD/residency tables, zeroed statistics
+    /// and cycle counters — reusing every allocation. A controller
+    /// reset this way behaves bit-identically to a new one over the
+    /// same geometry and timing; the serving engine uses this to run
+    /// an unbounded stream of heads through one controller.
+    pub fn reset_cold(&mut self) {
+        for sched in &mut self.schedulers {
+            sched.reset_cold();
+        }
+        self.sld.reset();
+        self.resident.clear();
+        self.stats = MemoryStats::default();
+        self.now = Cycles::ZERO;
+    }
+
     /// Runs the full per-query flow: thresholding handshake, SLD
     /// split, MRG address generation and backend fetch scheduling.
     ///
@@ -243,6 +259,23 @@ mod tests {
             v[j] = false;
         }
         v
+    }
+
+    #[test]
+    fn reset_cold_is_bit_identical_to_fresh_construction() {
+        let mut reused = controller();
+        // Dirty the controller: queries, open rows, advanced cycles.
+        for _ in 0..3 {
+            reused.process_query(&keep(64, &[0, 5, 9, 33, 63])).unwrap();
+        }
+        reused.reset_cold();
+        let mut fresh = controller();
+        for kept in [vec![0usize, 3, 17, 31], vec![3, 4, 17], vec![4, 30]] {
+            let a = reused.process_query(&keep(32, &kept)).unwrap();
+            let b = fresh.process_query(&keep(32, &kept)).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(reused.stats(), fresh.stats());
     }
 
     #[test]

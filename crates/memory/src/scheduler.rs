@@ -78,6 +78,14 @@ impl ChannelScheduler {
         self.channel
     }
 
+    /// Restores the scheduler to its freshly-constructed state (cold
+    /// timing checker, issue pointer at cycle zero) without
+    /// revalidating or reallocating anything.
+    pub fn reset_cold(&mut self) {
+        self.checker.reset_cold();
+        self.next_issue = Cycles::ZERO;
+    }
+
     /// Read-only view of the timing state (open rows etc.).
     pub fn checker(&self) -> &TimingChecker {
         &self.checker

@@ -81,6 +81,18 @@ impl TimingChecker {
         })
     }
 
+    /// Restores the checker to its freshly-constructed state (all rows
+    /// closed, bus free, no thresholding in flight, cycle counters at
+    /// zero), reusing the bank-state allocation. Behaviour afterwards
+    /// is bit-identical to a new checker over the same parameters.
+    pub fn reset_cold(&mut self) {
+        self.banks.fill(BankState::default());
+        self.act_history.clear();
+        self.bus_free_at = Cycles::ZERO;
+        self.threshold_ready = None;
+        self.last_issue = Cycles::ZERO;
+    }
+
     /// The open row of `bank`, if any.
     pub fn open_row(&self, bank: usize) -> Option<usize> {
         self.banks.get(bank).and_then(|b| b.open_row)

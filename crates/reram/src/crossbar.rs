@@ -74,6 +74,29 @@ impl StdRngState {
     }
 }
 
+/// Shared geometry validation for [`CrossbarArray::new`] and
+/// [`CrossbarArray::reset`].
+fn validate_geometry(rows: usize, cols: usize, cell_bits: u32) -> Result<(), ReramError> {
+    if rows == 0 {
+        return Err(ReramError::InvalidGeometry {
+            name: "rows",
+            value: rows,
+        });
+    }
+    if cols == 0 {
+        return Err(ReramError::InvalidGeometry {
+            name: "cols",
+            value: cols,
+        });
+    }
+    if !(1..=8).contains(&cell_bits) {
+        return Err(ReramError::InvalidParameter(format!(
+            "cell_bits {cell_bits} outside 1..=8"
+        )));
+    }
+    Ok(())
+}
+
 /// Box-Muller standard normal (no `rand_distr` in the offline set).
 fn normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -96,23 +119,7 @@ impl CrossbarArray {
         noise: NoiseModel,
         seed: u64,
     ) -> Result<Self, ReramError> {
-        if rows == 0 {
-            return Err(ReramError::InvalidGeometry {
-                name: "rows",
-                value: rows,
-            });
-        }
-        if cols == 0 {
-            return Err(ReramError::InvalidGeometry {
-                name: "cols",
-                value: cols,
-            });
-        }
-        if !(1..=8).contains(&cell_bits) {
-            return Err(ReramError::InvalidParameter(format!(
-                "cell_bits {cell_bits} outside 1..=8"
-            )));
-        }
+        validate_geometry(rows, cols, cell_bits)?;
         Ok(CrossbarArray {
             rows,
             cols,
@@ -123,6 +130,41 @@ impl CrossbarArray {
             rng: StdRngState::new(seed),
             vmm_count: 0,
         })
+    }
+
+    /// Restores the array to its freshly-constructed (unprogrammed)
+    /// state for a possibly different geometry, reusing the existing
+    /// cell allocations. After a successful call the array is
+    /// bit-identical in behaviour to
+    /// `CrossbarArray::new(rows, cols, cell_bits, noise, seed)` — the
+    /// RNG is reseeded, counters are zeroed, and every cell reads as
+    /// code 0 — only the backing `Vec` capacities (invisible to the
+    /// model) differ.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CrossbarArray::new`]; on error the array is
+    /// left unchanged.
+    pub fn reset(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        cell_bits: u32,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> Result<(), ReramError> {
+        validate_geometry(rows, cols, cell_bits)?;
+        self.rows = rows;
+        self.cols = cols;
+        self.cell_bits = cell_bits;
+        self.codes.clear();
+        self.codes.resize(rows * cols, 0);
+        self.weights.clear();
+        self.weights.resize(rows * cols, 0.0);
+        self.noise = noise;
+        self.rng = StdRngState::new(seed);
+        self.vmm_count = 0;
+        Ok(())
     }
 
     /// Number of wordlines (rows).
@@ -411,6 +453,29 @@ mod tests {
         let s3 = spread(3);
         let s6 = spread(6);
         assert!(s3 > 4.0 * s6, "3-bit spread {s3} vs 6-bit {s6}");
+    }
+
+    #[test]
+    fn reset_is_bit_identical_to_fresh_construction() {
+        let noise = NoiseModel::default();
+        let program_and_run = |xb: &mut CrossbarArray| -> Vec<f64> {
+            for c in 0..xb.cols() {
+                let col: Vec<i32> = (0..xb.rows()).map(|r| ((r + c) % 15) as i32 - 7).collect();
+                xb.program_column(c, &col).unwrap();
+            }
+            let input: Vec<i32> = (0..xb.rows()).map(|r| ((r % 15) as i32) - 7).collect();
+            xb.vmm(&input).unwrap()
+        };
+        // Dirty an array with one geometry, then reset to another.
+        let mut reused = CrossbarArray::new(16, 8, 4, noise, 1).unwrap();
+        program_and_run(&mut reused);
+        reused.reset(24, 5, 4, noise, 77).unwrap();
+        let mut fresh = CrossbarArray::new(24, 5, 4, noise, 77).unwrap();
+        assert_eq!(program_and_run(&mut reused), program_and_run(&mut fresh));
+        assert_eq!(reused.vmm_count(), 1);
+        // Invalid reset leaves the array untouched.
+        assert!(reused.reset(0, 5, 4, noise, 1).is_err());
+        assert_eq!(reused.rows(), 24);
     }
 
     proptest! {

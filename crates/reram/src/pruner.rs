@@ -176,6 +176,66 @@ impl InMemoryPruner {
         seed: u64,
         cell_bits: u32,
     ) -> Result<Self, ReramError> {
+        let mut pruner = InMemoryPruner {
+            tiles: Vec::new(),
+            s: 0,
+            d: 0,
+            cell_bits,
+            q_params: QuantParams::new(8, 1.0)
+                .map_err(|e| ReramError::InvalidParameter(format!("query quantization: {e}")))?,
+            score_lsb: 1.0,
+            full_scale_codes: 1.0,
+            stats: PruneHardwareStats::default(),
+        };
+        pruner.reprogram_with_cell_bits(q, k, attention_scale, noise, seed, cell_bits)?;
+        Ok(pruner)
+    }
+
+    /// Reprograms the engine in place for a new head, reusing the
+    /// crossbar allocations (the [`crate::TransposableArray`] tiles are
+    /// [reset](crate::TransposableArray::reset) and re-tiled rather than
+    /// reallocated). After a successful call the pruner behaves
+    /// bit-identically to a freshly constructed
+    /// [`InMemoryPruner::new`] with the same arguments: the per-tile
+    /// RNGs are reseeded, the quantizers recalibrated, and the hardware
+    /// operation counters zeroed.
+    ///
+    /// This is the steady-state entry of the serving engine: one pruner
+    /// per worker amortizes its tile allocations across every head it
+    /// executes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InMemoryPruner::new`]. On error the pruner
+    /// may hold partially reprogrammed state and must be successfully
+    /// reprogrammed before further use.
+    pub fn reprogram(
+        &mut self,
+        q: &Matrix,
+        k: &Matrix,
+        attention_scale: f32,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> Result<(), ReramError> {
+        self.reprogram_with_cell_bits(q, k, attention_scale, noise, seed, 4)
+    }
+
+    /// [`InMemoryPruner::reprogram`] with a non-default MLC depth (the
+    /// in-place counterpart of [`InMemoryPruner::with_cell_bits`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InMemoryPruner::with_cell_bits`]; on error
+    /// the pruner must be reprogrammed before further use.
+    pub fn reprogram_with_cell_bits(
+        &mut self,
+        q: &Matrix,
+        k: &Matrix,
+        attention_scale: f32,
+        noise: NoiseModel,
+        seed: u64,
+        cell_bits: u32,
+    ) -> Result<(), ReramError> {
         if !(1..=8).contains(&cell_bits) {
             return Err(ReramError::InvalidParameter(format!(
                 "cell_bits {cell_bits} outside 1..=8"
@@ -212,27 +272,34 @@ impl InMemoryPruner {
 
         let col_tiles = s.div_ceil(ARRAY_COLS);
         let row_tiles = d.div_ceil(ARRAY_ROWS);
-        let mut tiles = Vec::with_capacity(col_tiles);
+        self.tiles.truncate(col_tiles);
         for ct in 0..col_tiles {
-            let mut row_arrays = Vec::with_capacity(row_tiles);
+            if ct == self.tiles.len() {
+                self.tiles.push(Vec::with_capacity(row_tiles));
+            }
+            let row_arrays = &mut self.tiles[ct];
+            row_arrays.truncate(row_tiles);
             for rt in 0..row_tiles {
                 let rows = (d - rt * ARRAY_ROWS).min(ARRAY_ROWS);
                 let cols = (s - ct * ARRAY_COLS).min(ARRAY_COLS);
                 let tile_seed = seed
                     .wrapping_mul(0x9e3779b97f4a7c15)
                     .wrapping_add((ct * 1024 + rt) as u64);
-                row_arrays.push(TransposableArray::with_cell_bits(
-                    rows, cols, cell_bits, noise, tile_seed,
-                )?);
+                if rt == row_arrays.len() {
+                    row_arrays.push(TransposableArray::with_cell_bits(
+                        rows, cols, cell_bits, noise, tile_seed,
+                    )?);
+                } else {
+                    row_arrays[rt].reset(rows, cols, cell_bits, noise, tile_seed)?;
+                }
             }
-            tiles.push(row_arrays);
         }
 
         // Program every key's MSB nibbles.
         for j in 0..s {
             let ct = j / ARRAY_COLS;
             let slot = j % ARRAY_COLS;
-            for (rt, arr) in tiles[ct].iter_mut().enumerate() {
+            for (rt, arr) in self.tiles[ct].iter_mut().enumerate() {
                 let base = rt * ARRAY_ROWS;
                 let shift = 8 - cell_bits;
                 let codes: Vec<i32> = (0..arr.rows())
@@ -245,16 +312,13 @@ impl InMemoryPruner {
         let unit = 4f64.powi((8 - cell_bits) as i32);
         let score_lsb =
             unit * qq.params().step() as f64 * qk.params().step() as f64 * attention_scale as f64;
-        let mut pruner = InMemoryPruner {
-            tiles,
-            s,
-            d,
-            cell_bits,
-            q_params: qq.params(),
-            score_lsb,
-            full_scale_codes: d as f64 * 64.0,
-            stats: PruneHardwareStats::default(),
-        };
+        self.s = s;
+        self.d = d;
+        self.cell_bits = cell_bits;
+        self.q_params = qq.params();
+        self.score_lsb = score_lsb;
+        self.full_scale_codes = d as f64 * 64.0;
+        self.stats = PruneHardwareStats::default();
         // Calibrate the analog full scale against the observed score
         // range: sample up to 128 query rows and take the largest
         // exact |code dot| with 25% headroom (floor: one full-swing
@@ -262,7 +326,7 @@ impl InMemoryPruner {
         let sample = q.rows().min(128);
         let mut observed = 0.0f64;
         for i in 0..sample {
-            let scores = pruner.exact_msb_scores(q.row(i))?;
+            let scores = self.exact_msb_scores(q.row(i))?;
             for sc in scores {
                 observed = observed.max((sc as f64 / score_lsb).abs());
             }
@@ -273,8 +337,8 @@ impl InMemoryPruner {
         // quantization is measured against this provisioned range,
         // which is why very low bit counts collapse accuracy.
         let floor = d as f64;
-        pruner.full_scale_codes = (observed * 4.0).max(floor);
-        Ok(pruner)
+        self.full_scale_codes = (observed * 4.0).max(floor);
+        Ok(())
     }
 
     /// Number of keys covered.
@@ -669,6 +733,35 @@ mod tests {
         assert!(pruner
             .prune_query(q.row(0), 0.0, &ThresholdSpec::quantized(17))
             .is_err());
+    }
+
+    #[test]
+    fn reprogram_is_bit_identical_to_fresh_construction() {
+        // The serving-engine contract: a pruner reused across heads of
+        // different shapes produces exactly the outputs a freshly built
+        // pruner would, noise draws included.
+        let noise = NoiseModel::default();
+        let heads = [
+            (random_matrix(6, 32, 3), random_matrix(40, 32, 4), 0.176f32),
+            (random_matrix(4, 128, 5), random_matrix(300, 128, 6), 0.09),
+            (random_matrix(8, 64, 7), random_matrix(96, 64, 8), 0.125),
+        ];
+        let mut reused =
+            InMemoryPruner::new(&heads[0].0, &heads[0].1, heads[0].2, noise, 999).unwrap();
+        for (i, (q, k, scale)) in heads.iter().enumerate() {
+            let seed = 50 + i as u64;
+            reused.reprogram(q, k, *scale, noise, seed).unwrap();
+            let mut fresh = InMemoryPruner::new(q, k, *scale, noise, seed).unwrap();
+            let spec = ThresholdSpec::default();
+            for r in 0..q.rows() {
+                let a = reused.prune_query(q.row(r), 0.02, &spec).unwrap();
+                let b = fresh.prune_query(q.row(r), 0.02, &spec).unwrap();
+                assert_eq!(a, b, "head {i} query {r}");
+            }
+            assert_eq!(reused.stats(), fresh.stats(), "head {i}");
+            assert_eq!(reused.keys(), k.rows());
+            assert_eq!(reused.embedding(), k.cols());
+        }
     }
 
     #[test]

@@ -86,6 +86,31 @@ impl TransposableArray {
         })
     }
 
+    /// Restores the array to its freshly-constructed state for a
+    /// possibly different geometry, reusing the cell allocations (see
+    /// [`CrossbarArray::reset`]). After a successful call the array
+    /// behaves bit-identically to
+    /// [`TransposableArray::with_cell_bits`] with the same arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarArray::reset`] validation errors; on error
+    /// the array is left unchanged.
+    pub fn reset(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        cell_bits: u32,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> Result<(), ReramError> {
+        self.inner.reset(rows, cols, cell_bits, noise, seed)?;
+        self.mode = AccessMode::Idle;
+        self.compute_ops = 0;
+        self.transposed_reads = 0;
+        Ok(())
+    }
+
     /// Bits per MLC cell.
     pub fn cell_bits(&self) -> u32 {
         self.inner.cell_bits()

@@ -1,44 +1,55 @@
-//! Quickstart: run one attention head through the full SPRINT pipeline
-//! and compare it against the iso-resource baseline.
+//! Quickstart: serve attention heads through the unified SPRINT
+//! engine and compare against the iso-resource baseline.
 //!
 //! ```sh
 //! cargo run -p sprint-examples --example quickstart --release
 //! ```
 
-use sprint_core::counting::{simulate_head, ExecutionMode};
-use sprint_core::{HeadProfile, SprintConfig, SprintSystem};
-use sprint_reram::{NoiseModel, ThresholdSpec};
+use sprint_core::counting::{simulate_head, ExecutionMode as CountingMode};
+use sprint_core::{HeadProfile, SprintConfig};
+use sprint_engine::{Engine, ExecutionMode, HeadRequest};
+use sprint_reram::NoiseModel;
 use sprint_workloads::{ModelConfig, TraceGenerator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("SPRINT quickstart: BERT-Base-like head on S-SPRINT\n");
+    println!("SPRINT quickstart: BERT-Base-like heads on S-SPRINT\n");
 
-    // 1. Synthesize a head with BERT-Base statistics (74.6% pruning,
+    // 1. Synthesize heads with BERT-Base statistics (74.6% pruning,
     //    46% padding, ~85% adjacent-query locality), scaled to s=128
     //    so the functional pipeline runs in a blink.
     let model = ModelConfig::bert_base();
     let spec = model.trace_spec().with_seq_len(128);
-    let trace = TraceGenerator::new(2024).generate(&spec)?;
+    let heads = TraceGenerator::new(2024).generate_many(&spec, 4)?;
     println!(
-        "trace: s={} live={} threshold={:.3} measured overlap={:.1}%",
-        trace.seq_len(),
-        trace.live_tokens(),
-        trace.threshold(),
-        trace.stats().mean_adjacent_overlap * 100.0
+        "traces: {} heads, s={} live={} threshold={:.3} measured overlap={:.1}%",
+        heads.len(),
+        heads[0].seq_len(),
+        heads[0].live_tokens(),
+        heads[0].threshold(),
+        heads[0].stats().mean_adjacent_overlap * 100.0
     );
 
-    // 2. Run the functional system: analog in-memory thresholding at
-    //    the paper's 5-bit-equivalent noise, SLD-driven selective
-    //    fetch, and 8-bit on-chip recompute.
+    // 2. Build the engine once: it owns the pruner crossbars, the
+    //    memory controller and all attention scratch, and reuses them
+    //    across every head it serves. Defaults are the paper's design
+    //    point (5-bit-equivalent analog noise, pure analog
+    //    comparison); `mode` picks the functional pipeline.
     let cfg = SprintConfig::small();
-    let mut system = SprintSystem::new(cfg.clone(), NoiseModel::default(), 7);
-    let out = system.run_head(&trace, &ThresholdSpec::default(), true)?;
+    let engine = Engine::builder(cfg.clone())
+        .noise(NoiseModel::default())
+        .mode(ExecutionMode::Sprint)
+        .seed(7)
+        .build()?;
+
+    // 3. Serve a single head.
+    let out = engine.run_head(&HeadRequest::from_trace(&heads[0]))?;
     let kept: usize = out.decisions.iter().map(|d| d.kept_count()).sum();
+    let live = heads[0].live_tokens();
     println!(
         "\nfunctional run: {} queries thresholded in memory, {} scores kept ({:.1}%)",
         out.prune_stats.queries_pruned,
         kept,
-        100.0 * kept as f64 / (trace.live_tokens() * trace.live_tokens()) as f64,
+        100.0 * kept as f64 / (live * live) as f64,
     );
     println!(
         "memory controller: fetched {} vectors, reused {} via spatial locality ({:.1}% reuse)",
@@ -48,7 +59,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             / (out.memory_stats.reused_vectors + out.memory_stats.fetched_vectors).max(1) as f64
     );
 
-    // 3. Count performance and energy at the paper's full size.
+    // 4. Serve a batch: the requests fan out across sprint-parallel
+    //    workers with deterministic per-head seeds — the same results
+    //    at any worker count. Per-request overrides select the Fig. 9
+    //    scenario; here the dense baseline runs next to full SPRINT
+    //    for the data-movement contrast.
+    let requests: Vec<HeadRequest> = heads
+        .iter()
+        .enumerate()
+        .map(|(i, t)| HeadRequest::from_trace(t).with_head_id(i as u64))
+        .collect();
+    let responses = engine.run_batch(&requests)?;
+    let dense = engine.run_head(&requests[0].clone().with_mode(ExecutionMode::Dense))?;
+    let sprint_bytes: u64 = responses.iter().map(|r| r.memory_stats.bytes_fetched).sum();
+    println!(
+        "\nbatch of {}: {} bytes fetched total; dense baseline moves {} bytes for ONE head",
+        responses.len(),
+        sprint_bytes,
+        dense.memory_stats.bytes_fetched,
+    );
+
+    // 5. Count performance and energy at the paper's full size.
     let profile = HeadProfile::synthetic(
         model.seq_len,
         model.live_tokens(),
@@ -56,8 +87,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.adjacent_overlap,
         2024,
     );
-    let base = simulate_head(&profile, &cfg, ExecutionMode::Baseline);
-    let sprint = simulate_head(&profile, &cfg, ExecutionMode::Sprint);
+    let base = simulate_head(&profile, &cfg, CountingMode::Baseline);
+    let sprint = simulate_head(&profile, &cfg, CountingMode::Sprint);
     println!(
         "\ncounting simulator at s={} on {}:",
         model.seq_len, cfg.name

@@ -2,13 +2,30 @@
 //! analytical reference implementations.
 
 use sprint_attention::{mean_abs_error, prune_set_overlap, pruned_attention, PruneDecision};
-use sprint_core::{SprintConfig, SprintSystem};
+use sprint_core::SprintConfig;
+use sprint_engine::{Engine, ExecutionMode, HeadRequest, HeadResponse};
 use sprint_reram::{InMemoryPruner, NoiseModel, ThresholdSpec};
 use sprint_workloads::{ModelConfig, TraceGenerator};
 
 fn bert_trace(seq: usize, seed: u64) -> sprint_workloads::HeadTrace {
     let spec = ModelConfig::bert_base().trace_spec().with_seq_len(seq);
     TraceGenerator::new(seed).generate(&spec).unwrap()
+}
+
+/// One SPRINT-mode head through an engine built for `config`.
+fn run_sprint(
+    config: SprintConfig,
+    noise: NoiseModel,
+    seed: u64,
+    trace: &sprint_workloads::HeadTrace,
+) -> HeadResponse {
+    let engine = Engine::builder(config)
+        .noise(noise)
+        .mode(ExecutionMode::Sprint)
+        .seed(seed)
+        .build()
+        .unwrap();
+    engine.run_head(&HeadRequest::from_trace(trace)).unwrap()
 }
 
 #[test]
@@ -50,10 +67,7 @@ fn margin_protects_reference_kept_set_across_the_stack() {
 #[test]
 fn sprint_system_output_matches_runtime_pruning_reference() {
     let trace = bert_trace(96, 32);
-    let mut sys = SprintSystem::new(SprintConfig::medium(), NoiseModel::default(), 5);
-    let out = sys
-        .run_head(&trace, &ThresholdSpec::default(), true)
-        .unwrap();
+    let out = run_sprint(SprintConfig::medium(), NoiseModel::default(), 5, &trace);
     let (reference, _) = pruned_attention(
         trace.q(),
         trace.k(),
@@ -72,10 +86,7 @@ fn memory_side_reuse_matches_trace_locality() {
     // The memory controller's reuse fraction should track the trace's
     // adjacent-query overlap statistic.
     let trace = bert_trace(128, 33);
-    let mut sys = SprintSystem::new(SprintConfig::medium(), NoiseModel::ideal(), 5);
-    let out = sys
-        .run_head(&trace, &ThresholdSpec::default(), true)
-        .unwrap();
+    let out = run_sprint(SprintConfig::medium(), NoiseModel::ideal(), 5, &trace);
     let stats = out.memory_stats;
     let reuse =
         stats.reused_vectors as f64 / (stats.reused_vectors + stats.fetched_vectors).max(1) as f64;
@@ -89,10 +100,7 @@ fn memory_side_reuse_matches_trace_locality() {
 #[test]
 fn sprint_decisions_drive_both_memory_and_compute_consistently() {
     let trace = bert_trace(80, 34);
-    let mut sys = SprintSystem::new(SprintConfig::small(), NoiseModel::ideal(), 9);
-    let out = sys
-        .run_head(&trace, &ThresholdSpec::default(), true)
-        .unwrap();
+    let out = run_sprint(SprintConfig::small(), NoiseModel::ideal(), 9, &trace);
     // Every kept decision appears as either a fetch or a reuse in the
     // memory stats.
     let kept_total: u64 = out.decisions.iter().map(|d| d.kept_count() as u64).sum();
@@ -103,6 +111,50 @@ fn sprint_decisions_drive_both_memory_and_compute_consistently() {
     );
     // And the ReRAM side thresholded every live query.
     assert_eq!(out.prune_stats.queries_pruned as usize, trace.live_tokens());
+}
+
+#[test]
+fn engine_serves_a_mixed_batch_end_to_end() {
+    // One engine, one batch, all four pipelines side by side — the
+    // serving shape of the redesigned API. The mode contrast must show
+    // the paper's data-movement story: the dense baseline touches every
+    // live key, SPRINT fetches a fraction of them.
+    let traces: Vec<_> = (0..2).map(|i| bert_trace(96, 40 + i)).collect();
+    let engine = Engine::builder(SprintConfig::medium())
+        .noise(NoiseModel::default())
+        .seed(77)
+        .build()
+        .unwrap();
+    let mut requests = Vec::new();
+    for trace in &traces {
+        for mode in ExecutionMode::ALL {
+            requests.push(HeadRequest::from_trace(trace).with_mode(mode));
+        }
+    }
+    let responses = engine.run_batch(&requests).unwrap();
+    assert_eq!(responses.len(), requests.len());
+    for (chunk, trace) in responses.chunks(4).zip(&traces) {
+        let (dense, oracle, no_rec, sprint) = (&chunk[0], &chunk[1], &chunk[2], &chunk[3]);
+        let touched =
+            |r: &HeadResponse| r.memory_stats.fetched_vectors + r.memory_stats.reused_vectors;
+        assert!(touched(dense) > touched(sprint), "pruning cuts key traffic");
+        assert!(
+            dense.memory_stats.bytes_fetched > sprint.memory_stats.bytes_fetched,
+            "pruning cuts bytes moved"
+        );
+        // Recompute beats raw analog scores against the oracle output.
+        let err_sprint = mean_abs_error(&sprint.output, &oracle.output).unwrap();
+        let err_no_rec = mean_abs_error(&no_rec.output, &oracle.output).unwrap();
+        assert!(
+            err_no_rec > err_sprint,
+            "no-recompute ({err_no_rec}) must be worse than recompute ({err_sprint})"
+        );
+        assert_eq!(dense.prune_stats.queries_pruned, 0);
+        assert_eq!(
+            sprint.prune_stats.queries_pruned,
+            trace.live_tokens() as u64
+        );
+    }
 }
 
 fn submatrix(m: &sprint_attention::Matrix, rows: usize) -> sprint_attention::Matrix {

@@ -4,8 +4,9 @@
 //! memory controller.
 
 use sprint_core::counting::{simulate_head, ExecutionMode};
-use sprint_core::{HeadProfile, SprintConfig, SprintSystem};
-use sprint_reram::{NoiseModel, ThresholdSpec};
+use sprint_core::{HeadProfile, SprintConfig};
+use sprint_engine::{Engine, HeadRequest};
+use sprint_reram::NoiseModel;
 use sprint_workloads::{ModelConfig, TraceGenerator};
 
 #[test]
@@ -18,10 +19,13 @@ fn counting_and_functional_fetch_counts_agree_at_ample_capacity() {
     let trace = TraceGenerator::new(0xcafe).generate(&spec).unwrap();
     let cfg = SprintConfig::large(); // 512 pairs >> 52 live tokens
 
-    let mut system = SprintSystem::new(cfg.clone(), NoiseModel::ideal(), 3);
-    let functional = system
-        .run_head(&trace, &ThresholdSpec::default(), true)
+    let engine = Engine::builder(cfg.clone())
+        .noise(NoiseModel::ideal())
+        .mode(sprint_engine::ExecutionMode::Sprint)
+        .seed(3)
+        .build()
         .unwrap();
+    let functional = engine.run_head(&HeadRequest::from_trace(&trace)).unwrap();
 
     let profile = HeadProfile::from_trace(&trace);
     let counted = simulate_head(&profile, &cfg, ExecutionMode::Sprint);

@@ -41,6 +41,14 @@ pub struct Workspace {
 /// (scores, probs, output) plus headroom for a second head size.
 const POOL_CAP: usize = 8;
 
+/// Total floats the pool may retain across all of its buffers
+/// (128 MiB). The count cap alone does not bound memory: a serving
+/// run that once touched a long-context head would otherwise hoard up
+/// to [`POOL_CAP`] sequence-squared buffers forever. Oversized
+/// recycles are dropped instead; the cap still fits a full 4096-token
+/// score matrix, so steady-state long-context loops keep their reuse.
+const POOL_FLOAT_CAP: usize = 1 << 25;
+
 impl Workspace {
     /// Creates an empty workspace; buffers grow on first use.
     pub fn new() -> Self {
@@ -65,6 +73,10 @@ impl Workspace {
     /// over heads that recycles its finished outputs runs with zero
     /// heap traffic in the float kernels.
     ///
+    /// The pool is bounded in both buffer count and total bytes, so a
+    /// long-running serving loop over mixed head sizes cannot
+    /// accumulate memory: recycles beyond the caps are simply dropped.
+    ///
     /// # Example
     ///
     /// ```
@@ -84,8 +96,10 @@ impl Workspace {
     /// # }
     /// ```
     pub fn recycle(&mut self, m: crate::Matrix) {
-        if self.pool.len() < POOL_CAP {
-            self.pool.push(m.into_vec());
+        let buf = m.into_vec();
+        let pooled: usize = self.pool.iter().map(Vec::capacity).sum();
+        if self.pool.len() < POOL_CAP && pooled + buf.capacity() <= POOL_FLOAT_CAP {
+            self.pool.push(buf);
         }
     }
 
@@ -165,6 +179,30 @@ mod tests {
             ws.recycle(crate::Matrix::zeros(2, 2).unwrap());
         }
         assert!(ws.pool.len() <= super::POOL_CAP);
+    }
+
+    #[test]
+    fn pool_is_byte_bounded_across_a_long_mixed_run() {
+        // Regression: the count cap alone let a serving run hoard up
+        // to POOL_CAP huge buffers after one long-context head. The
+        // byte cap bounds total retention no matter the mix.
+        let mut ws = Workspace::new();
+        let big_rows = 1 << 12; // 4096 x 4096 floats = half the cap
+        for _ in 0..6 {
+            ws.recycle(crate::Matrix::zeros(big_rows, big_rows).unwrap());
+            ws.recycle(crate::Matrix::zeros(16, 16).unwrap());
+        }
+        let pooled: usize = ws.pool.iter().map(Vec::capacity).sum();
+        assert!(
+            pooled <= super::POOL_FLOAT_CAP,
+            "pool retains {pooled} floats, cap {}",
+            super::POOL_FLOAT_CAP
+        );
+        assert!(ws.pool.len() <= super::POOL_CAP);
+        // Small buffers still pool once the run shrinks again.
+        let mut small_ws = Workspace::new();
+        small_ws.recycle(crate::Matrix::zeros(4, 4).unwrap());
+        assert_eq!(small_ws.pool.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Criterion bench: model-level serving through `ModelServer`.
+//!
+//! Times one full forward pass (2 layers × 4 heads, s = 96, BERT-B
+//! statistics) three ways: the hand-rolled per-head loop the figure
+//! drivers used before the server existed (synthesize each trace,
+//! `run_head` it, fold by hand), and `ModelServer::serve` at 1/2/4
+//! workers — same seeds, bit-identical responses, only the wall-clock
+//! changes. Run with `-- --bench-json` to record the timings in
+//! `BENCH_report.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sprint_engine::{
+    Engine, ExecutionMode, HeadRequest, ModelProfile, ModelRequest, ModelServer, SprintConfig,
+};
+use sprint_reram::NoiseModel;
+use sprint_workloads::{ModelConfig, TraceGenerator};
+
+fn request() -> ModelRequest {
+    ModelRequest::new(
+        ModelProfile::from_model(&ModelConfig::bert_base())
+            .with_layers(2)
+            .with_heads(4)
+            .with_seq_len(96),
+    )
+    .with_seed(0xbe)
+}
+
+fn bench(c: &mut Criterion) {
+    let server = ModelServer::new(
+        Engine::builder(SprintConfig::medium())
+            .noise(NoiseModel::default())
+            .mode(ExecutionMode::Sprint)
+            .seed(7)
+            // Enough slots for the widest sweep even on few-core
+            // machines (the default would silently clamp workers4).
+            .worker_slots(4)
+            .build()
+            .expect("engine build"),
+    );
+    let request = request();
+
+    let mut group = c.benchmark_group("model_serving");
+    group.sample_size(10);
+
+    // The pre-server shape: hand-rolled layers × heads iteration —
+    // synthesize every head trace, run it, fold the counters by hand.
+    group.bench_function("manual/per_head_loop", |b| {
+        b.iter(|| {
+            let mut fetched = 0u64;
+            let mut kept = 0usize;
+            for plan in request.head_plan() {
+                let trace = TraceGenerator::new(plan.trace_seed)
+                    .generate(&plan.spec)
+                    .expect("trace generation");
+                let response = server
+                    .engine()
+                    .run_head(&HeadRequest::from_trace(&trace).with_head_id(plan.head_id))
+                    .expect("head execution");
+                fetched += response.memory_stats.fetched_vectors;
+                kept += response
+                    .decisions
+                    .iter()
+                    .map(|d| d.kept_count())
+                    .sum::<usize>();
+            }
+            black_box((fetched, kept))
+        })
+    });
+
+    // The server, at fixed worker counts (responses are identical
+    // across counts; only wall-clock changes).
+    for workers in [1usize, 2, 4] {
+        group.bench_function(&format!("serve/workers{workers}"), |b| {
+            b.iter(|| black_box(server.serve_threads(workers, &request).expect("serve")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

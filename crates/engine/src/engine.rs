@@ -120,6 +120,11 @@ impl EngineBuilder {
     }
 }
 
+/// Live-region staging buffers kept per worker scratch. Two per head
+/// (Q and K); anything beyond that is transient and returned to the
+/// allocator so a long serving run cannot accumulate buffers.
+const MAT_POOL_CAP: usize = 4;
+
 /// Per-worker reusable substrate state. Everything heavy a head needs
 /// — pruner crossbars, the memory controller, attention workspace,
 /// approximate-score rows, live-region staging buffers, the shared
@@ -162,9 +167,12 @@ impl HeadScratch {
         Ok(Matrix::from_vec(rows, cols, buf)?)
     }
 
-    /// Returns a matrix's backing buffer to the pool.
+    /// Returns a matrix's backing buffer to the pool (bounded: excess
+    /// buffers are dropped rather than hoarded across a serving run).
     fn recycle(&mut self, m: Matrix) {
-        self.mat_pool.push(m.into_vec());
+        if self.mat_pool.len() < MAT_POOL_CAP {
+            self.mat_pool.push(m.into_vec());
+        }
     }
 }
 
@@ -220,6 +228,25 @@ impl Engine {
     /// Starts building an engine for the given hardware configuration,
     /// with the paper's defaults for everything else (5-bit-equivalent
     /// noise, analog comparison, [`ExecutionMode::Sprint`], seed 0).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sprint_engine::{Engine, ExecutionMode, SprintConfig};
+    /// use sprint_reram::NoiseModel;
+    ///
+    /// # fn main() -> Result<(), sprint_engine::SprintError> {
+    /// let engine = Engine::builder(SprintConfig::medium())
+    ///     .noise(NoiseModel::ideal())
+    ///     .mode(ExecutionMode::Oracle)
+    ///     .seed(42)
+    ///     .worker_slots(2)
+    ///     .build()?;
+    /// assert_eq!(engine.mode(), ExecutionMode::Oracle);
+    /// assert_eq!(engine.worker_slots(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn builder(config: SprintConfig) -> EngineBuilder {
         EngineBuilder {
             config,
@@ -306,6 +333,27 @@ impl Engine {
     /// every worker's scratch produces fresh-state-identical results.
     /// On failure the reported error is that of the lowest-indexed
     /// failing request.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sprint_engine::{Engine, HeadRequest, SprintConfig};
+    /// use sprint_workloads::{ModelConfig, TraceGenerator};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let spec = ModelConfig::bert_base().trace_spec().with_seq_len(48);
+    /// let heads = TraceGenerator::new(1).generate_many(&spec, 3)?;
+    /// let engine = Engine::builder(SprintConfig::small()).seed(5).build()?;
+    /// let requests: Vec<HeadRequest> = heads.iter().map(HeadRequest::from_trace).collect();
+    /// let responses = engine.run_batch(&requests)?;
+    /// assert_eq!(responses.len(), 3);
+    /// // Untagged requests are seeded by batch position, so position
+    /// // 0 matches a solo run_head (which uses id 0); to make every
+    /// // response solo-reproducible, tag requests with_head_id.
+    /// assert_eq!(responses[0], engine.run_head(&requests[0])?);
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
@@ -794,6 +842,26 @@ mod tests {
                 "{mode:?}"
             );
             assert!(with.memory_stats.queries > 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_pools_stay_bounded_over_a_long_mixed_run() {
+        // Regression: the live-submatrix pool grew by two buffers per
+        // head shape forever. Serve many heads of varying sizes and
+        // assert every worker scratch stays at the cap.
+        let e = engine(ExecutionMode::Sprint);
+        for round in 0..12 {
+            let t = trace(24 + 8 * (round % 4), 100 + round as u64);
+            e.run_head(&HeadRequest::from_trace(&t)).unwrap();
+        }
+        for slot in &e.scratches {
+            let scratch = slot.lock().unwrap();
+            assert!(
+                scratch.mat_pool.len() <= MAT_POOL_CAP,
+                "mat pool grew to {}",
+                scratch.mat_pool.len()
+            );
         }
     }
 

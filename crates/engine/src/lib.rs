@@ -17,6 +17,13 @@
 //! * [`Engine::run_batch`] — the same over a request slice, fanned out
 //!   across [`sprint_parallel`] workers with deterministic,
 //!   thread-count-independent per-head seeding ([`derive_head_seed`]);
+//! * [`ModelServer`] — model-level serving: a [`ModelRequest`]
+//!   (layers × heads, per-layer sequence lengths, shared base seed)
+//!   decomposed into head requests, scheduled over the engine's worker
+//!   pool, and aggregated into per-layer / whole-model
+//!   [`ModelResponse`] roll-ups; [`ServeLoop`] drives it from a
+//!   synthetic arrival stream and reports throughput and latency
+//!   percentiles;
 //! * [`ExecutionMode`] — the four functional pipelines of Fig. 9
 //!   (`Dense` baseline, `Oracle` runtime pruning, `NoRecompute`,
 //!   full `Sprint`), replacing the pre-engine `recompute: bool` flag;
@@ -52,15 +59,21 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod config;
 mod engine;
 mod error;
 mod mode;
+mod model;
 pub mod reference;
 mod request;
+mod serve;
 
 pub use config::SprintConfig;
 pub use engine::{derive_head_seed, Engine, EngineBuilder};
 pub use error::{SprintError, SystemError};
 pub use mode::ExecutionMode;
+pub use model::{HeadPlan, LayerReport, ModelProfile, ModelRequest, ModelResponse, PerfRollup};
 pub use request::{HeadRequest, HeadResponse};
+pub use serve::{ModelServer, ServeLoop, ServeSummary};

@@ -1,0 +1,647 @@
+//! Model-level serving: [`ModelServer`] over the [`Engine`], and the
+//! trace-driven [`ServeLoop`].
+//!
+//! The [`Engine`] serves isolated heads; the evaluation — and any real
+//! deployment — is model-shaped. [`ModelServer`] closes that gap: it
+//! decomposes a [`ModelRequest`] (layers × heads, per-layer sequence
+//! lengths, one shared base seed) into [`crate::HeadRequest`]s,
+//! schedules them over the engine's pool of reset-reused worker
+//! scratches via [`sprint_parallel`], and aggregates the responses
+//! into a [`ModelResponse`] of per-layer and whole-model roll-ups.
+//! The decomposition inherits [`Engine::run_batch`]'s determinism
+//! guarantee: results are bit-identical across worker counts and equal
+//! to a sequential per-head loop over the same
+//! [`ModelRequest::head_plan`].
+//!
+//! [`ServeLoop`] adds traffic on top: a
+//! [`sprint_workloads::ArrivalSpec`] stream feeds model requests into
+//! the server, due arrivals are batched in flight, and the loop
+//! reports throughput and latency percentiles — the repo's first
+//! end-to-end serving scenario.
+
+use std::time::Instant;
+
+use sprint_workloads::{Arrival, ProxyTask, TaskScore, TraceGenerator, TraceSpec};
+
+use crate::model::{HeadPlan, LayerReport, ModelRequest, ModelResponse, PerfRollup};
+use crate::{Engine, HeadRequest, SprintError};
+
+/// Serves whole forward passes over one [`Engine`].
+///
+/// The server owns nothing beyond the engine: all reusable substrate
+/// state (pruner crossbars, memory controllers, attention scratch)
+/// lives in the engine's worker slots and is recycled across passes,
+/// so a long-running server allocates no per-request substrate.
+///
+/// # Example
+///
+/// ```
+/// use sprint_engine::{Engine, ModelProfile, ModelRequest, ModelServer, SprintConfig};
+/// use sprint_workloads::ModelConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let server = ModelServer::new(Engine::builder(SprintConfig::small()).seed(1).build()?);
+/// let profile = ModelProfile::from_model(&ModelConfig::bert_base())
+///     .with_layers(2)
+///     .with_heads(2)
+///     .with_layer_seq_lens(vec![48, 32]); // ragged layers are fine
+/// let response = server.serve(&ModelRequest::new(profile).with_seed(7))?;
+/// assert_eq!(response.layers.len(), 2);
+/// assert_eq!(response.total.heads, 4);
+/// assert!(response.total.energy.total().as_pj() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ModelServer {
+    engine: Engine,
+}
+
+impl ModelServer {
+    /// Wraps an engine. The engine's worker slots are the server's
+    /// execution pool; its defaults (mode, noise, comparator, seed)
+    /// apply to every pass that does not override them.
+    pub fn new(engine: Engine) -> Self {
+        ModelServer { engine }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Unwraps the server back into its engine.
+    pub fn into_engine(self) -> Engine {
+        self.engine
+    }
+
+    /// Serves one forward pass (fanned out across up to
+    /// [`Engine::worker_slots`] workers).
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Request`] for degenerate profiles or accuracy
+    /// requests without a source model; substrate errors otherwise.
+    pub fn serve(&self, request: &ModelRequest) -> Result<ModelResponse, SprintError> {
+        self.serve_threads(sprint_parallel::max_threads(), request)
+    }
+
+    /// [`ModelServer::serve`] with an explicit worker-count cap (the
+    /// determinism tests sweep this; production code should prefer
+    /// `serve`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelServer::serve`].
+    pub fn serve_threads(
+        &self,
+        threads: usize,
+        request: &ModelRequest,
+    ) -> Result<ModelResponse, SprintError> {
+        let mut responses = self.serve_many_threads(threads, std::slice::from_ref(request))?;
+        Ok(responses.remove(0))
+    }
+
+    /// Serves several passes as one flattened head batch — the
+    /// in-flight batching entry the [`ServeLoop`] uses. Each pass
+    /// keeps its own base seed, so the responses equal one
+    /// [`ModelServer::serve`] call per request.
+    ///
+    /// # Errors
+    ///
+    /// The first failing request's error, in request order.
+    pub fn serve_many(&self, requests: &[ModelRequest]) -> Result<Vec<ModelResponse>, SprintError> {
+        self.serve_many_threads(sprint_parallel::max_threads(), requests)
+    }
+
+    /// [`ModelServer::serve_many`] with an explicit worker-count cap.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelServer::serve_many`].
+    pub fn serve_many_threads(
+        &self,
+        threads: usize,
+        requests: &[ModelRequest],
+    ) -> Result<Vec<ModelResponse>, SprintError> {
+        // The cap governs every fan-out of the pass, not just the
+        // engine batch — a caller asking for one worker gets exactly
+        // one thread of synthesis and scoring too.
+        let workers = threads.clamp(1, sprint_parallel::max_threads());
+        // 1. Decompose every pass into its deterministic head plan.
+        let mut plans: Vec<(usize, HeadPlan)> = Vec::new();
+        for (r, request) in requests.iter().enumerate() {
+            request.profile().validate()?;
+            if request.wants_accuracy() && request.profile().source().is_none() {
+                return Err(SprintError::Request(format!(
+                    "accuracy requested for '{}' but the profile has no source model",
+                    request.profile().name()
+                )));
+            }
+            plans.extend(request.head_plan().into_iter().map(|h| (r, h)));
+        }
+
+        // 2. Synthesize the traces — deduplicated: passes that share a
+        // base seed and layer shape (a mode sweep over one model, say)
+        // name the same (trace_seed, spec) pairs, and a trace is a
+        // pure function of that pair, so each unique pair is built
+        // once. The fan-out stays bit-identical to a sequential loop.
+        let mut trace_keys: Vec<(u64, TraceSpec)> = Vec::new();
+        let mut trace_of: Vec<usize> = Vec::with_capacity(plans.len());
+        for (_, plan) in &plans {
+            let key = (plan.trace_seed, plan.spec);
+            let idx = trace_keys
+                .iter()
+                .position(|k| *k == key)
+                .unwrap_or_else(|| {
+                    trace_keys.push(key);
+                    trace_keys.len() - 1
+                });
+            trace_of.push(idx);
+        }
+        let traces = sprint_parallel::par_try_map_threads(workers, &trace_keys, |(seed, spec)| {
+            TraceGenerator::new(*seed).generate(spec)
+        })?;
+
+        // 3. Stamp out head requests (borrowing the traces) and run
+        // them as one batch over the engine's scratch pool.
+        let head_requests: Vec<HeadRequest> = plans
+            .iter()
+            .zip(&trace_of)
+            .map(|((r, plan), &t)| {
+                let mut head = HeadRequest::from_trace(&traces[t]).with_head_id(plan.head_id);
+                if let Some(mode) = requests[*r].mode_override() {
+                    head = head.with_mode(mode);
+                }
+                if let Some(spec) = requests[*r].threshold_spec_override() {
+                    head = head.with_threshold_spec(spec);
+                }
+                head
+            })
+            .collect();
+        let head_responses = self.engine.run_batch_threads(workers, &head_requests)?;
+
+        // 4. Score the passes that asked for accuracy. Tasks are
+        // deduplicated like traces (a task is a pure function of its
+        // trace, source model and task seed, and its construction runs
+        // a dense reference pass — the expensive half); the per-head
+        // evaluation still runs per response. Skipped entirely when no
+        // pass wants accuracy.
+        let scores: Vec<Option<TaskScore>> = if requests.iter().any(ModelRequest::wants_accuracy) {
+            let mut task_keys: Vec<(usize, u64, usize)> = Vec::new(); // (trace, seed, request)
+            let mut task_of: Vec<Option<usize>> = Vec::with_capacity(plans.len());
+            for ((r, plan), &t) in plans.iter().zip(&trace_of) {
+                if !requests[*r].wants_accuracy() {
+                    task_of.push(None);
+                    continue;
+                }
+                let idx = task_keys
+                    .iter()
+                    .position(|&(kt, ks, kr)| {
+                        kt == t
+                            && ks == plan.task_seed
+                            && requests[kr].profile().source() == requests[*r].profile().source()
+                    })
+                    .unwrap_or_else(|| {
+                        task_keys.push((t, plan.task_seed, *r));
+                        task_keys.len() - 1
+                    });
+                task_of.push(Some(idx));
+            }
+            let tasks =
+                sprint_parallel::par_try_map_threads(workers, &task_keys, |&(t, seed, r)| {
+                    let model = requests[r].profile().source().expect("checked above");
+                    ProxyTask::new(&traces[t], model, seed)
+                })?;
+            let indices: Vec<usize> = (0..plans.len()).collect();
+            sprint_parallel::par_try_map_threads(
+                workers,
+                &indices,
+                |&i| -> Result<_, SprintError> {
+                    match task_of[i] {
+                        Some(t) => Ok(Some(tasks[t].evaluate(&head_responses[i].output)?)),
+                        None => Ok(None),
+                    }
+                },
+            )?
+        } else {
+            vec![None; plans.len()]
+        };
+
+        // 5. Fold head rollups into per-layer and per-model reports.
+        let mut out: Vec<ModelResponse> = requests
+            .iter()
+            .map(|request| ModelResponse {
+                model: request.profile().name().to_string(),
+                mode: request.mode_override().unwrap_or(self.engine.mode()),
+                layers: request
+                    .profile()
+                    .layer_seq_lens()
+                    .iter()
+                    .enumerate()
+                    .map(|(layer, &seq_len)| LayerReport {
+                        layer,
+                        seq_len,
+                        perf: PerfRollup::default(),
+                    })
+                    .collect(),
+                total: PerfRollup::default(),
+            })
+            .collect();
+        for (((r, plan), &t), (response, score)) in plans
+            .iter()
+            .zip(&trace_of)
+            .zip(head_responses.iter().zip(&scores))
+        {
+            let request = &requests[*r];
+            let mut rollup = PerfRollup::from_response(
+                request.mode_override().unwrap_or(self.engine.mode()),
+                self.engine.config(),
+                request.profile().head_dim(),
+                plan.spec.seq_len,
+                traces[t].live_tokens(),
+                response,
+            );
+            if let Some(score) = score {
+                rollup.record_score(*score);
+            }
+            out[*r].layers[plan.layer].perf.merge(&rollup);
+        }
+        // The model total is *defined* as the merge of the layer
+        // reports (not a second per-head fold), so `Σ layers == total`
+        // holds exactly — f64 addition groups the same way on both
+        // sides.
+        for response in &mut out {
+            for layer in 0..response.layers.len() {
+                let perf = response.layers[layer].perf;
+                response.total.merge(&perf);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A trace-driven serving loop: synthetic arrivals in, a throughput /
+/// latency report out.
+///
+/// The loop replays an [`Arrival`] stream against a set of
+/// [`ModelRequest`] templates on a virtual clock: every arrival due at
+/// the current instant joins the next in-flight batch (up to
+/// [`ServeLoop::max_batch`]), the batch runs through
+/// [`ModelServer::serve_many`] while the wall-clock service time is
+/// measured, and the clock advances by that service time. A request's
+/// latency is queueing delay plus service — the standard open-loop
+/// serving model.
+///
+/// # Example
+///
+/// ```
+/// use sprint_engine::{Engine, ModelProfile, ModelRequest, ModelServer, ServeLoop, SprintConfig};
+/// use sprint_workloads::{ArrivalSpec, ModelConfig, TraceGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let server = ModelServer::new(Engine::builder(SprintConfig::small()).build()?);
+/// let template = ModelRequest::new(
+///     ModelProfile::from_model(&ModelConfig::vit_base())
+///         .with_layers(1)
+///         .with_heads(2)
+///         .with_seq_len(32),
+/// );
+/// let arrivals = TraceGenerator::new(9).arrivals(&ArrivalSpec {
+///     count: 4,
+///     mean_interarrival_ns: 200_000.0,
+///     templates: 1,
+/// })?;
+/// let summary = ServeLoop::new(&server).run(&arrivals, &[template])?;
+/// assert_eq!(summary.served, 4);
+/// assert!(summary.throughput_per_s() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ServeLoop<'a> {
+    server: &'a ModelServer,
+    max_batch: usize,
+}
+
+impl<'a> ServeLoop<'a> {
+    /// A loop over `server` with the default in-flight batch cap (8).
+    pub fn new(server: &'a ModelServer) -> Self {
+        ServeLoop {
+            server,
+            max_batch: 8,
+        }
+    }
+
+    /// Caps how many due model requests one batch may coalesce
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+
+    /// Replays `arrivals` against the request `templates`
+    /// (`arrival.template` indexes into the slice).
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Request`] for an empty template set or an
+    /// out-of-range template index; serving errors otherwise.
+    pub fn run(
+        &self,
+        arrivals: &[Arrival],
+        templates: &[ModelRequest],
+    ) -> Result<ServeSummary, SprintError> {
+        if templates.is_empty() {
+            return Err(SprintError::Request(
+                "serve loop needs at least one request template".to_string(),
+            ));
+        }
+        if let Some(bad) = arrivals.iter().find(|a| a.template >= templates.len()) {
+            return Err(SprintError::Request(format!(
+                "arrival template {} out of range ({} templates)",
+                bad.template,
+                templates.len()
+            )));
+        }
+        let mut order: Vec<&Arrival> = arrivals.iter().collect();
+        order.sort_by_key(|a| a.at_ns);
+
+        let mut clock: u128 = 0;
+        let mut busy_ns: u128 = 0;
+        let mut batches = 0usize;
+        let mut heads = 0u64;
+        let mut latencies_ns: Vec<u128> = Vec::with_capacity(order.len());
+        let mut i = 0usize;
+        while i < order.len() {
+            // Idle until the next arrival, then coalesce everything due.
+            let now = clock.max(order[i].at_ns as u128);
+            let mut batch: Vec<&Arrival> = Vec::new();
+            while i < order.len() && (order[i].at_ns as u128) <= now && batch.len() < self.max_batch
+            {
+                batch.push(order[i]);
+                i += 1;
+            }
+            let requests: Vec<ModelRequest> = batch
+                .iter()
+                .map(|a| templates[a.template].clone())
+                .collect();
+            let started = Instant::now();
+            let responses = self.server.serve_many(&requests)?;
+            let service = started.elapsed().as_nanos().max(1);
+            busy_ns += service;
+            batches += 1;
+            clock = now + service;
+            for (arrival, response) in batch.iter().zip(&responses) {
+                latencies_ns.push(clock - arrival.at_ns as u128);
+                heads += response.total.heads;
+            }
+        }
+        latencies_ns.sort_unstable();
+        Ok(ServeSummary {
+            served: order.len(),
+            heads,
+            batches,
+            busy_ns,
+            makespan_ns: clock,
+            latencies_ns,
+        })
+    }
+}
+
+/// The outcome of one [`ServeLoop::run`]: what was served, how fast,
+/// and the request-latency distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Model requests completed.
+    pub served: usize,
+    /// Attention heads executed across all requests.
+    pub heads: u64,
+    /// Batches dispatched (≤ `served`; smaller means coalescing
+    /// happened).
+    pub batches: usize,
+    /// Wall-clock nanoseconds spent serving (the busy time).
+    pub busy_ns: u128,
+    /// Virtual nanoseconds from the first arrival epoch to the last
+    /// completion.
+    pub makespan_ns: u128,
+    latencies_ns: Vec<u128>,
+}
+
+impl ServeSummary {
+    /// Request latency (queueing + service) at percentile `pct`
+    /// (`0.0..=100.0`, nearest-rank); zero when nothing was served.
+    pub fn latency_ns(&self, pct: f64) -> u128 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * self.latencies_ns.len() as f64).ceil() as usize;
+        self.latencies_ns[rank.clamp(1, self.latencies_ns.len()) - 1]
+    }
+
+    /// Completed model requests per second of makespan.
+    pub fn throughput_per_s(&self) -> f64 {
+        self.served as f64 / (self.makespan_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Heads executed per second of makespan.
+    pub fn head_throughput_per_s(&self) -> f64 {
+        self.heads as f64 / (self.makespan_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Mean model requests per dispatched batch.
+    pub fn mean_batch(&self) -> f64 {
+        self.served as f64 / self.batches.max(1) as f64
+    }
+}
+
+impl std::fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "served {} model requests ({} heads) in {} batches (mean batch {:.2})",
+            self.served,
+            self.heads,
+            self.batches,
+            self.mean_batch()
+        )?;
+        writeln!(
+            f,
+            "throughput: {:.1} models/s ({:.1} heads/s); busy {:.3} ms of {:.3} ms makespan",
+            self.throughput_per_s(),
+            self.head_throughput_per_s(),
+            self.busy_ns as f64 / 1e6,
+            self.makespan_ns as f64 / 1e6,
+        )?;
+        write!(
+            f,
+            "latency: p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms",
+            self.latency_ns(50.0) as f64 / 1e6,
+            self.latency_ns(90.0) as f64 / 1e6,
+            self.latency_ns(99.0) as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionMode, ModelProfile, SprintConfig};
+    use sprint_reram::NoiseModel;
+    use sprint_workloads::{ArrivalSpec, ModelConfig};
+
+    fn server(slots: usize) -> ModelServer {
+        ModelServer::new(
+            Engine::builder(SprintConfig::small())
+                .noise(NoiseModel::ideal())
+                .seed(3)
+                .worker_slots(slots)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn tiny_request() -> ModelRequest {
+        ModelRequest::new(
+            ModelProfile::from_model(&ModelConfig::bert_base())
+                .with_layers(2)
+                .with_heads(2)
+                .with_layer_seq_lens(vec![40, 24]),
+        )
+        .with_seed(11)
+    }
+
+    #[test]
+    fn serve_rolls_layers_into_totals() {
+        let response = server(2).serve(&tiny_request()).unwrap();
+        assert_eq!(response.model, "BERT-B");
+        assert_eq!(response.mode, ExecutionMode::Sprint);
+        assert_eq!(response.layers.len(), 2);
+        assert_eq!(response.layers[0].seq_len, 40);
+        assert_eq!(response.layers[1].seq_len, 24);
+        let mut merged = PerfRollup::default();
+        for layer in &response.layers {
+            assert_eq!(layer.perf.heads, 2);
+            assert!(layer.perf.cycles > 0);
+            assert!(layer.perf.energy.total().as_pj() > 0.0);
+            merged.merge(&layer.perf);
+        }
+        assert_eq!(merged, response.total);
+        assert_eq!(response.total.heads, 4);
+        // Sprint prunes: kept fraction strictly inside (0, 1).
+        let kept = response.total.kept_fraction();
+        assert!(kept > 0.0 && kept < 1.0, "kept fraction {kept}");
+        assert!(response.total.queries_pruned > 0);
+        assert_eq!(response.total.accuracy(), None, "accuracy off by default");
+    }
+
+    #[test]
+    fn mode_override_moves_the_energy_ordering() {
+        let s = server(2);
+        let dense = s
+            .serve(&tiny_request().with_mode(ExecutionMode::Dense))
+            .unwrap();
+        let sprint = s
+            .serve(&tiny_request().with_mode(ExecutionMode::Sprint))
+            .unwrap();
+        assert!(dense.total.energy.total() > sprint.total.energy.total());
+        assert!(dense.total.cycles > sprint.total.cycles);
+        assert!(dense.total.bytes_fetched > sprint.total.bytes_fetched);
+        assert_eq!(dense.total.queries_pruned, 0);
+        assert!((dense.total.kept_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_requires_a_source_model() {
+        let profile = ModelProfile::custom("free", 32, 1, vec![32], 0.7, 0.2, 0.8).unwrap();
+        let err = server(1).serve(&ModelRequest::new(profile).with_accuracy(true));
+        assert!(matches!(err, Err(SprintError::Request(_))));
+    }
+
+    #[test]
+    fn accuracy_rollup_scores_every_head() {
+        let response = server(2)
+            .serve(
+                &tiny_request()
+                    .with_mode(ExecutionMode::Dense)
+                    .with_accuracy(true),
+            )
+            .unwrap();
+        let score = response.total.accuracy().expect("accuracy requested");
+        // Dense output scores near the pinned BERT-B baseline and
+        // agrees with itself.
+        assert!(score.accuracy > 0.6, "accuracy {}", score.accuracy);
+        assert_eq!(score.agreement, 1.0);
+        for layer in &response.layers {
+            assert!(layer.perf.accuracy().is_some());
+        }
+    }
+
+    #[test]
+    fn zero_head_requests_are_rejected() {
+        let profile = ModelProfile::from_model(&ModelConfig::vit_base()).with_layers(0);
+        let err = server(1).serve(&ModelRequest::new(profile));
+        assert!(matches!(err, Err(SprintError::Request(_))));
+    }
+
+    #[test]
+    fn serve_many_equals_independent_serves() {
+        let s = server(4);
+        let a = tiny_request();
+        let b = tiny_request()
+            .with_seed(29)
+            .with_mode(ExecutionMode::Oracle);
+        let together = s.serve_many(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(together[0], s.serve(&a).unwrap());
+        assert_eq!(together[1], s.serve(&b).unwrap());
+    }
+
+    #[test]
+    fn serve_loop_reports_traffic() {
+        let s = server(2);
+        let template = ModelRequest::new(
+            ModelProfile::from_model(&ModelConfig::vit_base())
+                .with_layers(1)
+                .with_heads(2)
+                .with_seq_len(32),
+        )
+        .with_seed(5);
+        let arrivals = TraceGenerator::new(17)
+            .arrivals(&ArrivalSpec {
+                count: 6,
+                mean_interarrival_ns: 50_000.0,
+                templates: 1,
+            })
+            .unwrap();
+        let summary = ServeLoop::new(&s)
+            .max_batch(4)
+            .run(&arrivals, &[template])
+            .unwrap();
+        assert_eq!(summary.served, 6);
+        assert_eq!(summary.heads, 12);
+        assert!(summary.batches <= 6);
+        assert!(summary.busy_ns > 0);
+        assert!(summary.latency_ns(50.0) <= summary.latency_ns(99.0));
+        assert!(summary.throughput_per_s() > 0.0);
+        let text = summary.to_string();
+        assert!(text.contains("p99"), "display renders percentiles: {text}");
+    }
+
+    #[test]
+    fn serve_loop_validates_templates() {
+        let s = server(1);
+        let arrivals = [Arrival {
+            at_ns: 0,
+            template: 3,
+        }];
+        assert!(matches!(
+            ServeLoop::new(&s).run(&arrivals, &[]),
+            Err(SprintError::Request(_))
+        ));
+        assert!(matches!(
+            ServeLoop::new(&s).run(&arrivals, &[tiny_request()]),
+            Err(SprintError::Request(_))
+        ));
+    }
+}

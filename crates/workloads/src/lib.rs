@@ -14,7 +14,9 @@
 //!   in for the fine-tuned checkpoints and datasets the paper uses
 //!   (see DESIGN.md "Substitutions");
 //! * [`ProxyTask`] — the accuracy-proxy task used by the Fig. 5 / Fig. 9
-//!   studies.
+//!   studies;
+//! * [`ArrivalSpec`] — synthetic Poisson request-arrival streams that
+//!   feed the trace-driven serving loop (`sprint_engine::ServeLoop`).
 //!
 //! # Example
 //!
@@ -29,6 +31,8 @@
 //! assert_eq!(masks.len(), 64);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod overlap;
 
 mod models;
@@ -38,4 +42,4 @@ mod trace;
 
 pub use models::{Dataset, ModelConfig, ModelKind};
 pub use task::{ProxyTask, TaskScore};
-pub use trace::{HeadTrace, TraceGenerator, TraceSpec};
+pub use trace::{Arrival, ArrivalSpec, HeadTrace, TraceGenerator, TraceSpec};

@@ -7,7 +7,7 @@
 
 use sprint_core::counting::{simulate_head, ExecutionMode as CountingMode};
 use sprint_core::{HeadProfile, SprintConfig};
-use sprint_engine::{Engine, ExecutionMode, HeadRequest};
+use sprint_engine::{Engine, ExecutionMode, HeadRequest, ModelProfile, ModelRequest, ModelServer};
 use sprint_reram::NoiseModel;
 use sprint_workloads::{ModelConfig, TraceGenerator};
 
@@ -110,6 +110,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sprint.speedup_over(&base),
         sprint.energy_reduction_over(&base),
         sprint.data_movement_reduction_over(&base) * 100.0
+    );
+
+    // 6. Serve a model. A ModelServer wraps the engine and takes whole
+    //    forward passes: a ModelRequest names layers x heads and
+    //    per-layer sequence lengths (ragged is fine), the server
+    //    decomposes it into head requests with deterministic
+    //    per-(layer, head) seeds, runs them over the engine's worker
+    //    pool, and rolls the responses up per layer and per model.
+    let server = ModelServer::new(engine);
+    let profile = ModelProfile::from_model(&model)
+        .with_layers(2)
+        .with_heads(2)
+        .with_layer_seq_lens(vec![128, 96]);
+    let response = server.serve(&ModelRequest::new(profile).with_seed(2024))?;
+    println!(
+        "\nmodel serving: {} in {:?} mode",
+        response.model, response.mode
+    );
+    for layer in &response.layers {
+        println!(
+            "  layer {}: s={:<4} {} heads  {:>12} cycles  {:>14}  kept {:.1}%  reuse {:.1}%",
+            layer.layer,
+            layer.seq_len,
+            layer.perf.heads,
+            layer.perf.cycles,
+            layer.perf.energy.total().to_string(),
+            layer.perf.kept_fraction() * 100.0,
+            layer.perf.reuse_fraction() * 100.0,
+        );
+    }
+    println!(
+        "  total: {} heads  {} cycles  {}  {} bytes moved",
+        response.total.heads,
+        response.total.cycles,
+        response.total.energy.total(),
+        response.total.bytes_fetched,
     );
     Ok(())
 }

@@ -3,7 +3,10 @@
 
 use sprint_attention::{mean_abs_error, prune_set_overlap, pruned_attention, PruneDecision};
 use sprint_core::SprintConfig;
-use sprint_engine::{Engine, ExecutionMode, HeadRequest, HeadResponse};
+use sprint_engine::{
+    Engine, ExecutionMode, HeadRequest, HeadResponse, ModelProfile, ModelRequest, ModelResponse,
+    ModelServer,
+};
 use sprint_reram::{InMemoryPruner, NoiseModel, ThresholdSpec};
 use sprint_workloads::{ModelConfig, TraceGenerator};
 
@@ -114,46 +117,129 @@ fn sprint_decisions_drive_both_memory_and_compute_consistently() {
 }
 
 #[test]
-fn engine_serves_a_mixed_batch_end_to_end() {
-    // One engine, one batch, all four pipelines side by side — the
-    // serving shape of the redesigned API. The mode contrast must show
-    // the paper's data-movement story: the dense baseline touches every
-    // live key, SPRINT fetches a fraction of them.
-    let traces: Vec<_> = (0..2).map(|i| bert_trace(96, 40 + i)).collect();
-    let engine = Engine::builder(SprintConfig::medium())
-        .noise(NoiseModel::default())
-        .seed(77)
-        .build()
+fn model_server_serves_the_four_pipelines_end_to_end() {
+    // One server, one model, all four pipelines side by side — the
+    // model-level serving shape. The layers × heads decomposition is
+    // the server's job now (no hand-rolled iteration here), and the
+    // mode contrast must still show the paper's story at model
+    // granularity: pruning cuts data movement, recompute restores
+    // decision fidelity.
+    let server = ModelServer::new(
+        Engine::builder(SprintConfig::medium())
+            .noise(NoiseModel::default())
+            .seed(77)
+            .build()
+            .unwrap(),
+    );
+    let profile = ModelProfile::from_model(&ModelConfig::bert_base())
+        .with_heads(2)
+        .with_layer_seq_lens(vec![96, 64]); // ragged encoder stack
+    let serve = |mode: ExecutionMode| -> ModelResponse {
+        server
+            .serve(
+                &ModelRequest::new(profile.clone())
+                    .with_seed(40)
+                    .with_mode(mode)
+                    .with_accuracy(true),
+            )
+            .unwrap()
+    };
+    let [dense, oracle, no_rec, sprint] = ExecutionMode::ALL.map(serve);
+
+    // Data movement: the dense baseline touches every live key, SPRINT
+    // fetches a fraction of them.
+    let touched = |r: &ModelResponse| r.total.fetched_vectors + r.total.reused_vectors;
+    assert!(
+        touched(&dense) > touched(&sprint),
+        "pruning cuts key traffic"
+    );
+    assert!(
+        dense.total.bytes_fetched > sprint.total.bytes_fetched,
+        "pruning cuts bytes moved"
+    );
+    assert!((dense.total.kept_fraction() - 1.0).abs() < 1e-12);
+    assert!(oracle.total.kept_fraction() < 1.0, "oracle prunes");
+    assert!(
+        dense.total.energy.total() > sprint.total.energy.total(),
+        "pruning cuts counted energy"
+    );
+    assert!(
+        dense.total.cycles > sprint.total.cycles,
+        "and counted latency"
+    );
+
+    // Fidelity: recompute restores the runtime-pruning decision level;
+    // approximate analog scores alone agree less with the dense
+    // predictions.
+    let agreement = |r: &ModelResponse| r.total.accuracy().unwrap().agreement;
+    assert!(
+        agreement(&sprint) + 1e-9 >= agreement(&no_rec),
+        "recompute agreement {} must not trail no-recompute {}",
+        agreement(&sprint),
+        agreement(&no_rec)
+    );
+    assert!(
+        (agreement(&sprint) - agreement(&oracle)).abs() < 0.12,
+        "SPRINT ({}) tracks runtime pruning ({})",
+        agreement(&sprint),
+        agreement(&oracle)
+    );
+
+    // Strict head-level recompute guard: for one head of the same
+    // plan, the recomputed output must be strictly closer to the
+    // oracle's than the raw analog scores are — a silently disabled
+    // recompute stage cannot hide behind the aggregate agreement
+    // means above.
+    let plan = ModelRequest::new(profile.clone())
+        .with_seed(40)
+        .head_plan()
+        .remove(0);
+    let head_trace = TraceGenerator::new(plan.trace_seed)
+        .generate(&plan.spec)
         .unwrap();
-    let mut requests = Vec::new();
-    for trace in &traces {
-        for mode in ExecutionMode::ALL {
-            requests.push(HeadRequest::from_trace(trace).with_mode(mode));
+    let run_mode = |mode: ExecutionMode| {
+        server
+            .engine()
+            .run_head(
+                &HeadRequest::from_trace(&head_trace)
+                    .with_head_id(plan.head_id)
+                    .with_mode(mode),
+            )
+            .unwrap()
+    };
+    let oracle_out = run_mode(ExecutionMode::Oracle);
+    let err_sprint =
+        mean_abs_error(&run_mode(ExecutionMode::Sprint).output, &oracle_out.output).unwrap();
+    let err_no_rec = mean_abs_error(
+        &run_mode(ExecutionMode::NoRecompute).output,
+        &oracle_out.output,
+    )
+    .unwrap();
+    assert!(
+        err_no_rec > err_sprint,
+        "no-recompute ({err_no_rec}) must be strictly worse than recompute ({err_sprint})"
+    );
+
+    // The analog side thresholded every live query of every head, and
+    // the digital baseline never touched the ReRAM pruner.
+    assert_eq!(dense.total.queries_pruned, 0);
+    let live = |s: usize| (s as f64 * (1.0 - 0.46f64)).round() as u64;
+    assert_eq!(
+        sprint.total.queries_pruned,
+        2 * (live(96) + live(64)),
+        "two heads per layer, every live query thresholded"
+    );
+
+    // Roll-up consistency: layers merge to the total.
+    for r in [&dense, &oracle, &no_rec, &sprint] {
+        assert_eq!(r.layers.len(), 2);
+        assert_eq!(r.layers[0].seq_len, 96);
+        assert_eq!(r.layers[1].seq_len, 64);
+        let mut merged = sprint_engine::PerfRollup::default();
+        for layer in &r.layers {
+            merged.merge(&layer.perf);
         }
-    }
-    let responses = engine.run_batch(&requests).unwrap();
-    assert_eq!(responses.len(), requests.len());
-    for (chunk, trace) in responses.chunks(4).zip(&traces) {
-        let (dense, oracle, no_rec, sprint) = (&chunk[0], &chunk[1], &chunk[2], &chunk[3]);
-        let touched =
-            |r: &HeadResponse| r.memory_stats.fetched_vectors + r.memory_stats.reused_vectors;
-        assert!(touched(dense) > touched(sprint), "pruning cuts key traffic");
-        assert!(
-            dense.memory_stats.bytes_fetched > sprint.memory_stats.bytes_fetched,
-            "pruning cuts bytes moved"
-        );
-        // Recompute beats raw analog scores against the oracle output.
-        let err_sprint = mean_abs_error(&sprint.output, &oracle.output).unwrap();
-        let err_no_rec = mean_abs_error(&no_rec.output, &oracle.output).unwrap();
-        assert!(
-            err_no_rec > err_sprint,
-            "no-recompute ({err_no_rec}) must be worse than recompute ({err_sprint})"
-        );
-        assert_eq!(dense.prune_stats.queries_pruned, 0);
-        assert_eq!(
-            sprint.prune_stats.queries_pruned,
-            trace.live_tokens() as u64
-        );
+        assert_eq!(merged, r.total);
     }
 }
 

@@ -496,17 +496,14 @@ pub fn quantized_attention_with(
 
     let mut scores = ws.zeroed_matrix(s_q, s_k)?;
     for i in 0..s_q {
-        let q_codes = qq.code_row(i);
-        let srow = scores.row_mut(i);
-        for (j, slot) in srow.iter_mut().enumerate() {
-            let kept = decisions.map_or(true, |ds| ds[i].is_kept(j));
-            *slot = if kept {
-                // Integer MAC: i8 x i8 accumulated in i32 (the QK-PU).
-                idot(q_codes, qk.code_row(j)) as f32 * score_lsb
-            } else {
-                f32::NEG_INFINITY
-            };
-        }
+        // Integer MAC: i8 x i8 accumulated in i32 (the QK-PU).
+        quantized_score_row_into(
+            qq.code_row(i),
+            &qk,
+            |j| decisions.map_or(true, |ds| ds[i].is_kept(j)),
+            score_lsb,
+            scores.row_mut(i),
+        );
     }
 
     // Softmax with 12-bit inputs via the two-LUT unit. The range is the
@@ -538,21 +535,7 @@ pub fn quantized_attention_with(
     let mut output = ws.zeroed_matrix(s_q, d_v)?;
     let acc = ws.acc_row(d_v);
     for i in 0..s_q {
-        acc.fill(0);
-        for (j, &p) in probs.row(i).iter().enumerate() {
-            let p_code = (p * 255.0).round() as i32;
-            if p_code == 0 {
-                continue;
-            }
-            for (a, &vc) in acc.iter_mut().zip(qv.code_row(j)) {
-                *a += p_code * vc;
-            }
-        }
-        for (slot, &a) in output.row_mut(i).iter_mut().zip(acc.iter()) {
-            // Final attention value kept in 16 bits.
-            let acc16 = a.clamp(i32::from(i16::MIN), i32::from(i16::MAX));
-            *slot = acc16 as f32 * out_lsb;
-        }
+        vpu_row_into(probs.row(i), &qv, out_lsb, acc, output.row_mut(i));
     }
 
     Ok(QuantizedAttentionOutput {
@@ -562,10 +545,59 @@ pub fn quantized_attention_with(
     })
 }
 
-/// Integer dot product (the QK-PU's i8 × i8 → i32 MAC chain).
+/// Integer dot product (the QK-PU's i8 × i8 → i32 MAC chain). Shared
+/// with the single-query decode kernel so both paths MAC identically.
 #[inline]
-fn idot(a: &[i32], b: &[i32]) -> i32 {
+pub(crate) fn idot(a: &[i32], b: &[i32]) -> i32 {
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// One query's QK-PU score row: kept keys get the dequantized integer
+/// MAC, pruned keys `-inf`. The single code-level core shared by the
+/// batch kernel and the single-query decode kernel, so their
+/// bit-identical contract holds by construction, not just by test.
+pub(crate) fn quantized_score_row_into(
+    q_codes: &[i32],
+    qk: &crate::QuantizedMatrix,
+    kept: impl Fn(usize) -> bool,
+    score_lsb: f32,
+    srow: &mut [f32],
+) {
+    for (j, slot) in srow.iter_mut().enumerate() {
+        *slot = if kept(j) {
+            idot(q_codes, qk.code_row(j)) as f32 * score_lsb
+        } else {
+            f32::NEG_INFINITY
+        };
+    }
+}
+
+/// The V-PU accumulation of one probability row over quantized values:
+/// 8-bit probability codes × 8-bit value codes accumulated in `i32`,
+/// clamped to 16 bits and dequantized into `out_row`. Shared by the
+/// batch and decode kernels like [`quantized_score_row_into`].
+pub(crate) fn vpu_row_into(
+    probs_row: &[f32],
+    qv: &crate::QuantizedMatrix,
+    out_lsb: f32,
+    acc: &mut [i32],
+    out_row: &mut [f32],
+) {
+    acc.fill(0);
+    for (j, &p) in probs_row.iter().enumerate() {
+        let p_code = (p * 255.0).round() as i32;
+        if p_code == 0 {
+            continue;
+        }
+        for (a, &vc) in acc.iter_mut().zip(qv.code_row(j)) {
+            *a += p_code * vc;
+        }
+    }
+    for (slot, &a) in out_row.iter_mut().zip(acc.iter()) {
+        // Final attention value kept in 16 bits.
+        let acc16 = a.clamp(i32::from(i16::MIN), i32::from(i16::MAX));
+        *slot = acc16 as f32 * out_lsb;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,471 @@
+//! Single-query decode kernels and the appendable KV cache.
+//!
+//! Autoregressive decode issues one query per step against a growing
+//! key/value history. The kernels here are the single-query
+//! counterparts of the fused batch kernels in [`crate::attention`]
+//! (`*_decode_with` mirrors `*_with`), and [`KvCache`] is the
+//! append-only history they run against: the float K/V matrices plus
+//! their cached 8-bit quantizations, grown one token at a time and
+//! requantized only when a new token widens the calibrated range.
+//!
+//! **Equivalence contract.** Every decode kernel is bit-identical to
+//! its batch sibling called with a one-row `Q` over the same history —
+//! `tests/fused_equivalence.rs` and the engine's `decode.rs` suite pin
+//! this. That is what lets a stateful decode session prove itself
+//! against a fresh full-prefix oracle at every step.
+
+use crate::attention::{check_shapes, quantized_score_row_into, vpu_row_into};
+use crate::{
+    dense_attention_with, pruned_attention_with, quantize_matrix, AttentionConfig, AttentionError,
+    Matrix, PruneDecision, QuantParams, QuantizedMatrix, SoftmaxLut, Workspace,
+};
+
+/// The append-only key/value history of one decode session.
+///
+/// Holds the float `K`/`V` matrices **and** their 8-bit quantized
+/// images, maintained under the invariant that the cached codes always
+/// equal `quantize_matrix(k, 8)` / `quantize_matrix(v, 8)` over the
+/// full history: a pushed token whose magnitude fits the calibrated
+/// range appends one quantized row (`O(d)`); a token that widens the
+/// range forces a full requantization (`O(s·d)`, rare — the range is a
+/// running maximum), reported through [`KvDelta`] so callers can
+/// account the recalibration.
+///
+/// # Example
+///
+/// ```
+/// use sprint_attention::{KvCache, Matrix};
+///
+/// # fn main() -> Result<(), sprint_attention::AttentionError> {
+/// let k = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]])?;
+/// let mut cache = KvCache::new(&k, &k)?;
+/// let delta = cache.push(&[0.5, -0.5], &[0.25, 0.25])?;
+/// assert_eq!(cache.len(), 3);
+/// assert!(!delta.requantized_k, "in-range token appends cheaply");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    k: Matrix,
+    v: Matrix,
+    qk: QuantizedMatrix,
+    qv: QuantizedMatrix,
+    /// Running `max_abs` of `k` / `v` (append-only matrices never
+    /// shrink their range), so the per-push params check is `O(d)`
+    /// instead of an `O(s·d)` full-history rescan.
+    k_max_abs: f32,
+    v_max_abs: f32,
+}
+
+/// What one [`KvCache::push`] had to do to keep the quantized images
+/// exact: `false` flags mean the token's row was appended under the
+/// existing params, `true` means the whole matrix was requantized
+/// because the token widened the calibrated range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvDelta {
+    /// The key history was requantized from scratch.
+    pub requantized_k: bool,
+    /// The value history was requantized from scratch.
+    pub requantized_v: bool,
+}
+
+impl KvCache {
+    /// Builds the cache from the prefill history (cloned and quantized
+    /// once). `k` and `v` must agree on the sequence length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::ShapeMismatch`] when the sequence
+    /// lengths differ; quantization errors otherwise.
+    pub fn new(k: &Matrix, v: &Matrix) -> Result<Self, AttentionError> {
+        if k.rows() != v.rows() {
+            return Err(AttentionError::ShapeMismatch {
+                op: "kv cache k/v sequence",
+                left: k.shape(),
+                right: v.shape(),
+            });
+        }
+        Ok(KvCache {
+            k: k.clone(),
+            v: v.clone(),
+            qk: quantize_matrix(k, 8)?,
+            qv: quantize_matrix(v, 8)?,
+            k_max_abs: k.max_abs(),
+            v_max_abs: v.max_abs(),
+        })
+    }
+
+    /// Appends one token's key and value rows, keeping the quantized
+    /// images exactly equal to a from-scratch quantization of the
+    /// grown history (requantizing only when the token widens the
+    /// calibrated range).
+    ///
+    /// The push is atomic: both rows are validated before anything
+    /// mutates, so on error the cache — and its documented invariant —
+    /// is exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors for wrong row lengths; quantization errors on a
+    /// requantize.
+    pub fn push(&mut self, k_row: &[f32], v_row: &[f32]) -> Result<KvDelta, AttentionError> {
+        if k_row.len() != self.k.cols() {
+            return Err(AttentionError::ShapeMismatch {
+                op: "kv cache k row",
+                left: (1, k_row.len()),
+                right: (1, self.k.cols()),
+            });
+        }
+        if v_row.len() != self.v.cols() {
+            return Err(AttentionError::ShapeMismatch {
+                op: "kv cache v row",
+                left: (1, v_row.len()),
+                right: (1, self.v.cols()),
+            });
+        }
+        // All remaining fallible work up front: fold both rows into
+        // candidate running maxima (the same fold [`Matrix::max_abs`]
+        // performs, grouped over (prefix, new row) — `O(d)`, and
+        // bit-identical to a from-scratch scan) and derive both
+        // quantizers. A non-finite value errors *here*, before any
+        // mutation.
+        let k_max = k_row.iter().fold(self.k_max_abs, |m, v| m.max(v.abs()));
+        let v_max = v_row.iter().fold(self.v_max_abs, |m, v| m.max(v.abs()));
+        let k_params = QuantParams::for_max_abs(8, k_max)?;
+        let v_params = QuantParams::for_max_abs(8, v_max)?;
+        self.k.push_row(k_row)?;
+        self.v.push_row(v_row)?;
+        self.k_max_abs = k_max;
+        self.v_max_abs = v_max;
+        let requantized_k = Self::apply(&self.k, &mut self.qk, k_params, k_row)?;
+        let requantized_v = Self::apply(&self.v, &mut self.qv, v_params, v_row)?;
+        Ok(KvDelta {
+            requantized_k,
+            requantized_v,
+        })
+    }
+
+    /// Re-establishes `quantized == quantize_matrix(full, 8)` after
+    /// `row` was appended to `full`, under the pre-validated `params`;
+    /// returns whether a full requantization was needed. Cannot fail
+    /// in practice once `params` derived successfully (the requantize
+    /// re-derives the same finite maximum).
+    fn apply(
+        full: &Matrix,
+        quantized: &mut QuantizedMatrix,
+        params: QuantParams,
+        row: &[f32],
+    ) -> Result<bool, AttentionError> {
+        if params == quantized.params() {
+            quantized.push_row(row)?;
+            Ok(false)
+        } else {
+            *quantized = quantize_matrix(full, 8)?;
+            Ok(true)
+        }
+    }
+
+    /// Tokens in the history.
+    pub fn len(&self) -> usize {
+        self.k.rows()
+    }
+
+    /// Whether the history is empty (never true — construction
+    /// requires a non-empty prefill — but conventional next to `len`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The key history (`s × d`).
+    pub fn k(&self) -> &Matrix {
+        &self.k
+    }
+
+    /// The value history (`s × d_v`).
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// The cached 8-bit key quantization (equal to
+    /// `quantize_matrix(k(), 8)` at all times).
+    pub fn quantized_k(&self) -> &QuantizedMatrix {
+        &self.qk
+    }
+
+    /// The cached 8-bit value quantization (equal to
+    /// `quantize_matrix(v(), 8)` at all times).
+    pub fn quantized_v(&self) -> &QuantizedMatrix {
+        &self.qv
+    }
+}
+
+/// Checks that `q` is a single query row matching the history's
+/// embedding.
+fn check_decode_query(q: &Matrix, k: &Matrix) -> Result<(), AttentionError> {
+    if q.rows() != 1 {
+        return Err(AttentionError::ShapeMismatch {
+            op: "decode query (one row expected)",
+            left: q.shape(),
+            right: (1, k.cols()),
+        });
+    }
+    check_shapes(q, k, k)
+}
+
+/// Single-query dense attention: one output row of
+/// `softmax(scale · q Kᵀ) × V`, bit-identical to
+/// [`dense_attention_with`] over the same one-row `Q` (it *is* that
+/// call, with the intermediate matrices recycled into the workspace).
+///
+/// # Errors
+///
+/// Shape errors as in [`dense_attention_with`]; additionally `q` must
+/// hold exactly one row.
+pub fn dense_attention_decode_with(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    cfg: &AttentionConfig,
+    ws: &mut Workspace,
+) -> Result<Vec<f32>, AttentionError> {
+    check_decode_query(q, k)?;
+    let out = dense_attention_with(q, k, v, cfg, ws)?;
+    ws.recycle(out.scores);
+    ws.recycle(out.probs);
+    Ok(out.output.into_vec())
+}
+
+/// Single-query runtime-pruned attention: the output row plus the
+/// step's [`PruneDecision`], bit-identical to
+/// [`pruned_attention_with`] over the same one-row `Q` without
+/// padding. `threshold == f32::MIN` reduces to the dense baseline with
+/// an all-kept decision — the digital decode pipelines (Dense/Oracle)
+/// both route through here.
+///
+/// # Errors
+///
+/// Shape errors as in [`pruned_attention_with`]; additionally `q` must
+/// hold exactly one row.
+pub fn pruned_attention_decode_with(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    cfg: &AttentionConfig,
+    threshold: f32,
+    ws: &mut Workspace,
+) -> Result<(Vec<f32>, PruneDecision), AttentionError> {
+    check_decode_query(q, k)?;
+    let (out, mut decisions) = pruned_attention_with(q, k, v, cfg, threshold, None, ws)?;
+    ws.recycle(out.scores);
+    ws.recycle(out.probs);
+    Ok((out.output.into_vec(), decisions.remove(0)))
+}
+
+/// Single-query quantized (hardware-datapath) attention over a
+/// [`KvCache`]: the on-chip recompute stage of one decode step.
+///
+/// Bit-identical to [`crate::quantized_attention_with`] called with
+/// the same one-row `Q`, the cache's full float `K`/`V` and the same
+/// decision — but the per-call `K`/`V` quantization (`O(s·d)`) is
+/// replaced by the cache's incrementally maintained codes, so a step
+/// costs `O(kept·d)` in the MAC stages plus the unavoidable `O(s)`
+/// softmax staging. Only the query is quantized per call (its DAC/
+/// datapath calibration is per-step by design).
+///
+/// # Errors
+///
+/// Shape errors as in [`crate::quantized_attention_with`];
+/// additionally `q` must hold exactly one row.
+pub fn quantized_attention_decode_with(
+    q: &Matrix,
+    kv: &KvCache,
+    cfg: &AttentionConfig,
+    decision: Option<&PruneDecision>,
+    ws: &mut Workspace,
+) -> Result<Vec<f32>, AttentionError> {
+    check_decode_query(q, kv.k())?;
+    let s_k = kv.len();
+    if let Some(d) = decision {
+        if d.len() != s_k {
+            return Err(AttentionError::ShapeMismatch {
+                op: "pruning decision length",
+                left: (d.len(), 1),
+                right: (s_k, 1),
+            });
+        }
+    }
+
+    // Per-step 8-bit query quantization; K/V codes come from the cache.
+    let qq = quantize_matrix(q, 8)?;
+    let qk = kv.quantized_k();
+    let qv = kv.quantized_v();
+    let score_lsb = qq.params().step() * qk.params().step() * cfg.scale();
+
+    // Integer score row (QK-PU MACs over kept keys only) — the same
+    // code-level core as the batch kernel's score stage.
+    let mut scores = ws.zeroed_matrix(1, s_k)?;
+    quantized_score_row_into(
+        qq.code_row(0),
+        qk,
+        |j| decision.map_or(true, |d| d.is_kept(j)),
+        score_lsb,
+        scores.row_mut(0),
+    );
+
+    // Two-LUT softmax with the same per-call range rule as the batch
+    // kernel (largest finite score offset in this step's row).
+    let mut max_offset = 1.0f32;
+    let row = scores.row(0);
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max != f32::NEG_INFINITY {
+        for &s in row {
+            if s != f32::NEG_INFINITY {
+                max_offset = max_offset.max(max - s);
+            }
+        }
+    }
+    let unit = SoftmaxLut::new(max_offset.max(1e-3))?;
+    let mut probs = ws.zeroed_matrix(1, s_k)?;
+    unit.probabilities_into(scores.row(0), probs.row_mut(0))?;
+
+    // V-PU: 8-bit probabilities × cached 8-bit values — the batch
+    // kernel's V-PU core over this step's single row.
+    let d_v = kv.v().cols();
+    let out_lsb = qv.params().step() / 255.0;
+    let mut output = vec![0.0f32; d_v];
+    let acc = ws.acc_row(d_v);
+    vpu_row_into(probs.row(0), qv, out_lsb, acc, &mut output);
+    ws.recycle(scores);
+    ws.recycle(probs);
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dense_attention, pruned_attention, quantized_attention};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / 8388608.0) - 1.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+    }
+
+    fn one_row(m: &Matrix, r: usize) -> Matrix {
+        Matrix::from_vec(1, m.cols(), m.row(r).to_vec()).unwrap()
+    }
+
+    #[test]
+    fn kv_cache_tracks_from_scratch_quantization() {
+        let k_all = random_matrix(40, 16, 1);
+        let v_all = random_matrix(40, 16, 2);
+        let mut cache = KvCache::new(
+            &Matrix::from_vec(8, 16, k_all.as_slice()[..8 * 16].to_vec()).unwrap(),
+            &Matrix::from_vec(8, 16, v_all.as_slice()[..8 * 16].to_vec()).unwrap(),
+        )
+        .unwrap();
+        for t in 8..40 {
+            cache.push(k_all.row(t), v_all.row(t)).unwrap();
+            let fresh_k = quantize_matrix(cache.k(), 8).unwrap();
+            let fresh_v = quantize_matrix(cache.v(), 8).unwrap();
+            assert_eq!(cache.quantized_k(), &fresh_k, "t = {t}");
+            assert_eq!(cache.quantized_v(), &fresh_v, "t = {t}");
+        }
+        assert_eq!(cache.len(), 40);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn kv_cache_requantizes_when_the_range_widens() {
+        let k = random_matrix(8, 8, 3);
+        let mut cache = KvCache::new(&k, &k).unwrap();
+        let wide: Vec<f32> = k.row(0).iter().map(|x| x * 5.0).collect();
+        let delta = cache.push(&wide, k.row(1)).unwrap();
+        assert!(delta.requantized_k, "5x token must widen the K range");
+        assert!(!delta.requantized_v);
+        assert_eq!(
+            cache.quantized_k(),
+            &quantize_matrix(cache.k(), 8).unwrap(),
+            "codes stay exact through the recalibration"
+        );
+    }
+
+    #[test]
+    fn kv_cache_validates_shapes_and_failed_pushes_are_atomic() {
+        let k = random_matrix(4, 8, 5);
+        let v3 = random_matrix(3, 8, 6);
+        assert!(KvCache::new(&k, &v3).is_err());
+        let mut cache = KvCache::new(&k, &k).unwrap();
+        // Either row mis-sized: nothing mutates (regression — a bad V
+        // row used to leave K grown, breaking the quantized-image
+        // invariant forever after).
+        assert!(cache.push(&[0.0; 4], &[0.0; 8]).is_err());
+        assert!(cache.push(&[0.0; 8], &[0.0; 4]).is_err());
+        // A non-finite value fails the quantizer derivation — also
+        // before anything mutates.
+        let mut inf_row = [0.0f32; 8];
+        inf_row[3] = f32::INFINITY;
+        assert!(cache.push(&inf_row, &[0.0; 8]).is_err());
+        assert!(cache.push(&[0.0; 8], &inf_row).is_err());
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.k().rows(), cache.v().rows());
+        // The cache is still fully usable and exact after the errors.
+        let row = random_matrix(1, 8, 7);
+        cache.push(row.row(0), row.row(0)).unwrap();
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.quantized_k(), &quantize_matrix(cache.k(), 8).unwrap());
+        assert_eq!(cache.quantized_v(), &quantize_matrix(cache.v(), 8).unwrap());
+    }
+
+    #[test]
+    fn decode_kernels_match_their_batch_siblings() {
+        let cfg = AttentionConfig::new(16);
+        let k = random_matrix(48, 16, 7);
+        let v = random_matrix(48, 16, 8);
+        let q_all = random_matrix(4, 16, 9);
+        let kv = KvCache::new(&k, &v).unwrap();
+        let mut ws = Workspace::new();
+        for r in 0..4 {
+            let q1 = one_row(&q_all, r);
+            // Dense.
+            let dense_row = dense_attention_decode_with(&q1, &k, &v, &cfg, &mut ws).unwrap();
+            let dense_full = dense_attention(&q1, &k, &v, &cfg).unwrap();
+            assert_eq!(dense_row.as_slice(), dense_full.output.row(0));
+            // Pruned.
+            let (pruned_row, decision) =
+                pruned_attention_decode_with(&q1, &k, &v, &cfg, 0.02, &mut ws).unwrap();
+            let (pruned_full, decisions) = pruned_attention(&q1, &k, &v, &cfg, 0.02, None).unwrap();
+            assert_eq!(pruned_row.as_slice(), pruned_full.output.row(0));
+            assert_eq!(decision, decisions[0]);
+            // Quantized, pruned and unpruned.
+            for d in [None, Some(&decision)] {
+                let hw_row = quantized_attention_decode_with(&q1, &kv, &cfg, d, &mut ws).unwrap();
+                let hw_full =
+                    quantized_attention(&q1, &k, &v, &cfg, d.map(std::slice::from_ref)).unwrap();
+                assert_eq!(hw_row.as_slice(), hw_full.output.row(0), "query {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_kernels_reject_multi_row_queries() {
+        let cfg = AttentionConfig::new(8);
+        let k = random_matrix(4, 8, 11);
+        let q2 = random_matrix(2, 8, 12);
+        let kv = KvCache::new(&k, &k).unwrap();
+        let mut ws = Workspace::new();
+        assert!(dense_attention_decode_with(&q2, &k, &k, &cfg, &mut ws).is_err());
+        assert!(pruned_attention_decode_with(&q2, &k, &k, &cfg, 0.0, &mut ws).is_err());
+        assert!(quantized_attention_decode_with(&q2, &kv, &cfg, None, &mut ws).is_err());
+        // Wrong decision length.
+        let q1 = one_row(&q2, 0);
+        let bad = PruneDecision::new(vec![false; 3]);
+        assert!(quantized_attention_decode_with(&q1, &kv, &cfg, Some(&bad), &mut ws).is_err());
+    }
+}

@@ -81,9 +81,23 @@ impl QuantParams {
     /// Returns an error when the matrix is all-zero (no range to cover)
     /// or bits are out of range.
     pub fn for_matrix(bits: u32, m: &Matrix) -> Result<Self, AttentionError> {
-        let max_abs = m.max_abs();
+        QuantParams::for_max_abs(bits, m.max_abs())
+    }
+
+    /// Creates parameters for a known dynamic-range maximum — exactly
+    /// the policy [`QuantParams::for_matrix`] applies after scanning a
+    /// matrix (an all-zero tensor, `max_abs == 0.0`, quantizes exactly
+    /// with any scale). Incremental callers that maintain a *running*
+    /// maximum over append-only data (the decode KV cache, the
+    /// pruner's extend path) use this to derive bit-identical params
+    /// without rescanning the history.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantParams::for_range`] (non-finite
+    /// maxima are rejected).
+    pub fn for_max_abs(bits: u32, max_abs: f32) -> Result<Self, AttentionError> {
         if max_abs == 0.0 {
-            // An all-zero tensor quantizes exactly with any scale.
             return QuantParams::new(bits, 1.0);
         }
         QuantParams::for_range(bits, max_abs)
@@ -197,6 +211,32 @@ impl QuantizedMatrix {
     pub fn code_row(&self, r: usize) -> &[i32] {
         assert!(r < self.rows, "row {r} out of bounds");
         &self.codes[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Appends one row of values, quantized **with the existing
+    /// params** — no recalibration. Values beyond the calibrated range
+    /// saturate, so callers growing a matrix whose dynamic range may
+    /// widen (the decode KV cache) must compare
+    /// [`QuantParams::for_matrix`] over the grown data and requantize
+    /// from scratch when the params change; `sprint_attention::KvCache`
+    /// wraps exactly that policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidQuantization`] unless
+    /// `row.len() == cols`.
+    pub fn push_row(&mut self, row: &[f32]) -> Result<(), AttentionError> {
+        if row.len() != self.cols {
+            return Err(AttentionError::InvalidQuantization(format!(
+                "pushed row holds {} values, matrix has {} columns",
+                row.len(),
+                self.cols
+            )));
+        }
+        self.codes
+            .extend(row.iter().map(|&x| self.params.quantize(x)));
+        self.rows += 1;
+        Ok(())
     }
 
     /// Reconstructs the real-valued matrix.

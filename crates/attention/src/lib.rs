@@ -24,7 +24,10 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod attention;
+mod decode;
 mod error;
 mod fixed;
 mod matrix;
@@ -38,6 +41,10 @@ pub use attention::{
     dense_attention, dense_attention_with, pruned_attention, pruned_attention_with,
     quantized_attention, quantized_attention_with, AttentionConfig, AttentionOutput, PaddingMask,
     QuantizedAttentionOutput, MASK_NEG,
+};
+pub use decode::{
+    dense_attention_decode_with, pruned_attention_decode_with, quantized_attention_decode_with,
+    KvCache, KvDelta,
 };
 pub use error::AttentionError;
 pub use fixed::{dequantize, quantize_matrix, quantize_value, QuantParams, QuantizedMatrix};

@@ -204,6 +204,74 @@ impl Matrix {
         self.data
     }
 
+    /// Appends one row, growing the matrix in place (the row-major
+    /// layout makes this a pure buffer extension — no element moves).
+    /// This is the append-only growth path of the decode KV history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::ShapeMismatch`] unless
+    /// `row.len() == cols`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sprint_attention::Matrix;
+    ///
+    /// # fn main() -> Result<(), sprint_attention::AttentionError> {
+    /// let mut m = Matrix::from_rows(&[vec![1.0, 2.0]])?;
+    /// m.push_row(&[3.0, 4.0])?;
+    /// assert_eq!(m.shape(), (2, 2));
+    /// assert_eq!(m.row(1), &[3.0, 4.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn push_row(&mut self, row: &[f32]) -> Result<(), AttentionError> {
+        if row.len() != self.cols {
+            return Err(AttentionError::ShapeMismatch {
+                op: "push_row",
+                left: (1, row.len()),
+                right: (1, self.cols),
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// An owned copy of the first `n` rows — the inverse of growing a
+    /// matrix with [`Matrix::push_row`]. Decode callers use this to
+    /// carve a prefill (or a full-prefix oracle history) out of a
+    /// longer token stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidDimension`] for `n == 0` or
+    /// `n > rows`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sprint_attention::Matrix;
+    ///
+    /// # fn main() -> Result<(), sprint_attention::AttentionError> {
+    /// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+    /// let p = m.prefix_rows(1)?;
+    /// assert_eq!(p.shape(), (1, 2));
+    /// assert_eq!(p.row(0), &[1.0, 2.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn prefix_rows(&self, n: usize) -> Result<Matrix, AttentionError> {
+        if n == 0 || n > self.rows {
+            return Err(AttentionError::InvalidDimension {
+                name: "prefix rows",
+                value: n,
+            });
+        }
+        Matrix::from_vec(n, self.cols, self.data[..n * self.cols].to_vec())
+    }
+
     /// Returns the transposed matrix.
     pub fn transposed(&self) -> Matrix {
         let mut out = Matrix {

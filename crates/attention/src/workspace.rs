@@ -14,6 +14,14 @@
 /// accumulation; [`Workspace::prob_row`] is a caller-side staging row
 /// (the system pipeline's no-recompute softmax uses it).
 ///
+/// **Pool contract.** The pool never affects results — a pooled buffer
+/// is cleared and re-zeroed before reuse, so kernels are bit-identical
+/// with or without recycling. Retention is bounded in both buffer
+/// count (eight) and total floats (128 MiB), so a
+/// long-lived pipeline (a serving loop, a decode session stepping
+/// thousands of tokens) cannot accumulate memory; recycles beyond
+/// either cap are dropped, never errors.
+///
 /// # Example
 ///
 /// ```

@@ -1,0 +1,739 @@
+//! Autoregressive decode sessions: incremental sparse attention with
+//! cached substrate state.
+//!
+//! The engine's [`crate::Engine::run_head`] rebuilds (reprograms) the
+//! analog substrate for every request — the right shape for
+//! encoder-style workloads where each head is independent. Generative
+//! decode is different: each new token issues **one** query against a
+//! growing key/value history, and the crossbar's programmed K matrix,
+//! the quantized K/V images and the memory-controller state are all
+//! reusable across steps. A [`DecodeSession`] holds exactly that
+//! state:
+//!
+//! * the programmed [`InMemoryPruner`] crossbars, grown in place via
+//!   [`InMemoryPruner::extend`] (one appended column per token;
+//!   full reprogram only on the rare quantizer recalibration);
+//! * the append-only [`KvCache`] with incrementally maintained 8-bit
+//!   K/V codes for the on-chip recompute stage;
+//! * the per-step scratch ([`Workspace`], staging row, controller).
+//!
+//! **Oracle equivalence.** Under an ideal (noise-free) analog model,
+//! every [`DecodeSession::step`] is bit-identical to a fresh
+//! full-prefix [`crate::Engine::run_head`] over the same one-row query
+//! and grown history, in all four [`ExecutionMode`]s —
+//! `tests/tests/decode.rs` pins this step by step. Under a noisy
+//! model the incremental path consumes its RNG streams in a different
+//! order than a fresh build, so equivalence is distributional.
+
+use sprint_attention::{
+    pruned_attention_decode_with, quantized_attention_decode_with, softmax_inplace,
+    AttentionConfig, KvCache, Matrix, PruneDecision, Workspace,
+};
+use sprint_energy::{Category, EnergyBreakdown};
+use sprint_memory::{MemoryController, MemoryStats};
+use sprint_reram::{InMemoryPruner, NoiseModel, PruneHardwareStats, ThresholdSpec};
+
+use crate::engine::derive_head_seed;
+use crate::model::{onchip_op_counts, per_query_compute_cycles, THRESHOLD_ISSUE_CYCLES};
+use crate::{Engine, ExecutionMode, SprintConfig, SprintError};
+
+/// The prefill of a decode session: the key/value history accumulated
+/// before generation starts, plus the head configuration and the
+/// engine-default overrides the session should run under.
+///
+/// Like [`crate::HeadRequest`], a `SessionRequest` borrows its
+/// matrices; opening the session clones them into the session's
+/// [`KvCache`].
+#[derive(Debug, Clone)]
+pub struct SessionRequest<'a> {
+    k: &'a Matrix,
+    v: &'a Matrix,
+    config: AttentionConfig,
+    threshold: f32,
+    head_id: Option<u64>,
+    mode: Option<ExecutionMode>,
+    threshold_spec: Option<ThresholdSpec>,
+}
+
+impl<'a> SessionRequest<'a> {
+    /// Builds a session request from the prefill K/V history (at least
+    /// one token), the head configuration, and the learned pruning
+    /// threshold in real score units.
+    pub fn new(k: &'a Matrix, v: &'a Matrix, config: AttentionConfig, threshold: f32) -> Self {
+        SessionRequest {
+            k,
+            v,
+            config,
+            threshold,
+            head_id: None,
+            mode: None,
+            threshold_spec: None,
+        }
+    }
+
+    /// Tags the session with a stable identity for deterministic seed
+    /// derivation ([`crate::derive_head_seed`]), exactly as
+    /// [`crate::HeadRequest::with_head_id`] does for heads. Untagged
+    /// sessions use id 0.
+    #[must_use]
+    pub fn with_head_id(mut self, head_id: u64) -> Self {
+        self.head_id = Some(head_id);
+        self
+    }
+
+    /// Overrides the engine's default [`ExecutionMode`] for every step
+    /// of this session.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Overrides the engine's default comparator [`ThresholdSpec`] for
+    /// every step of this session.
+    #[must_use]
+    pub fn with_threshold_spec(mut self, spec: ThresholdSpec) -> Self {
+        self.threshold_spec = Some(spec);
+        self
+    }
+}
+
+/// One decode step: the new token's query, key and value rows.
+///
+/// The key/value rows join the session history *before* the query
+/// attends, so the token sees itself — standard autoregressive
+/// self-attention.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeStep<'a> {
+    /// The new token's query row (`d` values).
+    pub q: &'a [f32],
+    /// The new token's key row (`d` values), appended to the history.
+    pub k: &'a [f32],
+    /// The new token's value row (`d_v` values), appended to the
+    /// history.
+    pub v: &'a [f32],
+}
+
+/// Per-step execution accounting: the energy/latency *delta* this step
+/// added, with the program-once crossbar write cost reported
+/// separately from the recurring step cost so amortization is visible.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepPerf {
+    /// Recurring step energy (pruning, fetch, recompute, softmax, AV)
+    /// by Table II category.
+    pub energy: EnergyBreakdown,
+    /// One-time programming energy charged this step: the K/V rows
+    /// written to ReRAM (the whole prefill on the first step, one
+    /// token afterwards, the full history again on a recalibration).
+    pub program_energy: EnergyBreakdown,
+    /// Step latency in cycles (worst-CORELET compute vs. memory
+    /// stream, with the analog handshake floor).
+    pub cycles: u64,
+    /// Tokens whose K/V were written to the substrate this step.
+    pub programmed_tokens: u64,
+    /// Whether this step forced a full requantize + reprogram (a new
+    /// token widened a quantizer's calibrated range).
+    pub recalibrated: bool,
+}
+
+/// The outcome of one [`DecodeSession::step`] — the decode-shaped
+/// sibling of [`crate::HeadResponse`], for a single query over the
+/// current history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResponse {
+    /// The token's position in the history (0-based; equals the
+    /// history length before this step).
+    pub position: usize,
+    /// The attention output row (`d_v` values).
+    pub output: Vec<f32>,
+    /// The pruning decision over the full history (length
+    /// `position + 1`).
+    pub decision: PruneDecision,
+    /// ReRAM-side operation counters for *this step only* (the delta
+    /// over the session's long-lived pruner; zero in digital modes).
+    pub prune_stats: PruneHardwareStats,
+    /// Memory-controller statistics for this step.
+    pub memory_stats: MemoryStats,
+    /// Per-step energy/latency accounting.
+    pub perf: StepPerf,
+}
+
+/// Cumulative session accounting: the sum of every step's [`StepPerf`]
+/// plus pruning totals.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SessionPerf {
+    /// Decode steps served.
+    pub tokens: u64,
+    /// Summed recurring step energy.
+    pub energy: EnergyBreakdown,
+    /// Summed one-time programming energy (kept separate so the
+    /// amortized write cost never hides in the step trend).
+    pub program_energy: EnergyBreakdown,
+    /// Summed step latency in cycles.
+    pub cycles: u64,
+    /// Total tokens written to the substrate (≥ history length;
+    /// recalibrations rewrite the prefix).
+    pub programmed_tokens: u64,
+    /// Full requantize + reprogram events.
+    pub recalibrations: u64,
+    /// Scores surviving pruning, summed over steps.
+    pub kept_scores: u64,
+    /// Query × history-key pairs considered, summed over steps.
+    pub score_pairs: u64,
+    /// K/V vectors fetched from main memory.
+    pub fetched_vectors: u64,
+    /// K/V vectors reused on chip.
+    pub reused_vectors: u64,
+    /// Bytes moved over the memory channels.
+    pub bytes_fetched: u64,
+}
+
+impl SessionPerf {
+    /// Fraction of considered scores that survived pruning.
+    pub fn kept_fraction(&self) -> f64 {
+        self.kept_scores as f64 / self.score_pairs.max(1) as f64
+    }
+
+    /// Total energy including the program-once share.
+    pub fn total_energy(&self) -> EnergyBreakdown {
+        self.energy + self.program_energy
+    }
+
+    fn record(&mut self, response: &StepResponse) {
+        self.tokens += 1;
+        self.energy += response.perf.energy;
+        self.program_energy += response.perf.program_energy;
+        self.cycles += response.perf.cycles;
+        self.programmed_tokens += response.perf.programmed_tokens;
+        self.recalibrations += u64::from(response.perf.recalibrated);
+        self.kept_scores += response.decision.kept_count() as u64;
+        self.score_pairs += response.decision.len() as u64;
+        self.fetched_vectors += response.memory_stats.fetched_vectors;
+        self.reused_vectors += response.memory_stats.reused_vectors;
+        self.bytes_fetched += response.memory_stats.bytes_fetched;
+    }
+}
+
+/// A stateful autoregressive decode session over the SPRINT substrate.
+///
+/// Opened with [`Engine::open_session`]; each [`DecodeSession::step`]
+/// appends one token to the KV history and runs one-query SPRINT
+/// attention against it — LZC-style in-memory thresholding over the
+/// grown crossbars, selective fetch through the session's memory
+/// controller, and on-chip recompute of the surviving scores — without
+/// reprogramming or reallocating any substrate the previous steps
+/// already built.
+///
+/// # Example
+///
+/// ```
+/// use sprint_engine::{DecodeStep, Engine, SessionRequest, SprintConfig};
+/// use sprint_reram::NoiseModel;
+/// use sprint_workloads::{ModelConfig, TraceGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = ModelConfig::bert_base().trace_spec().with_seq_len(32).with_padding(0.0);
+/// let trace = TraceGenerator::new(3).generate(&spec)?;
+/// let engine = Engine::builder(SprintConfig::small())
+///     .noise(NoiseModel::ideal())
+///     .seed(1)
+///     .build()?;
+/// // Prefill with the first 24 tokens, then decode the rest.
+/// let (k, v) = (trace.k(), trace.v());
+/// let prefill = |m: &sprint_attention::Matrix| {
+///     sprint_attention::Matrix::from_vec(24, m.cols(), m.as_slice()[..24 * m.cols()].to_vec())
+/// };
+/// let (pk, pv) = (prefill(k)?, prefill(v)?);
+/// let mut session = engine.open_session(
+///     &SessionRequest::new(&pk, &pv, trace.config(), trace.threshold()).with_head_id(7),
+/// )?;
+/// for t in 24..32 {
+///     let out = session.step(&DecodeStep { q: trace.q().row(t), k: k.row(t), v: v.row(t) })?;
+///     assert_eq!(out.position, t);
+///     assert_eq!(out.decision.len(), t + 1);
+/// }
+/// assert_eq!(session.history_len(), 32);
+/// assert!(session.perf().kept_fraction() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DecodeSession {
+    config: SprintConfig,
+    noise: NoiseModel,
+    spec: ThresholdSpec,
+    mode: ExecutionMode,
+    seed: u64,
+    attn: AttentionConfig,
+    threshold: f32,
+    memory_accounting: bool,
+    kv: KvCache,
+    pruner: Option<InMemoryPruner>,
+    controller: Option<MemoryController>,
+    ws: Workspace,
+    /// Persistent 1×d staging for the step query.
+    q_step: Option<Matrix>,
+    perf: SessionPerf,
+}
+
+impl Engine {
+    /// Opens a stateful [`DecodeSession`] seeded and configured from
+    /// this engine's defaults (with the request's overrides), starting
+    /// from the request's prefill history.
+    ///
+    /// The session owns its substrate (crossbars, controller,
+    /// workspace) independently of the engine's worker slots, so any
+    /// number of sessions decode concurrently without contending for
+    /// engine scratch. The session seed is
+    /// [`derive_head_seed`]`(engine_seed, head_id.unwrap_or(0))` —
+    /// the same contract as [`Engine::run_head`] — which is what makes
+    /// each step comparable to a fresh full-prefix `run_head` oracle
+    /// carrying the same head id.
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Request`] for an empty or shape-mismatched
+    /// prefill; substrate errors otherwise.
+    pub fn open_session(&self, request: &SessionRequest<'_>) -> Result<DecodeSession, SprintError> {
+        if request.k.rows() != request.v.rows() {
+            return Err(SprintError::Request(format!(
+                "prefill key sequence {} does not match value sequence {}",
+                request.k.rows(),
+                request.v.rows()
+            )));
+        }
+        Ok(DecodeSession {
+            config: self.config().clone(),
+            noise: self.noise(),
+            spec: request.threshold_spec.unwrap_or(self.threshold_spec()),
+            mode: request.mode.unwrap_or(self.mode()),
+            seed: derive_head_seed(self.seed(), request.head_id.unwrap_or(0)),
+            attn: request.config,
+            threshold: request.threshold,
+            memory_accounting: self.memory_accounting_enabled(),
+            kv: KvCache::new(request.k, request.v)?,
+            pruner: None,
+            controller: None,
+            ws: Workspace::new(),
+            q_step: None,
+            perf: SessionPerf::default(),
+        })
+    }
+}
+
+impl DecodeSession {
+    /// Tokens currently in the KV history (prefill + decoded).
+    pub fn history_len(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// The mode every step of this session runs under.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Cumulative session accounting.
+    pub fn perf(&self) -> &SessionPerf {
+        &self.perf
+    }
+
+    /// Serves one decode step: appends the token's K/V to the history,
+    /// thresholds its query against the grown crossbars (analog modes)
+    /// or the digital score row (Dense/Oracle), drives the kept set
+    /// through the memory controller, and recomputes the surviving
+    /// scores on the cached 8-bit datapath.
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Request`] for mis-sized rows; substrate errors
+    /// otherwise.
+    pub fn step(&mut self, step: &DecodeStep<'_>) -> Result<StepResponse, SprintError> {
+        let d = self.kv.k().cols();
+        let d_v = self.kv.v().cols();
+        if step.q.len() != d || step.k.len() != d {
+            return Err(SprintError::Request(format!(
+                "step q/k rows hold {}/{} values, history embedding is {d}",
+                step.q.len(),
+                step.k.len()
+            )));
+        }
+        if step.v.len() != d_v {
+            return Err(SprintError::Request(format!(
+                "step v row holds {} values, history value width is {d_v}",
+                step.v.len()
+            )));
+        }
+        let position = self.kv.len();
+        let kv_delta = self.kv.push(step.k, step.v)?;
+        let s = self.kv.len();
+
+        // Stage the query as a 1×d matrix (persistent buffer).
+        let q1 = match &mut self.q_step {
+            Some(m) => {
+                m.row_mut(0).copy_from_slice(step.q);
+                &*m
+            }
+            None => {
+                self.q_step = Some(Matrix::from_vec(1, d, step.q.to_vec())?);
+                self.q_step.as_ref().expect("just set")
+            }
+        };
+
+        let mut perf = StepPerf::default();
+        let (output, decision, prune_stats) = match self.mode {
+            ExecutionMode::Sprint | ExecutionMode::NoRecompute => {
+                // Grow (or first-build) the programmed crossbars.
+                let needs_full_scale = self.spec.score_bits.is_some();
+                let pruner = match self.pruner.as_mut() {
+                    Some(p) => {
+                        let reprogrammed = p.extend(self.kv.k())?;
+                        p.calibrate_query(q1, needs_full_scale)?;
+                        perf.recalibrated |= reprogrammed;
+                        perf.programmed_tokens += if reprogrammed { s as u64 } else { 1 };
+                        p
+                    }
+                    None => {
+                        // First step: program the whole history once
+                        // (the prefill's program-once cost).
+                        perf.programmed_tokens += s as u64;
+                        self.pruner.insert(InMemoryPruner::new(
+                            q1,
+                            self.kv.k(),
+                            self.attn.scale(),
+                            self.noise,
+                            self.seed,
+                        )?)
+                    }
+                };
+                // K/V quantizer recalibration also rewrites the stored
+                // images.
+                if (kv_delta.requantized_k || kv_delta.requantized_v) && !perf.recalibrated {
+                    perf.recalibrated = true;
+                    perf.programmed_tokens = perf.programmed_tokens.max(s as u64);
+                }
+                let before = pruner.stats();
+                let outcome = pruner.prune_query(step.q, self.threshold, &self.spec)?;
+                let delta = pruner.stats().delta_since(&before);
+                let decision = outcome.decision;
+                let output = if self.mode == ExecutionMode::Sprint {
+                    quantized_attention_decode_with(
+                        q1,
+                        &self.kv,
+                        &self.attn,
+                        Some(&decision),
+                        &mut self.ws,
+                    )?
+                } else {
+                    // No recompute: softmax directly over the
+                    // approximate analog scores of the kept keys.
+                    let prow = self.ws.prob_row(s);
+                    for (j, slot) in prow.iter_mut().enumerate() {
+                        *slot = if decision.is_kept(j) {
+                            outcome.approx_scores[j]
+                        } else {
+                            f32::NEG_INFINITY
+                        };
+                    }
+                    softmax_inplace(prow);
+                    let mut out = vec![0.0f32; d_v];
+                    for (j, &p) in prow.iter().enumerate() {
+                        if p > 0.0 {
+                            for (o, &vx) in out.iter_mut().zip(self.kv.v().row(j)) {
+                                *o += p * vx;
+                            }
+                        }
+                    }
+                    out
+                };
+                (output, decision, delta)
+            }
+            ExecutionMode::Dense | ExecutionMode::Oracle => {
+                // Recalibrations of the cached K/V images are free in
+                // the digital modes (nothing is programmed), so the
+                // perf fields stay zero here.
+                let threshold = match self.mode {
+                    ExecutionMode::Dense => f32::MIN,
+                    _ => self.threshold,
+                };
+                let (output, decision) = pruned_attention_decode_with(
+                    q1,
+                    self.kv.k(),
+                    self.kv.v(),
+                    &self.attn,
+                    threshold,
+                    &mut self.ws,
+                )?;
+                (output, decision, PruneHardwareStats::default())
+            }
+        };
+
+        // Selective fetch through the session's controller (statistics
+        // only, exactly as in the engine's head pipeline).
+        let mut memory_stats = MemoryStats::default();
+        if self.memory_accounting {
+            if self.controller.is_none() {
+                self.controller = Some(MemoryController::new(
+                    self.config.memory_geometry(),
+                    self.config.timing,
+                )?);
+            }
+            let controller = self.controller.as_mut().expect("controller installed");
+            controller.reset_cold();
+            controller.process_query(decision.as_slice())?;
+            memory_stats = controller.stats();
+        }
+
+        self.count_step(&mut perf, &decision, &prune_stats, &memory_stats);
+        let response = StepResponse {
+            position,
+            output,
+            decision,
+            prune_stats,
+            memory_stats,
+            perf,
+        };
+        self.perf.record(&response);
+        Ok(response)
+    }
+
+    /// Fills in the step's energy and latency deltas, mirroring the
+    /// Table II counting of [`crate::PerfRollup::from_response`] for a
+    /// single live query over `s` history keys. The crossbar write
+    /// cost of `perf.programmed_tokens` tokens lands in
+    /// `program_energy` (K and V rows, `2·d` bytes per token), kept
+    /// apart from the recurring step energy.
+    fn count_step(
+        &self,
+        perf: &mut StepPerf,
+        decision: &PruneDecision,
+        prune_stats: &PruneHardwareStats,
+        memory_stats: &MemoryStats,
+    ) {
+        let u = &self.config.energies;
+        let d = self.kv.k().cols();
+        let s = decision.len();
+        let kept = decision.kept_count() as u64;
+        let d_bits = (d * 8) as u64;
+        let cpt = d.div_ceil(self.config.head_dim.max(1)) as u64;
+
+        perf.program_energy.charge(
+            Category::ReramWrite,
+            u.reram_write_bits(perf.programmed_tokens * 2 * d_bits),
+        );
+
+        let mut energy = EnergyBreakdown::new();
+        energy.charge(
+            Category::ReramRead,
+            u.reram_read_bits(memory_stats.bytes_fetched * 8 + d_bits),
+        );
+        if prune_stats.queries_pruned > 0 {
+            let copyq_bits = d as u64 * 4;
+            let readp_bits = s as u64 / 8;
+            energy.charge(
+                Category::InReramPruning,
+                u.in_memory_computation * prune_stats.in_memory_ops
+                    + u.analog_comparator * prune_stats.comparator_firings as f64
+                    + u.reram_read_bits(copyq_bits + readp_bits),
+            );
+        }
+        // One query's counts: `s` dense pairs, `kept` survivors (the
+        // shared Fig. 9 stage table in `model.rs`).
+        let (qk_dots, vpu_dots, softmax_ops) = onchip_op_counts(self.mode, s as u64, kept);
+        energy.charge(Category::QkPu, u.qk_pu_dot_product * (qk_dots * cpt));
+        energy.charge(Category::VPu, u.qk_pu_dot_product * (vpu_dots * cpt));
+        energy.charge(Category::Softmax, u.softmax * softmax_ops);
+        energy.charge(
+            Category::OnChipRead,
+            u.buffer_access_bits((qk_dots + vpu_dots) * d_bits),
+        );
+        energy.charge(
+            Category::OnChipWrite,
+            u.buffer_access_bits(memory_stats.fetched_vectors * d_bits),
+        );
+        perf.energy = energy;
+
+        // Latency: worst CORELET under token interleaving vs. the
+        // memory stream, with the analog handshake floor.
+        let corelets = self.config.corelets.max(1);
+        let mut per_corelet = vec![0u64; corelets];
+        for (j, &pruned) in decision.as_slice().iter().enumerate() {
+            if !pruned {
+                per_corelet[j % corelets] += 1;
+            }
+        }
+        let worst = per_corelet.iter().copied().max().unwrap_or(0);
+        let compute = per_query_compute_cycles(self.mode, s, worst, corelets, cpt);
+        let mem =
+            (memory_stats.fetched_vectors as f64 * self.config.cycles_per_pair()).ceil() as u64;
+        let floor = if self.mode.uses_in_memory_pruning() {
+            THRESHOLD_ISSUE_CYCLES
+        } else {
+            0
+        };
+        perf.cycles = compute.max(mem).max(floor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeadRequest;
+    use sprint_workloads::{ModelConfig, TraceGenerator};
+
+    fn trace(seq: usize, seed: u64) -> sprint_workloads::HeadTrace {
+        let spec = ModelConfig::bert_base()
+            .trace_spec()
+            .with_seq_len(seq)
+            .with_padding(0.0);
+        TraceGenerator::new(seed).generate(&spec).unwrap()
+    }
+
+    fn prefix(m: &Matrix, n: usize) -> Matrix {
+        m.prefix_rows(n).unwrap()
+    }
+
+    fn engine(mode: ExecutionMode) -> Engine {
+        Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .mode(mode)
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn session_steps_are_well_formed_and_accounted() {
+        let t = trace(40, 5);
+        for mode in ExecutionMode::ALL {
+            let e = engine(mode);
+            let (pk, pv) = (prefix(t.k(), 24), prefix(t.v(), 24));
+            let mut session = e
+                .open_session(&SessionRequest::new(&pk, &pv, t.config(), t.threshold()))
+                .unwrap();
+            assert_eq!(session.mode(), mode);
+            for step in 24..40 {
+                let out = session
+                    .step(&DecodeStep {
+                        q: t.q().row(step),
+                        k: t.k().row(step),
+                        v: t.v().row(step),
+                    })
+                    .unwrap();
+                assert_eq!(out.position, step, "{mode:?}");
+                assert_eq!(out.decision.len(), step + 1);
+                assert_eq!(out.output.len(), t.v().cols());
+                assert!(out.perf.cycles > 0);
+                assert!(out.memory_stats.queries == 1);
+                if mode.uses_in_memory_pruning() {
+                    assert_eq!(out.prune_stats.queries_pruned, 1);
+                    assert!(out.perf.programmed_tokens >= 1);
+                } else {
+                    assert_eq!(out.prune_stats, PruneHardwareStats::default());
+                    assert_eq!(out.perf.programmed_tokens, 0);
+                }
+            }
+            assert_eq!(session.history_len(), 40);
+            let perf = session.perf();
+            assert_eq!(perf.tokens, 16);
+            assert!(perf.energy.total().as_pj() > 0.0);
+            if mode.uses_in_memory_pruning() {
+                // Prefill programmed once (24 tokens at step 0) plus
+                // one token per later step, modulo recalibrations.
+                assert!(perf.programmed_tokens >= 39);
+                assert!(perf.program_energy.total().as_pj() > 0.0);
+            }
+            if mode != ExecutionMode::Dense {
+                assert!(perf.kept_fraction() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn session_inherits_engine_defaults_and_overrides() {
+        let t = trace(16, 7);
+        let e = engine(ExecutionMode::Sprint);
+        let (pk, pv) = (prefix(t.k(), 8), prefix(t.v(), 8));
+        let base = SessionRequest::new(&pk, &pv, t.config(), t.threshold());
+        assert_eq!(e.open_session(&base).unwrap().mode(), ExecutionMode::Sprint);
+        let s = e
+            .open_session(&base.clone().with_mode(ExecutionMode::Oracle))
+            .unwrap();
+        assert_eq!(s.mode(), ExecutionMode::Oracle);
+    }
+
+    #[test]
+    fn mis_sized_steps_and_prefills_are_rejected() {
+        let t = trace(16, 9);
+        let e = engine(ExecutionMode::Sprint);
+        let (pk, pv) = (prefix(t.k(), 8), prefix(t.v(), 7));
+        assert!(matches!(
+            e.open_session(&SessionRequest::new(&pk, &pv, t.config(), 0.0)),
+            Err(SprintError::Request(_))
+        ));
+        let pv = prefix(t.v(), 8);
+        let mut session = e
+            .open_session(&SessionRequest::new(&pk, &pv, t.config(), 0.0))
+            .unwrap();
+        let short = vec![0.0f32; 3];
+        let ok_q = t.q().row(8);
+        assert!(session
+            .step(&DecodeStep {
+                q: &short,
+                k: t.k().row(8),
+                v: t.v().row(8)
+            })
+            .is_err());
+        assert!(session
+            .step(&DecodeStep {
+                q: ok_q,
+                k: t.k().row(8),
+                v: &short
+            })
+            .is_err());
+        // A well-formed step still works afterwards.
+        assert!(session
+            .step(&DecodeStep {
+                q: ok_q,
+                k: t.k().row(8),
+                v: t.v().row(8)
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn session_step_matches_fresh_head_oracle_spot_check() {
+        // The full four-mode sweep lives in tests/tests/decode.rs;
+        // this in-crate spot check keeps the contract close to the
+        // implementation.
+        let t = trace(32, 13);
+        let e = engine(ExecutionMode::Sprint);
+        let (pk, pv) = (prefix(t.k(), 20), prefix(t.v(), 20));
+        let mut session = e
+            .open_session(&SessionRequest::new(&pk, &pv, t.config(), t.threshold()).with_head_id(3))
+            .unwrap();
+        for step in 20..32 {
+            let out = session
+                .step(&DecodeStep {
+                    q: t.q().row(step),
+                    k: t.k().row(step),
+                    v: t.v().row(step),
+                })
+                .unwrap();
+            let hist_k = prefix(t.k(), step + 1);
+            let hist_v = prefix(t.v(), step + 1);
+            let q1 = prefix(t.q(), 1); // placeholder shape, replaced below
+            let mut q_row = q1;
+            q_row.row_mut(0).copy_from_slice(t.q().row(step));
+            let oracle = e
+                .run_head(
+                    &HeadRequest::new(&q_row, &hist_k, &hist_v, t.config(), t.threshold())
+                        .with_head_id(3),
+                )
+                .unwrap();
+            assert_eq!(out.output.as_slice(), oracle.output.row(0), "step {step}");
+            assert_eq!(out.decision, oracle.decisions[0]);
+            assert_eq!(out.prune_stats, oracle.prune_stats);
+            assert_eq!(out.memory_stats, oracle.memory_stats);
+        }
+    }
+}

@@ -290,6 +290,13 @@ impl Engine {
         self.scratches.len()
     }
 
+    /// Whether memory-controller accounting is enabled (decode
+    /// sessions inherit this; see
+    /// [`EngineBuilder::memory_accounting`]).
+    pub(crate) fn memory_accounting_enabled(&self) -> bool {
+        self.memory_accounting
+    }
+
     /// Runs one head with the engine defaults (and the request's
     /// overrides). The pruner seed is derived from the engine seed and
     /// the request's head id (batch position 0 when untagged), so

@@ -24,6 +24,13 @@
 //!   [`ModelResponse`] roll-ups; [`ServeLoop`] drives it from a
 //!   synthetic arrival stream and reports throughput and latency
 //!   percentiles;
+//! * [`DecodeSession`] — autoregressive decode: a stateful session
+//!   over programmed crossbars, an append-only KV cache and per-step
+//!   scratch, serving one-query SPRINT attention per generated token
+//!   without reprogramming ([`Engine::open_session`]); [`DecodeLoop`]
+//!   interleaves many concurrent sessions over [`sprint_parallel`]
+//!   with the same bit-identical-across-worker-counts seeding
+//!   contract as `run_batch`;
 //! * [`ExecutionMode`] — the four functional pipelines of Fig. 9
 //!   (`Dense` baseline, `Oracle` runtime pruning, `NoRecompute`,
 //!   full `Sprint`), replacing the pre-engine `recompute: bool` flag;
@@ -61,7 +68,15 @@
 
 #![warn(missing_docs)]
 
+/// The repository's `ARCHITECTURE.md`, embedded verbatim so its
+/// determinism/seeding-contract code block compiles and runs as a
+/// doctest of this crate (`cargo test --doc`) — the contract prose
+/// cannot rot away from the implementation.
+#[doc = include_str!("../../../ARCHITECTURE.md")]
+mod architecture_contract {}
+
 mod config;
+mod decode;
 mod engine;
 mod error;
 mod mode;
@@ -71,9 +86,12 @@ mod request;
 mod serve;
 
 pub use config::SprintConfig;
+pub use decode::{DecodeSession, DecodeStep, SessionPerf, SessionRequest, StepPerf, StepResponse};
 pub use engine::{derive_head_seed, Engine, EngineBuilder};
 pub use error::{SprintError, SystemError};
 pub use mode::ExecutionMode;
 pub use model::{HeadPlan, LayerReport, ModelProfile, ModelRequest, ModelResponse, PerfRollup};
 pub use request::{HeadRequest, HeadResponse};
-pub use serve::{ModelServer, ServeLoop, ServeSummary};
+pub use serve::{
+    DecodeLoop, DecodeReport, DecodeTask, ModelServer, ServeLoop, ServeSummary, SessionReport,
+};

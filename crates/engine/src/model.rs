@@ -19,14 +19,56 @@ use crate::{derive_head_seed, ExecutionMode, HeadResponse, SprintConfig, SprintE
 
 /// Salt mixed into the base seed for trace synthesis (distinct from
 /// the pruner-seed stream, so traces and analog noise are independent).
-const TRACE_SALT: u64 = 0x7ace;
+/// Shared with the decode loop so decode traces ride the same stream
+/// discipline.
+pub(crate) const TRACE_SALT: u64 = 0x7ace;
 /// Salt mixed into the base seed for proxy-task construction.
 const TASK_SALT: u64 = 0x7a51;
 
 /// Command-bus occupancy of the thresholding handshake per query
 /// (mirrors the counting simulator's floor; the handshake overlaps the
 /// previous query's compute, so only bus occupancy can bound it).
-const THRESHOLD_ISSUE_CYCLES: u64 = 4;
+/// Shared with the per-step decode accounting.
+pub(crate) const THRESHOLD_ISSUE_CYCLES: u64 = 4;
+
+/// The (QK-PU, V-PU, softmax) operation counts of a pipeline stage
+/// under `mode`: `dense` where the stage runs over everything, `kept`
+/// where it touches only survivors (the Fig. 9 pipelines). The single
+/// source of truth shared by the per-head roll-up
+/// ([`PerfRollup::from_response`], which passes head totals) and the
+/// per-step decode accounting (which passes one query's counts) — when
+/// touching it, the profile-driven simulator in `sprint-core::counting`
+/// must stay in step too.
+pub(crate) fn onchip_op_counts(mode: ExecutionMode, dense: u64, kept: u64) -> (u64, u64, u64) {
+    match mode {
+        // Full dense QK; Dense keeps everything downstream too.
+        ExecutionMode::Dense => (dense, dense, dense),
+        ExecutionMode::Oracle => (dense, kept, kept),
+        // Recompute touches only the survivors.
+        ExecutionMode::Sprint => (kept, kept, kept),
+        // Approximate scores skip the QK-PU entirely.
+        ExecutionMode::NoRecompute => (0, kept, kept),
+    }
+}
+
+/// One query's compute cycles under token interleaving: `n` live keys,
+/// `worst` the worst-CORELET kept count, `cpt` cycles per tile.
+/// Shared by [`PerfRollup::from_response`] and the decode-step
+/// accounting for the same reason as [`onchip_op_counts`].
+pub(crate) fn per_query_compute_cycles(
+    mode: ExecutionMode,
+    n: usize,
+    worst: u64,
+    corelets: usize,
+    cpt: u64,
+) -> u64 {
+    match mode {
+        ExecutionMode::Dense => 3 * (n.div_ceil(corelets) as u64) * cpt,
+        ExecutionMode::Oracle => (n.div_ceil(corelets) as u64 + 2 * worst) * cpt,
+        ExecutionMode::Sprint => 3 * worst * cpt,
+        ExecutionMode::NoRecompute => 2 * worst * cpt,
+    }
+}
 
 /// The layers × heads shape of one served model.
 ///
@@ -469,19 +511,10 @@ impl PerfRollup {
                     + u.reram_read_bits(copyq_bits + readp_bits),
             );
         }
-        // On-chip compute: which units run depends on the pipeline.
-        let (qk_dots, vpu_dots, softmax_ops) = match mode {
-            // Full live×live QK; Dense keeps everything downstream too.
-            ExecutionMode::Dense => {
-                let n = (live * live) as u64;
-                (n, n, n)
-            }
-            ExecutionMode::Oracle => ((live * live) as u64, kept_scores, kept_scores),
-            // Recompute touches only the survivors.
-            ExecutionMode::Sprint => (kept_scores, kept_scores, kept_scores),
-            // Approximate scores skip the QK-PU entirely.
-            ExecutionMode::NoRecompute => (0, kept_scores, kept_scores),
-        };
+        // On-chip compute: which units run depends on the pipeline
+        // (head totals: live×live dense pairs vs. summed kept scores).
+        let (qk_dots, vpu_dots, softmax_ops) =
+            onchip_op_counts(mode, (live * live) as u64, kept_scores);
         energy.charge(Category::QkPu, u.qk_pu_dot_product * (qk_dots * cpt));
         energy.charge(Category::VPu, u.qk_pu_dot_product * (vpu_dots * cpt));
         energy.charge(Category::Softmax, u.softmax * softmax_ops);
@@ -517,12 +550,7 @@ impl PerfRollup {
                 }
             }
             let worst = per_corelet.iter().copied().max().unwrap_or(0);
-            let compute = match mode {
-                ExecutionMode::Dense => 3 * (live.div_ceil(corelets) as u64) * cpt,
-                ExecutionMode::Oracle => (live.div_ceil(corelets) as u64 + 2 * worst) * cpt,
-                ExecutionMode::Sprint => 3 * worst * cpt,
-                ExecutionMode::NoRecompute => 2 * worst * cpt,
-            };
+            let compute = per_query_compute_cycles(mode, live, worst, corelets, cpt);
             let floor = if mode.uses_in_memory_pruning() {
                 THRESHOLD_ISSUE_CYCLES
             } else {

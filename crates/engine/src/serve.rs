@@ -21,10 +21,14 @@
 
 use std::time::Instant;
 
+use sprint_energy::EnergyBreakdown;
+use sprint_reram::ThresholdSpec;
 use sprint_workloads::{Arrival, ProxyTask, TaskScore, TraceGenerator, TraceSpec};
 
-use crate::model::{HeadPlan, LayerReport, ModelRequest, ModelResponse, PerfRollup};
-use crate::{Engine, HeadRequest, SprintError};
+use crate::decode::{DecodeStep, SessionRequest};
+use crate::engine::derive_head_seed;
+use crate::model::{HeadPlan, LayerReport, ModelRequest, ModelResponse, PerfRollup, TRACE_SALT};
+use crate::{Engine, ExecutionMode, HeadRequest, SprintError};
 
 /// Serves whole forward passes over one [`Engine`].
 ///
@@ -410,6 +414,204 @@ impl<'a> ServeLoop<'a> {
     }
 }
 
+/// One autoregressive decode task for the [`DecodeLoop`]: synthesize
+/// a token stream, prefill a session with its head, and decode the
+/// remaining tokens one step at a time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeTask {
+    /// The trace to synthesize the token stream from. `seq_len` is the
+    /// *total* token count (prefill + decoded); the padding fraction
+    /// is forced to zero — decode histories hold only real tokens.
+    pub spec: TraceSpec,
+    /// Tokens in the prefill (`1..spec.seq_len`); the rest decode.
+    pub prefill: usize,
+    /// Per-task [`ExecutionMode`] override.
+    pub mode: Option<ExecutionMode>,
+    /// Per-task comparator override.
+    pub threshold_spec: Option<ThresholdSpec>,
+}
+
+/// The deterministic outcome of one decode session run by the
+/// [`DecodeLoop`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The task's index in the submitted slice.
+    pub session: usize,
+    /// Prefill length.
+    pub prefill: usize,
+    /// Tokens decoded.
+    pub tokens: u64,
+    /// Fraction of considered scores kept across all steps.
+    pub kept_fraction: f64,
+    /// Summed recurring step energy.
+    pub energy: EnergyBreakdown,
+    /// Summed program-once energy (prefill write + appends +
+    /// recalibrations).
+    pub program_energy: EnergyBreakdown,
+    /// Summed step latency in cycles.
+    pub cycles: u64,
+    /// Full requantize/reprogram events across the session.
+    pub recalibrations: u64,
+    /// The last decoded token's attention output row.
+    pub final_output: Vec<f32>,
+}
+
+/// The outcome of one [`DecodeLoop::run`]: per-session reports (pure
+/// functions of the tasks and the engine seed — bit-identical across
+/// worker counts) plus wall-clock throughput.
+#[derive(Debug, Clone)]
+pub struct DecodeReport {
+    /// One report per task, in task order.
+    pub sessions: Vec<SessionReport>,
+    /// Total tokens decoded across all sessions.
+    pub tokens: u64,
+    /// Wall-clock nanoseconds the run took.
+    pub busy_ns: u128,
+}
+
+impl DecodeReport {
+    /// Decoded tokens per wall-clock second.
+    pub fn tokens_per_s(&self) -> f64 {
+        self.tokens as f64 / (self.busy_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Interleaves many concurrent [`crate::DecodeSession`]s over
+/// [`sprint_parallel`] workers.
+///
+/// Sessions are mutually independent, so the loop fans one worker out
+/// per session; session `i` derives its trace seed from
+/// `engine_seed ^ TRACE_SALT` and its pruner seed from the engine seed
+/// at head id `i` — the same derivation discipline as
+/// [`Engine::run_batch`], so reports are **bit-identical across
+/// worker counts** and across runs.
+///
+/// # Example
+///
+/// ```
+/// use sprint_engine::{DecodeLoop, DecodeTask, Engine, SprintConfig};
+/// use sprint_reram::NoiseModel;
+/// use sprint_workloads::ModelConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = Engine::builder(SprintConfig::small())
+///     .noise(NoiseModel::ideal())
+///     .seed(4)
+///     .build()?;
+/// let task = DecodeTask {
+///     spec: ModelConfig::bert_base().trace_spec().with_seq_len(24),
+///     prefill: 16,
+///     mode: None,
+///     threshold_spec: None,
+/// };
+/// let report = DecodeLoop::new(&engine).run(&[task, task])?;
+/// assert_eq!(report.sessions.len(), 2);
+/// assert_eq!(report.tokens, 16); // 8 decoded tokens per session
+/// // Same engine, same tasks, any worker count: identical reports.
+/// let again = DecodeLoop::new(&engine).run_threads(1, &[task, task])?;
+/// assert_eq!(report.sessions, again.sessions);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DecodeLoop<'a> {
+    engine: &'a Engine,
+}
+
+impl<'a> DecodeLoop<'a> {
+    /// A loop decoding over `engine`'s defaults and seed.
+    pub fn new(engine: &'a Engine) -> Self {
+        DecodeLoop { engine }
+    }
+
+    /// Runs every task to completion, one session per task, fanned out
+    /// across up to [`sprint_parallel::max_threads`] workers.
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Request`] for a degenerate task (prefill outside
+    /// `1..seq_len`); substrate errors otherwise. The first failing
+    /// task's error wins, in task order.
+    pub fn run(&self, tasks: &[DecodeTask]) -> Result<DecodeReport, SprintError> {
+        self.run_threads(sprint_parallel::max_threads(), tasks)
+    }
+
+    /// [`DecodeLoop::run`] with an explicit worker-count cap (the
+    /// determinism tests sweep this).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DecodeLoop::run`].
+    pub fn run_threads(
+        &self,
+        threads: usize,
+        tasks: &[DecodeTask],
+    ) -> Result<DecodeReport, SprintError> {
+        for (i, task) in tasks.iter().enumerate() {
+            if task.prefill == 0 || task.prefill >= task.spec.seq_len {
+                return Err(SprintError::Request(format!(
+                    "decode task {i}: prefill {} outside 1..{}",
+                    task.prefill, task.spec.seq_len
+                )));
+            }
+        }
+        let workers = threads.clamp(1, sprint_parallel::max_threads());
+        let indexed: Vec<(usize, &DecodeTask)> = tasks.iter().enumerate().collect();
+        let started = Instant::now();
+        let sessions = sprint_parallel::par_try_map_threads(workers, &indexed, |&(i, task)| {
+            self.run_one(i, task)
+        })?;
+        let busy_ns = started.elapsed().as_nanos().max(1);
+        let tokens = sessions.iter().map(|s: &SessionReport| s.tokens).sum();
+        Ok(DecodeReport {
+            sessions,
+            tokens,
+            busy_ns,
+        })
+    }
+
+    /// Synthesizes task `i`'s token stream and decodes it end to end.
+    fn run_one(&self, i: usize, task: &DecodeTask) -> Result<SessionReport, SprintError> {
+        let mut spec = task.spec;
+        spec.padding_fraction = 0.0;
+        let trace_seed = derive_head_seed(self.engine.seed() ^ TRACE_SALT, i as u64);
+        let trace = TraceGenerator::new(trace_seed).generate(&spec)?;
+        let prefill_k = trace.k().prefix_rows(task.prefill)?;
+        let prefill_v = trace.v().prefix_rows(task.prefill)?;
+        let mut request =
+            SessionRequest::new(&prefill_k, &prefill_v, trace.config(), trace.threshold())
+                .with_head_id(i as u64);
+        if let Some(mode) = task.mode {
+            request = request.with_mode(mode);
+        }
+        if let Some(spec) = task.threshold_spec {
+            request = request.with_threshold_spec(spec);
+        }
+        let mut session = self.engine.open_session(&request)?;
+        let mut final_output = Vec::new();
+        for t in task.prefill..spec.seq_len {
+            let response = session.step(&DecodeStep {
+                q: trace.q().row(t),
+                k: trace.k().row(t),
+                v: trace.v().row(t),
+            })?;
+            final_output = response.output;
+        }
+        let perf = *session.perf();
+        Ok(SessionReport {
+            session: i,
+            prefill: task.prefill,
+            tokens: perf.tokens,
+            kept_fraction: perf.kept_fraction(),
+            energy: perf.energy,
+            program_energy: perf.program_energy,
+            cycles: perf.cycles,
+            recalibrations: perf.recalibrations,
+            final_output,
+        })
+    }
+}
+
 /// The outcome of one [`ServeLoop::run`]: what was served, how fast,
 /// and the request-latency distribution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -431,13 +633,36 @@ pub struct ServeSummary {
 
 impl ServeSummary {
     /// Request latency (queueing + service) at percentile `pct`
-    /// (`0.0..=100.0`, nearest-rank); zero when nothing was served.
+    /// (`0.0..=100.0`); zero when nothing was served.
+    ///
+    /// This is the **nearest-rank** estimator — the sorted sample at
+    /// rank `⌈pct/100 · n⌉` — with **no interpolation** between
+    /// samples. Two consequences at small sample counts:
+    ///
+    /// * any percentile above `100 · (1 − 1/n)` returns the sample
+    ///   **maximum** — over fewer than 100 served requests, "p99" is
+    ///   simply the slowest request, not a resolved tail estimate
+    ///   (see [`ServeSummary::resolves_percentile`]);
+    /// * adjacent percentiles collapse onto the same sample, so small
+    ///   runs report step-shaped, not smooth, latency curves.
+    ///
+    /// The [`std::fmt::Display`] rendering states the sample count and
+    /// flags a saturated p99 for exactly this reason.
     pub fn latency_ns(&self, pct: f64) -> u128 {
         if self.latencies_ns.is_empty() {
             return 0;
         }
         let rank = ((pct / 100.0) * self.latencies_ns.len() as f64).ceil() as usize;
         self.latencies_ns[rank.clamp(1, self.latencies_ns.len()) - 1]
+    }
+
+    /// Whether `pct` is resolvable from this many samples — i.e.
+    /// whether the nearest-rank estimate can point at anything other
+    /// than the maximum. `p` percent needs at least `100 / (100 − p)`
+    /// samples (100 for p99, 10 for p90, 2 for p50).
+    pub fn resolves_percentile(&self, pct: f64) -> bool {
+        let n = self.latencies_ns.len() as f64;
+        n * (100.0 - pct.clamp(0.0, 100.0)) >= 100.0
     }
 
     /// Completed model requests per second of makespan.
@@ -476,10 +701,16 @@ impl std::fmt::Display for ServeSummary {
         )?;
         write!(
             f,
-            "latency: p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms",
+            "latency (nearest-rank over {} samples): p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms{}",
+            self.latencies_ns.len(),
             self.latency_ns(50.0) as f64 / 1e6,
             self.latency_ns(90.0) as f64 / 1e6,
             self.latency_ns(99.0) as f64 / 1e6,
+            if self.resolves_percentile(99.0) {
+                ""
+            } else {
+                " [p99 = max: under 100 samples]"
+            },
         )
     }
 }
@@ -626,6 +857,105 @@ mod tests {
         assert!(summary.throughput_per_s() > 0.0);
         let text = summary.to_string();
         assert!(text.contains("p99"), "display renders percentiles: {text}");
+    }
+
+    #[test]
+    fn percentiles_saturate_to_max_at_small_sample_counts() {
+        let summary = ServeSummary {
+            served: 6,
+            heads: 0,
+            batches: 6,
+            busy_ns: 1,
+            makespan_ns: 1,
+            latencies_ns: vec![10, 20, 30, 40, 50, 60],
+        };
+        // Nearest-rank: p50 of 6 samples is rank ceil(3) = sample 30.
+        assert_eq!(summary.latency_ns(50.0), 30);
+        // Anything above 100·(1 − 1/6) ≈ 83.3% collapses to the max.
+        assert_eq!(summary.latency_ns(90.0), 60);
+        assert_eq!(summary.latency_ns(99.0), 60);
+        assert_eq!(summary.latency_ns(100.0), 60);
+        assert!(summary.resolves_percentile(50.0));
+        assert!(!summary.resolves_percentile(90.0));
+        assert!(!summary.resolves_percentile(99.0));
+        let text = summary.to_string();
+        assert!(text.contains("6 samples"), "{text}");
+        assert!(text.contains("p99 = max"), "{text}");
+        // 100+ samples resolve p99 and drop the caveat.
+        let big = ServeSummary {
+            served: 200,
+            heads: 0,
+            batches: 200,
+            busy_ns: 1,
+            makespan_ns: 1,
+            latencies_ns: (1..=200).collect(),
+        };
+        assert!(big.resolves_percentile(99.0));
+        assert_eq!(big.latency_ns(99.0), 198);
+        assert!(!big.to_string().contains("p99 = max"));
+    }
+
+    #[test]
+    fn decode_loop_reports_ragged_sessions_deterministically() {
+        let engine = Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .seed(21)
+            .build()
+            .unwrap();
+        let base = ModelConfig::bert_base().trace_spec();
+        let tasks = [
+            DecodeTask {
+                spec: base.with_seq_len(24),
+                prefill: 16,
+                mode: None,
+                threshold_spec: None,
+            },
+            DecodeTask {
+                spec: base.with_seq_len(40),
+                prefill: 8,
+                mode: Some(ExecutionMode::Oracle),
+                threshold_spec: None,
+            },
+            DecodeTask {
+                spec: base.with_seq_len(16),
+                prefill: 12,
+                mode: Some(ExecutionMode::Dense),
+                threshold_spec: None,
+            },
+        ];
+        let loop_ = DecodeLoop::new(&engine);
+        let reference = loop_.run_threads(1, &tasks).unwrap();
+        assert_eq!(reference.sessions.len(), 3);
+        assert_eq!(reference.tokens, 8 + 32 + 4);
+        assert!(reference.tokens_per_s() > 0.0);
+        assert_eq!(reference.sessions[0].tokens, 8);
+        assert!(reference.sessions[0].kept_fraction < 1.0, "sprint prunes");
+        assert!(
+            (reference.sessions[2].kept_fraction - 1.0).abs() < 1e-12,
+            "dense keeps everything"
+        );
+        for workers in [2usize, 4, 8] {
+            let run = loop_.run_threads(workers, &tasks).unwrap();
+            assert_eq!(run.sessions, reference.sessions, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn decode_loop_validates_prefill() {
+        let engine = Engine::builder(SprintConfig::small()).build().unwrap();
+        let spec = ModelConfig::bert_base().trace_spec().with_seq_len(8);
+        for prefill in [0usize, 8, 9] {
+            let task = DecodeTask {
+                spec,
+                prefill,
+                mode: None,
+                threshold_spec: None,
+            };
+            assert!(matches!(
+                DecodeLoop::new(&engine).run(&[task]),
+                Err(SprintError::Request(_))
+            ));
+        }
     }
 
     #[test]

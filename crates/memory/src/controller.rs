@@ -153,7 +153,9 @@ impl MemoryController {
     /// and cycle counters — reusing every allocation. A controller
     /// reset this way behaves bit-identically to a new one over the
     /// same geometry and timing; the serving engine uses this to run
-    /// an unbounded stream of heads through one controller.
+    /// an unbounded stream of heads through one controller, and a
+    /// decode session calls it before each step so per-step statistics
+    /// match a fresh-controller oracle exactly.
     pub fn reset_cold(&mut self) {
         for sched in &mut self.schedulers {
             sched.reset_cold();

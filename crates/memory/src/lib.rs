@@ -43,6 +43,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod command;
 mod controller;
 mod engines;

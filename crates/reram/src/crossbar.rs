@@ -167,6 +167,25 @@ impl CrossbarArray {
         Ok(())
     }
 
+    /// Appends `added` unprogrammed bitline columns, preserving every
+    /// already-programmed cell (codes *and* their effective analog
+    /// weights, programming variation included).
+    ///
+    /// This is the incremental-growth entry of the decode path: keys
+    /// are stored column-wise, so appending one row of the logical K
+    /// matrix appends one crossbar column. The column-major cell layout
+    /// makes the append a pure extension of the backing buffers — no
+    /// existing cell moves, so the array keeps behaving exactly as it
+    /// did for the old columns. The RNG state is left untouched; new
+    /// columns draw their programming variation when
+    /// [`CrossbarArray::program_column`] writes them.
+    pub fn append_cols(&mut self, added: usize) {
+        self.codes.resize(self.codes.len() + added * self.rows, 0);
+        self.weights
+            .resize(self.weights.len() + added * self.rows, 0.0);
+        self.cols += added;
+    }
+
     /// Number of wordlines (rows).
     pub fn rows(&self) -> usize {
         self.rows
@@ -453,6 +472,21 @@ mod tests {
         let s3 = spread(3);
         let s6 = spread(6);
         assert!(s3 > 4.0 * s6, "3-bit spread {s3} vs 6-bit {s6}");
+    }
+
+    #[test]
+    fn append_cols_preserves_programmed_cells() {
+        let mut xb = ideal_array(4, 2);
+        xb.program_column(0, &[1, -2, 3, -4]).unwrap();
+        xb.program_column(1, &[7, 0, -8, 2]).unwrap();
+        let before = xb.vmm(&[1, 1, 1, 1]).unwrap();
+        xb.append_cols(2);
+        assert_eq!(xb.cols(), 4);
+        xb.program_column(2, &[0, 0, 1, 0]).unwrap();
+        let after = xb.vmm(&[1, 1, 1, 1]).unwrap();
+        assert_eq!(&after[..2], &before[..], "old columns untouched");
+        assert_eq!(after[2], 1.0);
+        assert_eq!(after[3], 0.0, "unprogrammed appended column reads 0");
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod crossbar;
 mod error;
 mod noise;

@@ -13,6 +13,20 @@ use serde::{Deserialize, Serialize};
 
 use sprint_attention::{quantize_matrix, Matrix, PruneDecision, QuantParams};
 
+/// The effective analog noise for a given MLC depth: cells denser than
+/// the 4-bit design point halve their level spacing with every extra
+/// bit, so both sigmas scale by `2^(cell_bits − 4)` beyond it.
+fn effective_noise(noise: NoiseModel, cell_bits: u32) -> Result<NoiseModel, ReramError> {
+    if cell_bits <= 4 {
+        return Ok(noise);
+    }
+    let factor = 2f64.powi(cell_bits as i32 - 4);
+    NoiseModel::from_sigmas(
+        noise.relative_sigma() * factor,
+        noise.programming_sigma() * factor,
+    )
+}
+
 use crate::{NoiseModel, ReramError, TransposableArray};
 
 /// Columns per transposable array (Table I: 64 × 128).
@@ -79,6 +93,27 @@ pub struct PruneHardwareStats {
     pub queries_pruned: u64,
 }
 
+impl PruneHardwareStats {
+    /// The per-field difference `self − earlier` (saturating), for
+    /// per-step accounting over a long-lived pruner: snapshot the
+    /// stats before an operation, subtract afterwards, and the delta
+    /// equals what a freshly built pruner would have counted for that
+    /// operation alone.
+    pub fn delta_since(&self, earlier: &PruneHardwareStats) -> PruneHardwareStats {
+        PruneHardwareStats {
+            in_memory_ops: self.in_memory_ops.saturating_sub(earlier.in_memory_ops),
+            comparator_firings: self
+                .comparator_firings
+                .saturating_sub(earlier.comparator_firings),
+            dac_conversions: self.dac_conversions.saturating_sub(earlier.dac_conversions),
+            transposed_reads: self
+                .transposed_reads
+                .saturating_sub(earlier.transposed_reads),
+            queries_pruned: self.queries_pruned.saturating_sub(earlier.queries_pruned),
+        }
+    }
+}
+
 /// The outcome of in-memory thresholding for one query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PruneOutcome {
@@ -119,6 +154,23 @@ pub struct InMemoryPruner {
     /// Bits stored per MLC cell (4 in the paper's design).
     cell_bits: u32,
     q_params: QuantParams,
+    /// The 8-bit key quantizer the stored MSB codes were derived from.
+    /// [`InMemoryPruner::extend`] appends new keys under these params
+    /// while they still cover the history's range, and reprograms
+    /// everything when a new key forces a recalibration.
+    k_params: QuantParams,
+    /// Running `max_abs` of the programmed key history (append-only:
+    /// never shrinks), so `extend`'s params check folds only the new
+    /// rows instead of rescanning the whole history.
+    k_max_abs: f32,
+    /// The score scaling (1/√d in the models), kept for recomputing
+    /// `score_lsb` when either quantizer recalibrates.
+    attention_scale: f32,
+    /// The *base* (unscaled) noise model; the effective noise applied
+    /// to tiles additionally scales with the MLC depth.
+    noise: NoiseModel,
+    /// The base seed every per-tile RNG seed derives from.
+    seed: u64,
     /// Real score value of one MSB-code product unit:
     /// `(16·sq) · (16·sk) · attention_scale`.
     score_lsb: f64,
@@ -176,13 +228,19 @@ impl InMemoryPruner {
         seed: u64,
         cell_bits: u32,
     ) -> Result<Self, ReramError> {
+        let unit_params = QuantParams::new(8, 1.0)
+            .map_err(|e| ReramError::InvalidParameter(format!("query quantization: {e}")))?;
         let mut pruner = InMemoryPruner {
             tiles: Vec::new(),
             s: 0,
             d: 0,
             cell_bits,
-            q_params: QuantParams::new(8, 1.0)
-                .map_err(|e| ReramError::InvalidParameter(format!("query quantization: {e}")))?,
+            q_params: unit_params,
+            k_params: unit_params,
+            k_max_abs: 0.0,
+            attention_scale: 1.0,
+            noise,
+            seed,
             score_lsb: 1.0,
             full_scale_codes: 1.0,
             stats: PruneHardwareStats::default(),
@@ -241,16 +299,10 @@ impl InMemoryPruner {
                 "cell_bits {cell_bits} outside 1..=8"
             )));
         }
-        // Denser cells are harder to sense and program accurately.
-        let noise = if cell_bits > 4 {
-            let factor = 2f64.powi(cell_bits as i32 - 4);
-            NoiseModel::from_sigmas(
-                noise.relative_sigma() * factor,
-                noise.programming_sigma() * factor,
-            )?
-        } else {
-            noise
-        };
+        // Denser cells are harder to sense and program accurately;
+        // validate the scaled model up front (matching the pre-split
+        // error order) even though `program_keys` rederives it.
+        effective_noise(noise, cell_bits)?;
         if q.cols() != k.cols() {
             return Err(ReramError::LengthMismatch {
                 what: "query embedding",
@@ -263,12 +315,28 @@ impl InMemoryPruner {
                 "attention scale {attention_scale} must be positive"
             )));
         }
+        self.cell_bits = cell_bits;
+        self.noise = noise;
+        self.seed = seed;
+        self.attention_scale = attention_scale;
+        self.d = k.cols();
+        self.program_keys(k)?;
+        self.calibrate_query(q, true)
+    }
+
+    /// (Re)tiles and programs the full key matrix: quantizes `k` to
+    /// 8 bits, resets or creates every tile with its derived seed, and
+    /// stores each key's MSB codes in its column. Leaves the pruner's
+    /// key-side state (`s`, `k_params`) consistent and zeroes the
+    /// hardware counters — exactly what a fresh construction over `k`
+    /// would hold.
+    fn program_keys(&mut self, k: &Matrix) -> Result<(), ReramError> {
+        let noise = effective_noise(self.noise, self.cell_bits)?;
         let s = k.rows();
-        let d = k.cols();
+        let d = self.d;
+        let cell_bits = self.cell_bits;
         let qk = quantize_matrix(k, 8)
             .map_err(|e| ReramError::InvalidParameter(format!("key quantization: {e}")))?;
-        let qq = quantize_matrix(q, 8)
-            .map_err(|e| ReramError::InvalidParameter(format!("query quantization: {e}")))?;
 
         let col_tiles = s.div_ceil(ARRAY_COLS);
         let row_tiles = d.div_ceil(ARRAY_ROWS);
@@ -282,9 +350,7 @@ impl InMemoryPruner {
             for rt in 0..row_tiles {
                 let rows = (d - rt * ARRAY_ROWS).min(ARRAY_ROWS);
                 let cols = (s - ct * ARRAY_COLS).min(ARRAY_COLS);
-                let tile_seed = seed
-                    .wrapping_mul(0x9e3779b97f4a7c15)
-                    .wrapping_add((ct * 1024 + rt) as u64);
+                let tile_seed = tile_seed(self.seed, ct, rt);
                 if rt == row_arrays.len() {
                     row_arrays.push(TransposableArray::with_cell_bits(
                         rows, cols, cell_bits, noise, tile_seed,
@@ -309,26 +375,61 @@ impl InMemoryPruner {
             }
         }
 
-        let unit = 4f64.powi((8 - cell_bits) as i32);
-        let score_lsb =
-            unit * qq.params().step() as f64 * qk.params().step() as f64 * attention_scale as f64;
         self.s = s;
-        self.d = d;
-        self.cell_bits = cell_bits;
-        self.q_params = qq.params();
-        self.score_lsb = score_lsb;
-        self.full_scale_codes = d as f64 * 64.0;
+        self.k_params = qk.params();
+        self.k_max_abs = k.max_abs();
         self.stats = PruneHardwareStats::default();
+        Ok(())
+    }
+
+    /// Recalibrates the query side: the 8-bit query quantizer (the
+    /// per-query DAC reference) is set to `q`'s dynamic range and the
+    /// score LSB rederived from both quantizer steps.
+    ///
+    /// With `with_full_scale`, additionally recalibrates the
+    /// provisioned comparator/ADC full scale by sampling up to 128
+    /// query rows — an `O(s·d)` pass that only affects quantized-score
+    /// comparison ([`ThresholdSpec::quantized`]); pure analog
+    /// comparison never reads the full scale, so decode sessions skip
+    /// it unless their comparator needs it.
+    ///
+    /// Fresh construction performs exactly this calibration, so a
+    /// long-lived pruner that calls [`InMemoryPruner::extend`] followed
+    /// by `calibrate_query(step_q, ...)` matches a pruner freshly built
+    /// from the same grown history and step query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::LengthMismatch`] unless `q.cols()` equals
+    /// the embedding size.
+    pub fn calibrate_query(&mut self, q: &Matrix, with_full_scale: bool) -> Result<(), ReramError> {
+        if q.cols() != self.d {
+            return Err(ReramError::LengthMismatch {
+                what: "query embedding",
+                expected: self.d,
+                found: q.cols(),
+            });
+        }
+        let qq_params = QuantParams::for_matrix(8, q)
+            .map_err(|e| ReramError::InvalidParameter(format!("query quantization: {e}")))?;
+        let unit = 4f64.powi((8 - self.cell_bits) as i32);
+        self.q_params = qq_params;
+        self.score_lsb = unit
+            * qq_params.step() as f64
+            * self.k_params.step() as f64
+            * self.attention_scale as f64;
+        if !with_full_scale {
+            return Ok(());
+        }
         // Calibrate the analog full scale against the observed score
         // range: sample up to 128 query rows and take the largest
-        // exact |code dot| with 25% headroom (floor: one full-swing
-        // element per 8 dimensions, so tiny samples keep sane scales).
+        // exact |code dot|.
         let sample = q.rows().min(128);
         let mut observed = 0.0f64;
         for i in 0..sample {
             let scores = self.exact_msb_scores(q.row(i))?;
             for sc in scores {
-                observed = observed.max((sc as f64 / score_lsb).abs());
+                observed = observed.max((sc as f64 / self.score_lsb).abs());
             }
         }
         // The comparator/ADC reference range is provisioned with 4x
@@ -336,9 +437,126 @@ impl InMemoryPruner {
         // process, temperature and workload drift). The Fig. 5 score
         // quantization is measured against this provisioned range,
         // which is why very low bit counts collapse accuracy.
-        let floor = d as f64;
+        let floor = self.d as f64;
         self.full_scale_codes = (observed * 4.0).max(floor);
         Ok(())
+    }
+
+    /// Appends the new trailing rows of `k_full` (everything beyond
+    /// the keys already stored) to the programmed crossbars — the
+    /// incremental entry of the autoregressive decode path.
+    ///
+    /// `k_full` is the *entire* key history, whose first `keys()` rows
+    /// must be the keys this pruner already stores. Two regimes:
+    ///
+    /// * **Append** (the common case): the new keys fit the calibrated
+    ///   key-quantizer range, so their MSB codes are programmed into
+    ///   fresh columns ([`TransposableArray::append_slots`]) without
+    ///   touching any existing cell — `O(added · d)` work. Returns
+    ///   `Ok(false)`.
+    /// * **Recalibration** (rare — a new key exceeds every magnitude
+    ///   seen so far): the shared 8-bit quantizer must re-cover the
+    ///   grown range, which changes every stored code, so the whole
+    ///   history is requantized and reprogrammed exactly as a fresh
+    ///   construction would be. Returns `Ok(true)` and **zeroes the
+    ///   hardware counters** (snapshot [`InMemoryPruner::stats`]
+    ///   *after* `extend` when computing per-step deltas).
+    ///
+    /// In both regimes the stored codes afterwards equal those of a
+    /// pruner freshly built over `k_full`, so — after a matching
+    /// [`InMemoryPruner::calibrate_query`] — decode-step outcomes are
+    /// bit-identical to a reprogram-from-scratch oracle under an ideal
+    /// (noise-free) analog model. Under a noisy model the *draws*
+    /// differ (a fresh pruner consumes its RNG streams in a different
+    /// order), so equivalence is distributional, not bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::LengthMismatch`] for a wrong embedding
+    /// size and [`ReramError::InvalidParameter`] if `k_full` holds
+    /// fewer rows than are already programmed.
+    pub fn extend(&mut self, k_full: &Matrix) -> Result<bool, ReramError> {
+        if k_full.cols() != self.d {
+            return Err(ReramError::LengthMismatch {
+                what: "key embedding",
+                expected: self.d,
+                found: k_full.cols(),
+            });
+        }
+        if k_full.rows() < self.s {
+            return Err(ReramError::InvalidParameter(format!(
+                "key history shrank: {} stored, {} offered",
+                self.s,
+                k_full.rows()
+            )));
+        }
+        if k_full.rows() == self.s {
+            return Ok(false);
+        }
+        // Fold only the appended rows into the running maximum — the
+        // same fold `Matrix::max_abs` performs, grouped over (stored
+        // prefix, new rows), so the derived params are bit-identical
+        // to a from-scratch calibration over `k_full` at O(added·d).
+        let new_max = k_full.as_slice()[self.s * self.d..]
+            .iter()
+            .fold(self.k_max_abs, |m, v| m.max(v.abs()));
+        let new_params = QuantParams::for_max_abs(8, new_max)
+            .map_err(|e| ReramError::InvalidParameter(format!("key quantization: {e}")))?;
+        if new_params != self.k_params {
+            // A new key widened the range: every stored code changes,
+            // so requantize and reprogram the full history (the same
+            // tiling, seeds and programming order as a fresh build).
+            self.program_keys(k_full)?;
+            let unit = 4f64.powi((8 - self.cell_bits) as i32);
+            self.score_lsb = unit
+                * self.q_params.step() as f64
+                * self.k_params.step() as f64
+                * self.attention_scale as f64;
+            return Ok(true);
+        }
+        self.k_max_abs = new_max;
+        let noise = effective_noise(self.noise, self.cell_bits)?;
+        let shift = 8 - self.cell_bits;
+        for j in self.s..k_full.rows() {
+            let ct = j / ARRAY_COLS;
+            let slot = j % ARRAY_COLS;
+            if ct == self.tiles.len() {
+                // First key of a new column tile: create its row tiles
+                // with the same derived seeds a fresh build would use.
+                let row_tiles = self.d.div_ceil(ARRAY_ROWS);
+                let mut row_arrays = Vec::with_capacity(row_tiles);
+                for rt in 0..row_tiles {
+                    let rows = (self.d - rt * ARRAY_ROWS).min(ARRAY_ROWS);
+                    row_arrays.push(TransposableArray::with_cell_bits(
+                        rows,
+                        1,
+                        self.cell_bits,
+                        noise,
+                        tile_seed(self.seed, ct, rt),
+                    )?);
+                }
+                self.tiles.push(row_arrays);
+            } else if slot >= self.tiles[ct][0].cols() {
+                for arr in &mut self.tiles[ct] {
+                    arr.append_slots(1);
+                }
+            }
+            for (rt, arr) in self.tiles[ct].iter_mut().enumerate() {
+                let base = rt * ARRAY_ROWS;
+                let codes: Vec<i32> = (0..arr.rows())
+                    .map(|r| {
+                        round_msb_bits(
+                            self.k_params.quantize(k_full.get(j, base + r)),
+                            shift,
+                            self.cell_bits,
+                        )
+                    })
+                    .collect();
+                arr.store_key(slot, &codes)?;
+            }
+            self.s += 1;
+        }
+        Ok(false)
     }
 
     /// Number of keys covered.
@@ -522,6 +740,14 @@ impl InMemoryPruner {
         self.stats.transposed_reads += 1;
         Ok(codes)
     }
+}
+
+/// The derived RNG seed of tile `(col_tile, row_tile)` — shared by the
+/// full reprogram and the incremental append so a tile created either
+/// way draws from the same stream.
+fn tile_seed(seed: u64, ct: usize, rt: usize) -> u64 {
+    seed.wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add((ct * 1024 + rt) as u64)
 }
 
 /// Rounded top bits of an 8-bit code for a `cell_bits`-deep cell
@@ -762,6 +988,116 @@ mod tests {
             assert_eq!(reused.keys(), k.rows());
             assert_eq!(reused.embedding(), k.cols());
         }
+    }
+
+    /// The rows `0..n` of `m` as an owned matrix.
+    fn prefix(m: &Matrix, n: usize) -> Matrix {
+        m.prefix_rows(n).unwrap()
+    }
+
+    #[test]
+    fn extend_matches_fresh_construction_at_every_length() {
+        // The decode contract: growing the programmed key set one row
+        // at a time (plus per-step query calibration) is bit-identical
+        // to rebuilding the pruner over each prefix, ideal-noise-wise.
+        // 300 keys at d = 128 crosses both column- and row-tile
+        // boundaries along the way.
+        let q_all = random_matrix(48, 128, 71);
+        let k_all = random_matrix(300, 128, 72);
+        let noise = NoiseModel::ideal();
+        let spec = ThresholdSpec::quantized(6); // exercises the full scale
+        let start = 260;
+        let mut grown =
+            InMemoryPruner::new(&prefix(&q_all, 1), &prefix(&k_all, start), 0.09, noise, 5)
+                .unwrap();
+        for s in start + 1..=300 {
+            let q_row = Matrix::from_vec(1, 128, q_all.row(s - start).to_vec()).unwrap();
+            let k = prefix(&k_all, s);
+            let before = grown.stats();
+            let reprogrammed = grown.extend(&k).unwrap();
+            grown.calibrate_query(&q_row, true).unwrap();
+            let mut fresh = InMemoryPruner::new(&q_row, &k, 0.09, noise, 5).unwrap();
+            let a = grown.prune_query(q_row.row(0), 0.02, &spec).unwrap();
+            let b = fresh.prune_query(q_row.row(0), 0.02, &spec).unwrap();
+            assert_eq!(a, b, "s = {s}");
+            assert_eq!(grown.keys(), s);
+            let base = if reprogrammed {
+                PruneHardwareStats::default()
+            } else {
+                before
+            };
+            assert_eq!(
+                grown.stats().delta_since(&base),
+                fresh.stats(),
+                "s = {s} stats delta"
+            );
+        }
+    }
+
+    #[test]
+    fn extend_recalibrates_when_a_key_widens_the_range() {
+        let q = random_matrix(1, 32, 81);
+        let k = random_matrix(64, 32, 82);
+        let noise = NoiseModel::ideal();
+        let mut grown = InMemoryPruner::new(&q, &k, 0.176, noise, 9).unwrap();
+        // Append a key 3x beyond anything seen: the shared quantizer
+        // must re-cover the range, forcing a full reprogram.
+        let mut widened = k.as_slice().to_vec();
+        widened.extend(k.row(0).iter().map(|x| x * 3.0));
+        let k_wide = Matrix::from_vec(65, 32, widened).unwrap();
+        assert!(grown.extend(&k_wide).unwrap(), "range grew: must reprogram");
+        grown.calibrate_query(&q, true).unwrap();
+        let mut fresh = InMemoryPruner::new(&q, &k_wide, 0.176, noise, 9).unwrap();
+        let spec = ThresholdSpec::default();
+        let a = grown.prune_query(q.row(0), 0.02, &spec).unwrap();
+        let b = fresh.prune_query(q.row(0), 0.02, &spec).unwrap();
+        assert_eq!(a, b);
+        // An in-range append afterwards goes back to the cheap path.
+        let mut more = k_wide.as_slice().to_vec();
+        more.extend_from_slice(k.row(1));
+        let k_more = Matrix::from_vec(66, 32, more).unwrap();
+        assert!(!grown.extend(&k_more).unwrap());
+    }
+
+    #[test]
+    fn extend_validates_inputs() {
+        let q = random_matrix(1, 16, 91);
+        let k = random_matrix(8, 16, 92);
+        let mut p = InMemoryPruner::new(&q, &k, 0.25, NoiseModel::ideal(), 3).unwrap();
+        // Wrong embedding.
+        assert!(p.extend(&random_matrix(9, 8, 93)).is_err());
+        // Shrunk history.
+        assert!(p.extend(&random_matrix(4, 16, 94)).is_err());
+        // Same length: no-op.
+        assert!(!p.extend(&k).unwrap());
+        assert_eq!(p.keys(), 8);
+        // Query calibration validates the embedding too.
+        assert!(p.calibrate_query(&random_matrix(1, 8, 95), false).is_err());
+    }
+
+    #[test]
+    fn stats_delta_saturates_and_subtracts() {
+        let a = PruneHardwareStats {
+            in_memory_ops: 5,
+            comparator_firings: 100,
+            dac_conversions: 64,
+            transposed_reads: 2,
+            queries_pruned: 3,
+        };
+        let b = PruneHardwareStats {
+            in_memory_ops: 7,
+            comparator_firings: 150,
+            dac_conversions: 128,
+            transposed_reads: 2,
+            queries_pruned: 4,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.in_memory_ops, 2);
+        assert_eq!(d.comparator_firings, 50);
+        assert_eq!(d.queries_pruned, 1);
+        // Saturation after a counter reset (recalibration event).
+        let z = PruneHardwareStats::default().delta_since(&a);
+        assert_eq!(z, PruneHardwareStats::default());
     }
 
     #[test]

@@ -111,6 +111,14 @@ impl TransposableArray {
         Ok(())
     }
 
+    /// Appends `added` empty key slots (bitline columns), preserving
+    /// every stored key and its programming variation — see
+    /// [`CrossbarArray::append_cols`]. Used by the decode path to grow
+    /// a programmed array one key at a time instead of rebuilding it.
+    pub fn append_slots(&mut self, added: usize) {
+        self.inner.append_cols(added);
+    }
+
     /// Bits per MLC cell.
     pub fn cell_bits(&self) -> u32 {
         self.inner.cell_bits()

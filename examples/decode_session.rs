@@ -1,0 +1,107 @@
+//! Autoregressive decode: generate 64 tokens over a BERT-B-shaped
+//! head through a stateful `DecodeSession`, watching the kept fraction
+//! and the cumulative energy as the history grows.
+//!
+//! ```sh
+//! cargo run -p sprint-examples --example decode_session --release
+//! ```
+//!
+//! The session programs the prefill into the pruner crossbars once;
+//! every generated token then appends one crossbar column and one
+//! cached-quantized K/V row, thresholds its query in memory, and
+//! recomputes only the surviving scores — no per-step reprogramming.
+//! The program-once write energy is reported separately from the
+//! recurring step energy so the amortization is visible.
+
+use sprint_attention::Matrix;
+use sprint_engine::{DecodeStep, Engine, ExecutionMode, SessionRequest, SprintConfig};
+use sprint_reram::NoiseModel;
+use sprint_workloads::{ModelConfig, TraceGenerator};
+
+const PREFILL: usize = 64;
+const DECODED: usize = 64;
+
+fn prefix(m: &Matrix, n: usize) -> Result<Matrix, sprint_attention::AttentionError> {
+    m.prefix_rows(n)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("SPRINT decode session: {DECODED} tokens over a BERT-B-shaped head\n");
+
+    // A synthetic BERT-Base-statistics token stream (74.6% pruning,
+    // ~85% adjacent-query locality; no padding — decode histories hold
+    // only real tokens). The first PREFILL tokens are the prompt.
+    let model = ModelConfig::bert_base();
+    let spec = model
+        .trace_spec()
+        .with_seq_len(PREFILL + DECODED)
+        .with_padding(0.0);
+    let trace = TraceGenerator::new(2026).generate(&spec)?;
+
+    let engine = Engine::builder(SprintConfig::small())
+        .noise(NoiseModel::default())
+        .mode(ExecutionMode::Sprint)
+        .seed(7)
+        .build()?;
+
+    let (pk, pv) = (prefix(trace.k(), PREFILL)?, prefix(trace.v(), PREFILL)?);
+    let mut session = engine.open_session(
+        &SessionRequest::new(&pk, &pv, trace.config(), trace.threshold()).with_head_id(0),
+    )?;
+    println!(
+        "prefill: {PREFILL} tokens (d = {}), threshold {:.3}, mode {:?}\n",
+        trace.config().d(),
+        trace.threshold(),
+        session.mode(),
+    );
+    println!("  token | history | kept    | step energy | cumulative (step + program)");
+
+    for t in PREFILL..PREFILL + DECODED {
+        let out = session.step(&DecodeStep {
+            q: trace.q().row(t),
+            k: trace.k().row(t),
+            v: trace.v().row(t),
+        })?;
+        let kept = out.decision.kept_count();
+        if (t - PREFILL) % 8 == 0 || t + 1 == PREFILL + DECODED {
+            let perf = session.perf();
+            println!(
+                "  {:>5} | {:>7} | {:>5.1}%  | {:>11} | {} + {}",
+                t - PREFILL,
+                out.position + 1,
+                100.0 * kept as f64 / out.decision.len() as f64,
+                out.perf.energy.total().to_string(),
+                perf.energy.total(),
+                perf.program_energy.total(),
+            );
+        }
+    }
+
+    let perf = session.perf();
+    println!(
+        "\ndecoded {} tokens: kept {:.1}% of scores, {} recalibration(s), {} tokens programmed",
+        perf.tokens,
+        perf.kept_fraction() * 100.0,
+        perf.recalibrations,
+        perf.programmed_tokens,
+    );
+    println!(
+        "energy: {} recurring + {} program-once ({:.1}% of total is the amortized write cost)",
+        perf.energy.total(),
+        perf.program_energy.total(),
+        100.0 * perf.program_energy.total().as_pj() / perf.total_energy().total().as_pj(),
+    );
+    println!(
+        "latency: {} cycles total, {:.0} cycles/token mean",
+        perf.cycles,
+        perf.cycles as f64 / perf.tokens.max(1) as f64,
+    );
+    println!(
+        "memory: {} vectors fetched, {} reused on chip ({:.1}% reuse)",
+        perf.fetched_vectors,
+        perf.reused_vectors,
+        100.0 * perf.reused_vectors as f64
+            / (perf.reused_vectors + perf.fetched_vectors).max(1) as f64,
+    );
+    Ok(())
+}

@@ -7,7 +7,10 @@
 
 use sprint_core::counting::{simulate_head, ExecutionMode as CountingMode};
 use sprint_core::{HeadProfile, SprintConfig};
-use sprint_engine::{Engine, ExecutionMode, HeadRequest, ModelProfile, ModelRequest, ModelServer};
+use sprint_engine::{
+    DecodeStep, Engine, ExecutionMode, HeadRequest, ModelProfile, ModelRequest, ModelServer,
+    SessionRequest,
+};
 use sprint_reram::NoiseModel;
 use sprint_workloads::{ModelConfig, TraceGenerator};
 
@@ -146,6 +149,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         response.total.cycles,
         response.total.energy.total(),
         response.total.bytes_fetched,
+    );
+
+    // 7. Decode a sequence. A DecodeSession keeps the programmed
+    //    crossbars, the cached 8-bit K/V images and the memory
+    //    controller alive across steps: each generated token appends
+    //    one crossbar column and runs one-query SPRINT attention over
+    //    the grown history — no per-step reprogramming. Every step is
+    //    bit-identical to a fresh full-prefix run_head oracle under an
+    //    ideal noise model (tests/tests/decode.rs pins this).
+    let engine = server.into_engine();
+    let decode_spec = model.trace_spec().with_seq_len(48).with_padding(0.0);
+    let stream = TraceGenerator::new(2025).generate(&decode_spec)?;
+    let prefill = 32;
+    let (pk, pv) = (
+        stream.k().prefix_rows(prefill)?,
+        stream.v().prefix_rows(prefill)?,
+    );
+    let mut session = engine.open_session(
+        &SessionRequest::new(&pk, &pv, stream.config(), stream.threshold()).with_head_id(0),
+    )?;
+    for t in prefill..48 {
+        session.step(&DecodeStep {
+            q: stream.q().row(t),
+            k: stream.k().row(t),
+            v: stream.v().row(t),
+        })?;
+    }
+    let perf = session.perf();
+    println!(
+        "\ndecode: {} tokens generated over a {}-token prefill, kept {:.1}% of scores",
+        perf.tokens,
+        prefill,
+        perf.kept_fraction() * 100.0,
+    );
+    println!(
+        "  energy {} recurring + {} program-once; {} recalibration(s)",
+        perf.energy.total(),
+        perf.program_energy.total(),
+        perf.recalibrations,
     );
     Ok(())
 }

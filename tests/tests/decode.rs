@@ -1,0 +1,312 @@
+//! Decode-session equivalence suite: every incremental decode step
+//! must be bit-identical to a fresh full-prefix `run_head` oracle.
+//!
+//! The [`sprint_engine::DecodeSession`] reuses programmed crossbars,
+//! cached 8-bit K/V images and a long-lived memory controller across
+//! steps; the oracle rebuilds all of it per step from the grown
+//! history. Under the ideal (noise-free) analog model the two must
+//! agree bit for bit — output row, pruning decision, per-step hardware
+//! counters and memory statistics — at every step, in all four
+//! [`ExecutionMode`]s, across ragged session lengths and worker
+//! counts.
+
+use sprint_attention::Matrix;
+use sprint_engine::{
+    DecodeLoop, DecodeStep, DecodeTask, Engine, ExecutionMode, HeadRequest, SessionRequest,
+    SprintConfig,
+};
+use sprint_reram::{NoiseModel, ThresholdSpec};
+use sprint_workloads::{HeadTrace, ModelConfig, TraceGenerator};
+
+fn trace(seq: usize, seed: u64) -> HeadTrace {
+    let spec = ModelConfig::bert_base()
+        .trace_spec()
+        .with_seq_len(seq)
+        .with_padding(0.0);
+    TraceGenerator::new(seed).generate(&spec).unwrap()
+}
+
+fn prefix(m: &Matrix, n: usize) -> Matrix {
+    m.prefix_rows(n).unwrap()
+}
+
+fn one_row(m: &Matrix, r: usize) -> Matrix {
+    Matrix::from_vec(1, m.cols(), m.row(r).to_vec()).unwrap()
+}
+
+fn engine(mode: ExecutionMode) -> Engine {
+    Engine::builder(SprintConfig::small())
+        .noise(NoiseModel::ideal())
+        .mode(mode)
+        .seed(17)
+        .build()
+        .unwrap()
+}
+
+/// Steps a session from `prefill` to the trace's end, comparing every
+/// step against a fresh full-prefix `run_head` with the same head id.
+fn assert_session_matches_oracle(
+    engine: &Engine,
+    trace: &HeadTrace,
+    prefill: usize,
+    head_id: u64,
+    spec: Option<ThresholdSpec>,
+) {
+    let (pk, pv) = (prefix(trace.k(), prefill), prefix(trace.v(), prefill));
+    let mut request =
+        SessionRequest::new(&pk, &pv, trace.config(), trace.threshold()).with_head_id(head_id);
+    if let Some(s) = spec {
+        request = request.with_threshold_spec(s);
+    }
+    let mut session = engine.open_session(&request).unwrap();
+    for step in prefill..trace.seq_len() {
+        let response = session
+            .step(&DecodeStep {
+                q: trace.q().row(step),
+                k: trace.k().row(step),
+                v: trace.v().row(step),
+            })
+            .unwrap();
+        let q1 = one_row(trace.q(), step);
+        let hist_k = prefix(trace.k(), step + 1);
+        let hist_v = prefix(trace.v(), step + 1);
+        let mut head = HeadRequest::new(&q1, &hist_k, &hist_v, trace.config(), trace.threshold())
+            .with_head_id(head_id);
+        if let Some(s) = spec {
+            head = head.with_threshold_spec(s);
+        }
+        let oracle = engine.run_head(&head).unwrap();
+        assert_eq!(
+            response.output.as_slice(),
+            oracle.output.row(0),
+            "step {step}: output row diverged"
+        );
+        assert_eq!(
+            response.decision, oracle.decisions[0],
+            "step {step}: pruning decision diverged"
+        );
+        assert_eq!(
+            response.prune_stats, oracle.prune_stats,
+            "step {step}: per-step hardware counters diverged"
+        );
+        assert_eq!(
+            response.memory_stats, oracle.memory_stats,
+            "step {step}: memory statistics diverged"
+        );
+        assert_eq!(response.position, step);
+    }
+}
+
+#[test]
+fn every_step_matches_the_fresh_oracle_in_all_four_modes() {
+    let t = trace(56, 3);
+    for mode in ExecutionMode::ALL {
+        assert_session_matches_oracle(&engine(mode), &t, 24, 5, None);
+    }
+}
+
+#[test]
+fn single_token_prefills_and_short_sessions_match_too() {
+    // Degenerate shapes: a 1-token prefill (the pruner tiles grow from
+    // a single column) and a session that decodes a single token.
+    let t = trace(20, 7);
+    for mode in ExecutionMode::ALL {
+        assert_session_matches_oracle(&engine(mode), &t, 1, 2, None);
+        assert_session_matches_oracle(&engine(mode), &t, 19, 2, None);
+    }
+}
+
+#[test]
+fn quantized_comparator_sessions_match_the_oracle() {
+    // score_bits engages the provisioned full-scale calibration — the
+    // per-step query recalibration must reproduce the fresh pruner's
+    // full scale exactly.
+    let t = trace(40, 11);
+    for bits in [4u32, 8] {
+        assert_session_matches_oracle(
+            &engine(ExecutionMode::Sprint),
+            &t,
+            16,
+            9,
+            Some(ThresholdSpec::quantized(bits)),
+        );
+    }
+}
+
+#[test]
+fn range_widening_tokens_force_recalibration_and_still_match() {
+    // Scale a mid-stream token up so its key/value magnitudes exceed
+    // everything before: the KV cache and the pruner must requantize
+    // and reprogram, and the session must still track the oracle.
+    let base = trace(36, 13);
+    let amplify = |m: &Matrix, row: usize| {
+        let mut data = m.as_slice().to_vec();
+        for x in &mut data[row * m.cols()..(row + 1) * m.cols()] {
+            *x *= 4.0;
+        }
+        Matrix::from_vec(m.rows(), m.cols(), data).unwrap()
+    };
+    let k = amplify(base.k(), 28);
+    let v = amplify(base.v(), 30);
+    let e = engine(ExecutionMode::Sprint);
+    let prefill = 24;
+    let (pk, pv) = (prefix(&k, prefill), prefix(&v, prefill));
+    let mut session = e
+        .open_session(
+            &SessionRequest::new(&pk, &pv, base.config(), base.threshold()).with_head_id(1),
+        )
+        .unwrap();
+    let mut recalibrated = 0u64;
+    for step in prefill..base.seq_len() {
+        let response = session
+            .step(&DecodeStep {
+                q: base.q().row(step),
+                k: k.row(step),
+                v: v.row(step),
+            })
+            .unwrap();
+        recalibrated += u64::from(response.perf.recalibrated);
+        let q1 = one_row(base.q(), step);
+        let (hist_k, hist_v) = (prefix(&k, step + 1), prefix(&v, step + 1));
+        let oracle = e
+            .run_head(
+                &HeadRequest::new(&q1, &hist_k, &hist_v, base.config(), base.threshold())
+                    .with_head_id(1),
+            )
+            .unwrap();
+        assert_eq!(
+            response.output.as_slice(),
+            oracle.output.row(0),
+            "step {step}"
+        );
+        assert_eq!(response.decision, oracle.decisions[0], "step {step}");
+    }
+    assert!(
+        recalibrated >= 1,
+        "the amplified tokens must have widened a quantizer range"
+    );
+    assert_eq!(session.perf().recalibrations, recalibrated);
+}
+
+#[test]
+fn decode_loop_is_bit_identical_across_1_2_4_8_workers() {
+    let e = engine(ExecutionMode::Sprint);
+    let base = ModelConfig::bert_base().trace_spec();
+    // Ragged lengths, mixed modes, mixed prefills.
+    let tasks: Vec<DecodeTask> = [
+        (32usize, 16usize, None),
+        (48, 8, Some(ExecutionMode::Oracle)),
+        (24, 20, Some(ExecutionMode::NoRecompute)),
+        (40, 1, None),
+        (16, 12, Some(ExecutionMode::Dense)),
+        (64, 32, None),
+    ]
+    .into_iter()
+    .map(|(seq, prefill, mode)| DecodeTask {
+        spec: base.with_seq_len(seq),
+        prefill,
+        mode,
+        threshold_spec: None,
+    })
+    .collect();
+    let reference = DecodeLoop::new(&e).run_threads(1, &tasks).unwrap();
+    let expected_tokens: u64 = tasks
+        .iter()
+        .map(|t| (t.spec.seq_len - t.prefill) as u64)
+        .sum();
+    assert_eq!(reference.tokens, expected_tokens);
+    for workers in [2usize, 4, 8] {
+        let run = DecodeLoop::new(&e).run_threads(workers, &tasks).unwrap();
+        assert_eq!(
+            run.sessions, reference.sessions,
+            "decode loop diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn decode_loop_sessions_match_manually_driven_sessions() {
+    // The loop's seeding contract: session i decodes the trace drawn
+    // from derive_head_seed(engine_seed ^ TRACE_SALT, i) with head id
+    // i — so a by-hand session over the same trace reproduces it.
+    let e = engine(ExecutionMode::Sprint);
+    let spec = ModelConfig::bert_base().trace_spec().with_seq_len(28);
+    let task = DecodeTask {
+        spec,
+        prefill: 12,
+        mode: None,
+        threshold_spec: None,
+    };
+    let report = DecodeLoop::new(&e).run(&[task]).unwrap();
+    // Reproduce by hand: the loop zeroes the padding fraction and uses
+    // the engine's seed streams.
+    let mut tspec = spec;
+    tspec.padding_fraction = 0.0;
+    let trace_seed = sprint_engine::derive_head_seed(e.seed() ^ 0x7ace, 0);
+    let t = TraceGenerator::new(trace_seed).generate(&tspec).unwrap();
+    let (pk, pv) = (prefix(t.k(), 12), prefix(t.v(), 12));
+    let mut session = e
+        .open_session(&SessionRequest::new(&pk, &pv, t.config(), t.threshold()).with_head_id(0))
+        .unwrap();
+    let mut last = Vec::new();
+    for step in 12..28 {
+        last = session
+            .step(&DecodeStep {
+                q: t.q().row(step),
+                k: t.k().row(step),
+                v: t.v().row(step),
+            })
+            .unwrap()
+            .output;
+    }
+    assert_eq!(report.sessions[0].final_output, last);
+    assert_eq!(report.sessions[0].tokens, 16);
+    assert_eq!(
+        report.sessions[0].kept_fraction,
+        session.perf().kept_fraction()
+    );
+}
+
+#[test]
+fn session_energy_separates_program_once_from_step_cost() {
+    // The program-once share covers the prefill write and the one
+    // token per step; a reprogram-per-step oracle would instead charge
+    // the whole history every step. Check the separation is visible
+    // and the step energy scales with the kept set, not the writes.
+    let t = trace(48, 19);
+    let e = engine(ExecutionMode::Sprint);
+    let (pk, pv) = (prefix(t.k(), 32), prefix(t.v(), 32));
+    let mut session = e
+        .open_session(&SessionRequest::new(&pk, &pv, t.config(), t.threshold()))
+        .unwrap();
+    let first = session
+        .step(&DecodeStep {
+            q: t.q().row(32),
+            k: t.k().row(32),
+            v: t.v().row(32),
+        })
+        .unwrap();
+    // First step programs the whole 33-token history.
+    assert_eq!(first.perf.programmed_tokens, 33);
+    assert!(first.perf.program_energy.total() > first.perf.energy.total());
+    let second = session
+        .step(&DecodeStep {
+            q: t.q().row(33),
+            k: t.k().row(33),
+            v: t.v().row(33),
+        })
+        .unwrap();
+    if !second.perf.recalibrated {
+        assert_eq!(second.perf.programmed_tokens, 1);
+        assert!(
+            second.perf.program_energy.total() < first.perf.program_energy.total(),
+            "appends amortize the programming cost"
+        );
+    }
+    let perf = session.perf();
+    assert_eq!(perf.tokens, 2);
+    assert_eq!(
+        perf.total_energy().total(),
+        (perf.energy + perf.program_energy).total()
+    );
+}

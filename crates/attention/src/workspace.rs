@@ -136,6 +136,19 @@ impl Workspace {
         crate::Matrix::from_vec(rows, cols, buf)
     }
 
+    /// Drops every buffer, returning the workspace to its freshly
+    /// constructed state.
+    ///
+    /// Pipelines recovering from a fault in unrelated code (e.g. an
+    /// engine shard whose mutex was poisoned by a panicking worker)
+    /// reset rather than reason about which buffers the interrupted
+    /// call left mid-write — the pool contract already guarantees a
+    /// reset workspace produces bit-identical results, just with cold
+    /// first allocations.
+    pub fn reset(&mut self) {
+        *self = Workspace::default();
+    }
+
     /// A zeroed probability staging row of length `n`.
     pub fn prob_row(&mut self, n: usize) -> &mut [f32] {
         self.prob_row.clear();
@@ -211,6 +224,20 @@ mod tests {
         let mut small_ws = Workspace::new();
         small_ws.recycle(crate::Matrix::zeros(4, 4).unwrap());
         assert_eq!(small_ws.pool.len(), 1);
+    }
+
+    #[test]
+    fn reset_returns_to_fresh_state() {
+        let mut ws = Workspace::with_capacity(8, 8);
+        ws.prob_row(8)[0] = 1.0;
+        ws.acc_row(8)[0] = 1;
+        ws.recycle(crate::Matrix::zeros(4, 4).unwrap());
+        ws.reset();
+        assert!(ws.pool.is_empty());
+        assert_eq!(ws.prob_row.capacity(), 0);
+        assert_eq!(ws.acc_row.capacity(), 0);
+        // And it still works after the reset.
+        assert_eq!(ws.prob_row(3), &[0.0; 3]);
     }
 
     #[test]

@@ -3,10 +3,18 @@
 //! Times one full forward pass (2 layers × 4 heads, s = 96, BERT-B
 //! statistics) three ways: the hand-rolled per-head loop the figure
 //! drivers used before the server existed (synthesize each trace,
-//! `run_head` it, fold by hand), and `ModelServer::serve` at 1/2/4
-//! workers — same seeds, bit-identical responses, only the wall-clock
-//! changes. Run with `-- --bench-json` to record the timings in
+//! `run_head` it, fold by hand), and `ModelServer::serve` at 1/2/4/8
+//! workers — same seeds, bit-identical responses, only the timings
+//! change. Run with `-- --bench-json` to record the timings in
 //! `BENCH_report.json`.
+//!
+//! Each worker count records a wall-clock row (`serve/workers{N}`,
+//! meaningful only with ≥ N free cores) and a critical-path row
+//! (`serve_critical_path/workers{N}`) from
+//! [`sprint_engine::ServeStats::critical_path_ns`]: serial stages
+//! plus the busiest worker's thread-CPU time in each fan-out — the
+//! pass's ideal wall-clock with one free core per worker, comparable
+//! across worker counts on any host, including single-core CI.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -34,8 +42,8 @@ fn bench(c: &mut Criterion) {
             .mode(ExecutionMode::Sprint)
             .seed(7)
             // Enough slots for the widest sweep even on few-core
-            // machines (the default would silently clamp workers4).
-            .worker_slots(4)
+            // machines (the default would silently clamp workers4/8).
+            .worker_slots(8)
             .build()
             .expect("engine build"),
     );
@@ -70,13 +78,33 @@ fn bench(c: &mut Criterion) {
     });
 
     // The server, at fixed worker counts (responses are identical
-    // across counts; only wall-clock changes).
-    for workers in [1usize, 2, 4] {
+    // across counts; only the timings change). Each count records the
+    // wall-clock row and the critical-path row from the same samples.
+    for workers in [1usize, 2, 4, 8] {
+        let mut critical_path = Vec::with_capacity(10);
         group.bench_function(&format!("serve/workers{workers}"), |b| {
-            b.iter(|| black_box(server.serve_threads(workers, &request).expect("serve")))
+            b.iter(|| {
+                let (responses, stats) = server
+                    .serve_many_report(workers, std::slice::from_ref(&request))
+                    .expect("serve");
+                critical_path.push(stats.critical_path_ns());
+                black_box(responses)
+            })
         });
+        group.record_samples(
+            &format!("serve_critical_path/workers{workers}"),
+            &critical_path,
+        );
     }
     group.finish();
+
+    // Pseudo-entry: the core count the wall-clock rows were measured
+    // under (the "sample" is a count, not nanoseconds). `report
+    // --check` gates the wall-ratio validation on this.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut host = c.benchmark_group("host");
+    host.record_samples("available_parallelism", &[cores as u128]);
+    host.finish();
 }
 
 criterion_group!(benches, bench);

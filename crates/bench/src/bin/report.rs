@@ -95,6 +95,7 @@ fn check_report(explicit: Option<&str>) -> Result<(), String> {
             return Err(format!("bench '{id}': zero samples"));
         }
     }
+    check_scaling(&items)?;
     println!(
         "{} ok: {} bench entr{} with finite timings{}",
         path.display(),
@@ -106,6 +107,76 @@ fn check_report(explicit: Option<&str>) -> Result<(), String> {
             ""
         },
     );
+    Ok(())
+}
+
+/// How much of the 1-worker time the 4-worker row may take before the
+/// check fails: 0.6× (a ≥1.67× speedup). Generous against the ideal
+/// 0.25× so fan-out overhead and noisy medians never flake the check,
+/// while a regression to flat scaling (ratio ≈ 1.0) always fails.
+const SCALING_RATIO_MAX: f64 = 0.6;
+
+/// Validates the worker-scaling ratios recorded by the engine and
+/// model-serving benches, so a regression to flat scaling fails
+/// bench-smoke instead of going unnoticed.
+///
+/// Two kinds of rows, checked differently:
+///
+/// * `*_critical_path/workers{N}` rows are per-worker thread-CPU
+///   critical paths — host-independent, so whenever the workers1 and
+///   workers4 rows are both present their ratio must clear
+///   [`SCALING_RATIO_MAX`] unconditionally.
+/// * wall-clock rows (`engine/run_batch/workers{N}`,
+///   `model_serving/serve/workers{N}`) only show speedup with free
+///   cores, so their ratio is enforced only when the report's
+///   `host/available_parallelism` entry records ≥ 4 cores; otherwise
+///   the check notes the skip.
+///
+/// Pairs whose rows are absent are skipped with a note — CI's
+/// bench-smoke emits a fresh file from a subset of benches, so absence
+/// is normal there.
+fn check_scaling(items: &[String]) -> Result<(), String> {
+    use criterion::report::{string_field, u128_field};
+    let median_of = |id: &str| -> Option<u128> {
+        items
+            .iter()
+            .find(|item| string_field(item, "id").as_deref() == Some(id))
+            .and_then(|item| u128_field(item, "median_ns"))
+    };
+    let cores = median_of("host/available_parallelism");
+    let wall_enforced = cores.is_some_and(|c| c >= 4);
+    let pairs = [
+        ("engine/run_batch_critical_path", true),
+        ("model_serving/serve_critical_path", true),
+        ("engine/run_batch", false),
+        ("model_serving/serve", false),
+    ];
+    for (prefix, host_independent) in pairs {
+        let (one, four) = (
+            median_of(&format!("{prefix}/workers1")),
+            median_of(&format!("{prefix}/workers4")),
+        );
+        let (Some(one), Some(four)) = (one, four) else {
+            println!("scaling: {prefix}/workers1 vs workers4 not in this report (skipped)");
+            continue;
+        };
+        if !host_independent && !wall_enforced {
+            println!(
+                "scaling: {prefix} wall ratio {:.2} not enforced (host recorded {} core(s))",
+                four as f64 / one.max(1) as f64,
+                cores.map_or_else(|| "no".to_string(), |c| c.to_string()),
+            );
+            continue;
+        }
+        let ratio = four as f64 / one.max(1) as f64;
+        if ratio > SCALING_RATIO_MAX {
+            return Err(format!(
+                "{prefix}: workers4 median is {ratio:.2}x workers1 \
+                 (limit {SCALING_RATIO_MAX}) — parallel scaling regressed to flat"
+            ));
+        }
+        println!("scaling: {prefix} workers4/workers1 ratio {ratio:.2} ok");
+    }
     Ok(())
 }
 

@@ -1,7 +1,9 @@
 //! The reusable serving engine over pruning, memory and recompute.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, TryLockError};
+use std::time::Instant;
 
 use sprint_attention::{
     pruned_attention_with, quantized_attention_with, softmax_inplace, Matrix, PruneDecision,
@@ -24,6 +26,78 @@ pub fn derive_head_seed(base_seed: u64, head_id: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
     z ^ (z >> 31)
+}
+
+/// Per-worker execution accounting for one batch fan-out
+/// ([`Engine::run_batch_report`]).
+///
+/// `wall_ns` is the whole fan-out's wall-clock span; `workers` holds
+/// one [`sprint_parallel::WorkerStats`] per worker that ran a chunk.
+/// On a time-shared host the per-worker `busy_ns` counters (thread
+/// CPU time on Linux) stay meaningful even when wall-clock cannot
+/// improve: an even `busy_ns` spread across workers shows the batch
+/// was distributed, and [`BatchReport::critical_path_ns`] is the
+/// wall-clock the same distribution would take with one free core per
+/// worker.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Wall-clock nanoseconds for the whole fan-out.
+    pub wall_ns: u128,
+    /// Per-worker counters, indexed by worker (chunk) number.
+    pub workers: Vec<sprint_parallel::WorkerStats>,
+}
+
+impl BatchReport {
+    /// The parallel critical path: the busiest worker's `busy_ns`.
+    /// This is the batch's ideal wall-clock on a host with one free
+    /// core per worker, so `critical_path_ns(4 workers)` shrinking
+    /// toward a quarter of `critical_path_ns(1 worker)` demonstrates
+    /// scaling independent of how loaded the measuring machine is.
+    pub fn critical_path_ns(&self) -> u128 {
+        self.workers.iter().map(|w| w.busy_ns).max().unwrap_or(0)
+    }
+
+    /// Total `busy_ns` across every worker (the work done; the
+    /// parallel overhead is this minus the single-worker busy time).
+    pub fn total_busy_ns(&self) -> u128 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+}
+
+/// Rejects batches where two requests resolve to the same effective
+/// head id (`head_id.unwrap_or(position)`) and would therefore
+/// silently share a pruner seed — correlated noise draws masquerading
+/// as independent heads. Reports the first colliding pair.
+fn reject_duplicate_head_ids(requests: &[HeadRequest]) -> Result<(), SprintError> {
+    let mut seen: HashMap<u64, usize> = HashMap::with_capacity(requests.len());
+    for (i, request) in requests.iter().enumerate() {
+        let id = request.head_id().unwrap_or(i as u64);
+        if let Some(first) = seen.insert(id, i) {
+            return Err(SprintError::Request(format!(
+                "requests {first} and {i} share effective head id {id} \
+                 (head_id, or batch position when untagged) and would \
+                 silently receive identical pruner seeds; tag them with \
+                 distinct head ids"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Locks a scratch slot, recovering from a poisoned mutex: a panic in
+/// one worker must not take down unrelated callers, so the scratch is
+/// reset to its freshly-built state (every field rebuilds lazily on
+/// next use) and the poison flag is cleared.
+fn lock_scratch(slot: &Mutex<HeadScratch>) -> MutexGuard<'_, HeadScratch> {
+    match slot.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            *guard = HeadScratch::default();
+            slot.clear_poison();
+            guard
+        }
+    }
 }
 
 /// Builder for [`Engine`] (see [`Engine::builder`]).
@@ -364,7 +438,10 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// The first (by request index) error produced.
+    /// The first (by request index) error produced;
+    /// [`SprintError::Request`] when two requests share an effective
+    /// head id (`head_id.unwrap_or(position)`), which would silently
+    /// give them identical pruner seeds.
     pub fn run_batch(&self, requests: &[HeadRequest]) -> Result<Vec<HeadResponse>, SprintError> {
         self.run_batch_threads(sprint_parallel::max_threads(), requests)
     }
@@ -384,26 +461,90 @@ impl Engine {
         threads: usize,
         requests: &[HeadRequest],
     ) -> Result<Vec<HeadResponse>, SprintError> {
-        let workers = threads.min(self.scratches.len()).max(1);
-        let indexed: Vec<(usize, &HeadRequest)> = requests.iter().enumerate().collect();
-        sprint_parallel::par_try_map_threads(workers, &indexed, |&(i, request)| {
-            let seed = derive_head_seed(self.seed, request.head_id().unwrap_or(i as u64));
-            self.with_scratch(|scratch| self.run_on_scratch(scratch, request, seed))
-        })
+        Ok(self.run_batch_report(threads, requests)?.0)
     }
 
-    /// Claims a worker scratch. Batch workers never exceed the slot
-    /// count, so their first sweep always finds a free slot; external
-    /// concurrent `run_head` callers beyond the slot count fall back
-    /// to a blocking lock on a rotating slot instead of spinning.
+    /// [`Engine::run_batch_threads`] with per-worker execution
+    /// accounting: returns the responses together with a
+    /// [`BatchReport`] holding the fan-out's wall-clock span and each
+    /// worker's item/busy-time counters. The scaling benches and the
+    /// worker-distribution tests ride on this; `run_batch` is this
+    /// minus the report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run_batch`].
+    #[allow(clippy::type_complexity)]
+    pub fn run_batch_report(
+        &self,
+        threads: usize,
+        requests: &[HeadRequest],
+    ) -> Result<(Vec<HeadResponse>, BatchReport), SprintError> {
+        reject_duplicate_head_ids(requests)?;
+        self.run_batch_sharded(threads, requests)
+    }
+
+    /// The sharded batch executor behind every batch entry point.
+    ///
+    /// Work is distributed by [`sprint_parallel::chunk_ranges`] —
+    /// request `i`'s worker is a pure function of `(len, workers)` —
+    /// and worker `w` locks scratch slot `w` for each of its items, so
+    /// on the batch hot path no two workers ever touch the same
+    /// mutex: each shard's crossbars, workspace and memory controller
+    /// stay pinned to one thread for the whole batch instead of
+    /// ping-ponging through the old try-lock sweep. Seeding is
+    /// per-item (`derive_head_seed(seed, head_id.unwrap_or(i))`), so
+    /// results stay bit-identical across worker counts.
+    ///
+    /// This path deliberately skips the duplicate-head-id check:
+    /// [`crate::ModelServer`] flattens mode-comparison passes that
+    /// *intentionally* reuse head ids against a shared base seed.
+    /// Public entry points go through [`Engine::run_batch_report`],
+    /// which rejects duplicates first.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn run_batch_sharded(
+        &self,
+        threads: usize,
+        requests: &[HeadRequest],
+    ) -> Result<(Vec<HeadResponse>, BatchReport), SprintError> {
+        let workers = threads.min(self.scratches.len()).max(1);
+        let wall = Instant::now();
+        let (responses, worker_stats) =
+            sprint_parallel::par_chunk_try_map_threads(workers, requests, |worker, i, request| {
+                let seed = derive_head_seed(self.seed, request.head_id().unwrap_or(i as u64));
+                let mut scratch = lock_scratch(&self.scratches[worker]);
+                self.run_on_scratch(&mut scratch, request, seed)
+            })?;
+        Ok((
+            responses,
+            BatchReport {
+                wall_ns: wall.elapsed().as_nanos(),
+                workers: worker_stats,
+            },
+        ))
+    }
+
+    /// Claims a worker scratch for a single-head call. The sweep
+    /// try-locks for a free slot (recovering any poisoned one it
+    /// finds); callers beyond the slot count fall back to a blocking
+    /// lock on a rotating slot instead of spinning. Batch execution
+    /// does not come through here — [`Engine::run_batch_sharded`] pins
+    /// each worker to its own slot.
     fn with_scratch<R>(&self, f: impl FnOnce(&mut HeadScratch) -> R) -> R {
         for slot in &self.scratches {
-            if let Ok(mut scratch) = slot.try_lock() {
-                return f(&mut scratch);
+            match slot.try_lock() {
+                Ok(mut scratch) => return f(&mut scratch),
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    let mut scratch = poisoned.into_inner();
+                    *scratch = HeadScratch::default();
+                    slot.clear_poison();
+                    return f(&mut scratch);
+                }
+                Err(TryLockError::WouldBlock) => {}
             }
         }
         let i = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.scratches.len();
-        let mut scratch = self.scratches[i].lock().expect("scratch mutex poisoned");
+        let mut scratch = lock_scratch(&self.scratches[i]);
         f(&mut scratch)
     }
 
@@ -869,6 +1010,99 @@ mod tests {
                 "mat pool grew to {}",
                 scratch.mat_pool.len()
             );
+        }
+    }
+
+    #[test]
+    fn duplicate_head_ids_are_rejected() {
+        let t = trace(32, 30);
+        let e = engine(ExecutionMode::Sprint);
+        // Two requests tagged with the same id.
+        let err = e.run_batch(&[
+            HeadRequest::from_trace(&t).with_head_id(7),
+            HeadRequest::from_trace(&t).with_head_id(7),
+        ]);
+        let msg = match err {
+            Err(SprintError::Request(msg)) => msg,
+            other => panic!("expected a request error, got {other:?}"),
+        };
+        assert!(msg.contains("head id 7"), "{msg}");
+        assert!(msg.contains("requests 0 and 1"), "{msg}");
+        // An explicit id colliding with an untagged request's position:
+        // position 1 is effective id 1, same as with_head_id(1).
+        let err = e.run_batch(&[
+            HeadRequest::from_trace(&t).with_head_id(1),
+            HeadRequest::from_trace(&t),
+        ]);
+        assert!(matches!(err, Err(SprintError::Request(_))));
+        // Distinct effective ids still run.
+        let ok = e.run_batch(&[
+            HeadRequest::from_trace(&t).with_head_id(5),
+            HeadRequest::from_trace(&t),
+        ]);
+        assert_eq!(ok.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn poisoned_scratch_recovers_instead_of_panicking() {
+        let e = engine(ExecutionMode::Sprint);
+        // Poison every slot: a worker panics while holding the lock.
+        for slot in &e.scratches {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = slot.lock().unwrap();
+                panic!("worker dies mid-head");
+            }));
+            assert!(result.is_err());
+            assert!(slot.is_poisoned());
+        }
+        // Unrelated callers must not inherit the panic: the scratch is
+        // reset and the head runs bit-identically to a fresh engine.
+        let t = trace(48, 31);
+        let recovered = e.run_head(&HeadRequest::from_trace(&t)).unwrap();
+        let fresh = engine(ExecutionMode::Sprint)
+            .run_head(&HeadRequest::from_trace(&t))
+            .unwrap();
+        assert_eq!(recovered, fresh);
+        assert!(e.scratches.iter().all(|s| !s.is_poisoned()));
+        // The blocking-fallback path recovers too.
+        for slot in &e.scratches {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = slot.lock().unwrap();
+                panic!("again");
+            }));
+        }
+        let guard = lock_scratch(&e.scratches[0]);
+        drop(guard);
+        assert!(!e.scratches[0].is_poisoned());
+    }
+
+    #[test]
+    fn batch_report_accounts_every_request_to_one_worker() {
+        let spec = ModelConfig::bert_base().trace_spec().with_seq_len(48);
+        let heads = TraceGenerator::new(33).generate_many(&spec, 10).unwrap();
+        let e = Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .seed(11)
+            .worker_slots(4)
+            .build()
+            .unwrap();
+        let requests: Vec<HeadRequest> = heads.iter().map(HeadRequest::from_trace).collect();
+        let (reference, report1) = e.run_batch_report(1, &requests).unwrap();
+        assert_eq!(report1.workers.len(), 1);
+        assert_eq!(report1.workers[0].items, requests.len());
+        for workers in [2usize, 4] {
+            let (responses, report) = e.run_batch_report(workers, &requests).unwrap();
+            assert_eq!(responses, reference, "bit-identical at {workers} workers");
+            assert_eq!(report.workers.len(), workers);
+            assert_eq!(
+                report.workers.iter().map(|w| w.items).sum::<usize>(),
+                requests.len()
+            );
+            for (w, stats) in report.workers.iter().enumerate() {
+                assert_eq!(stats.worker, w);
+                assert!(stats.items > 0, "worker {w} ran nothing");
+            }
+            assert!(report.critical_path_ns() <= report.total_busy_ns());
         }
     }
 

@@ -87,11 +87,12 @@ mod serve;
 
 pub use config::SprintConfig;
 pub use decode::{DecodeSession, DecodeStep, SessionPerf, SessionRequest, StepPerf, StepResponse};
-pub use engine::{derive_head_seed, Engine, EngineBuilder};
+pub use engine::{derive_head_seed, BatchReport, Engine, EngineBuilder};
 pub use error::{SprintError, SystemError};
 pub use mode::ExecutionMode;
 pub use model::{HeadPlan, LayerReport, ModelProfile, ModelRequest, ModelResponse, PerfRollup};
 pub use request::{HeadRequest, HeadResponse};
 pub use serve::{
-    DecodeLoop, DecodeReport, DecodeTask, ModelServer, ServeLoop, ServeSummary, SessionReport,
+    DecodeLoop, DecodeReport, DecodeTask, ModelServer, ServeLoop, ServeStats, ServeSummary,
+    SessionReport,
 };

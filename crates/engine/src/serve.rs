@@ -26,9 +26,49 @@ use sprint_reram::ThresholdSpec;
 use sprint_workloads::{Arrival, ProxyTask, TaskScore, TraceGenerator, TraceSpec};
 
 use crate::decode::{DecodeStep, SessionRequest};
-use crate::engine::derive_head_seed;
+use crate::engine::{derive_head_seed, BatchReport};
 use crate::model::{HeadPlan, LayerReport, ModelRequest, ModelResponse, PerfRollup, TRACE_SALT};
 use crate::{Engine, ExecutionMode, HeadRequest, SprintError};
+
+/// Per-stage execution accounting for one [`ModelServer::serve_many`]
+/// pass ([`ModelServer::serve_many_report`]).
+///
+/// The serial stages (`plan_ns`, `score_ns`, `fold_ns`) are wall-clock
+/// spans; the two fan-outs (`synth`, `batch`) carry full per-worker
+/// [`BatchReport`]s. Together they answer "where did the pass
+/// serialize": a large serial stage bounds scaling no matter how many
+/// workers run, while an uneven fan-out shows up in the worker
+/// counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Wall-clock nanoseconds decomposing passes into head plans
+    /// (serial).
+    pub plan_ns: u128,
+    /// Trace-synthesis fan-out (deduplicated `(seed, spec)` pairs).
+    pub synth: BatchReport,
+    /// The engine head-batch fan-out.
+    pub batch: BatchReport,
+    /// Wall-clock nanoseconds scoring accuracy (≈0 when no pass asks
+    /// for it; the scoring fan-out is timed as one span).
+    pub score_ns: u128,
+    /// Wall-clock nanoseconds folding head rollups into per-layer and
+    /// per-model reports (serial).
+    pub fold_ns: u128,
+}
+
+impl ServeStats {
+    /// The pass's ideal wall-clock on a host with one free core per
+    /// worker: the serial stages plus each fan-out's critical path.
+    /// Comparing this across worker counts demonstrates (or refutes)
+    /// scaling independent of how loaded the measuring machine is.
+    pub fn critical_path_ns(&self) -> u128 {
+        self.plan_ns
+            + self.synth.critical_path_ns()
+            + self.batch.critical_path_ns()
+            + self.score_ns
+            + self.fold_ns
+    }
+}
 
 /// Serves whole forward passes over one [`Engine`].
 ///
@@ -128,11 +168,34 @@ impl ModelServer {
         threads: usize,
         requests: &[ModelRequest],
     ) -> Result<Vec<ModelResponse>, SprintError> {
-        // The cap governs every fan-out of the pass, not just the
-        // engine batch — a caller asking for one worker gets exactly
-        // one thread of synthesis and scoring too.
-        let workers = threads.clamp(1, sprint_parallel::max_threads());
+        Ok(self.serve_many_report(threads, requests)?.0)
+    }
+
+    /// [`ModelServer::serve_many_threads`] with per-stage execution
+    /// accounting: returns the responses together with a
+    /// [`ServeStats`] locating where the pass spent its time (serial
+    /// planning/scoring/folding vs. the synthesis and head-batch
+    /// fan-outs, with per-worker counters for both).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelServer::serve_many`].
+    #[allow(clippy::type_complexity)]
+    pub fn serve_many_report(
+        &self,
+        threads: usize,
+        requests: &[ModelRequest],
+    ) -> Result<(Vec<ModelResponse>, ServeStats), SprintError> {
+        // The explicit count governs every fan-out of the pass, not
+        // just the engine batch — a caller asking for one worker gets
+        // exactly one thread of synthesis and scoring too. It is NOT
+        // clamped to `max_threads()`: an explicit request for N
+        // workers must produce N workers (the engine batch still caps
+        // at its slot count), otherwise worker sweeps silently
+        // serialize on small hosts.
+        let workers = threads.max(1);
         // 1. Decompose every pass into its deterministic head plan.
+        let plan_started = Instant::now();
         let mut plans: Vec<(usize, HeadPlan)> = Vec::new();
         for (r, request) in requests.iter().enumerate() {
             request.profile().validate()?;
@@ -144,12 +207,14 @@ impl ModelServer {
             }
             plans.extend(request.head_plan().into_iter().map(|h| (r, h)));
         }
+        let plan_ns = plan_started.elapsed().as_nanos();
 
         // 2. Synthesize the traces — deduplicated: passes that share a
         // base seed and layer shape (a mode sweep over one model, say)
         // name the same (trace_seed, spec) pairs, and a trace is a
         // pure function of that pair, so each unique pair is built
         // once. The fan-out stays bit-identical to a sequential loop.
+        let synth_started = Instant::now();
         let mut trace_keys: Vec<(u64, TraceSpec)> = Vec::new();
         let mut trace_of: Vec<usize> = Vec::with_capacity(plans.len());
         for (_, plan) in &plans {
@@ -163,12 +228,22 @@ impl ModelServer {
                 });
             trace_of.push(idx);
         }
-        let traces = sprint_parallel::par_try_map_threads(workers, &trace_keys, |(seed, spec)| {
-            TraceGenerator::new(*seed).generate(spec)
-        })?;
+        let (traces, synth_workers) = sprint_parallel::par_chunk_try_map_threads(
+            workers,
+            &trace_keys,
+            |_, _, (seed, spec)| TraceGenerator::new(*seed).generate(spec),
+        )?;
+        let synth = BatchReport {
+            wall_ns: synth_started.elapsed().as_nanos(),
+            workers: synth_workers,
+        };
 
         // 3. Stamp out head requests (borrowing the traces) and run
-        // them as one batch over the engine's scratch pool.
+        // them as one sharded batch: worker `w` stays pinned to the
+        // engine's scratch slot `w` for the whole batch. The unchecked
+        // path is deliberate — mode sweeps flatten passes that reuse
+        // head ids against a shared base seed, which the public
+        // `run_batch` rejects as a seed collision.
         let head_requests: Vec<HeadRequest> = plans
             .iter()
             .zip(&trace_of)
@@ -183,7 +258,7 @@ impl ModelServer {
                 head
             })
             .collect();
-        let head_responses = self.engine.run_batch_threads(workers, &head_requests)?;
+        let (head_responses, batch) = self.engine.run_batch_sharded(workers, &head_requests)?;
 
         // 4. Score the passes that asked for accuracy. Tasks are
         // deduplicated like traces (a task is a pure function of its
@@ -191,6 +266,7 @@ impl ModelServer {
         // a dense reference pass — the expensive half); the per-head
         // evaluation still runs per response. Skipped entirely when no
         // pass wants accuracy.
+        let score_started = Instant::now();
         let scores: Vec<Option<TaskScore>> = if requests.iter().any(ModelRequest::wants_accuracy) {
             let mut task_keys: Vec<(usize, u64, usize)> = Vec::new(); // (trace, seed, request)
             let mut task_of: Vec<Option<usize>> = Vec::with_capacity(plans.len());
@@ -231,8 +307,10 @@ impl ModelServer {
         } else {
             vec![None; plans.len()]
         };
+        let score_ns = score_started.elapsed().as_nanos();
 
         // 5. Fold head rollups into per-layer and per-model reports.
+        let fold_started = Instant::now();
         let mut out: Vec<ModelResponse> = requests
             .iter()
             .map(|request| ModelResponse {
@@ -281,7 +359,14 @@ impl ModelServer {
                 response.total.merge(&perf);
             }
         }
-        Ok(out)
+        let stats = ServeStats {
+            plan_ns,
+            synth,
+            batch,
+            score_ns,
+            fold_ns: fold_started.elapsed().as_nanos(),
+        };
+        Ok((out, stats))
     }
 }
 
@@ -467,6 +552,10 @@ pub struct DecodeReport {
     pub tokens: u64,
     /// Wall-clock nanoseconds the run took.
     pub busy_ns: u128,
+    /// Per-worker counters from the session fan-out (sessions are
+    /// distributed by [`sprint_parallel::chunk_ranges`], so which
+    /// worker ran a session is deterministic).
+    pub workers: Vec<sprint_parallel::WorkerStats>,
 }
 
 impl DecodeReport {
@@ -555,18 +644,22 @@ impl<'a> DecodeLoop<'a> {
                 )));
             }
         }
-        let workers = threads.clamp(1, sprint_parallel::max_threads());
-        let indexed: Vec<(usize, &DecodeTask)> = tasks.iter().enumerate().collect();
+        // Honor the explicit count (sessions are independent; there is
+        // no slot constraint to clamp against) — `run()` already
+        // defaults to `max_threads()`.
+        let workers = threads.max(1);
         let started = Instant::now();
-        let sessions = sprint_parallel::par_try_map_threads(workers, &indexed, |&(i, task)| {
-            self.run_one(i, task)
-        })?;
+        let (sessions, worker_stats) =
+            sprint_parallel::par_chunk_try_map_threads(workers, tasks, |_, i, task| {
+                self.run_one(i, task)
+            })?;
         let busy_ns = started.elapsed().as_nanos().max(1);
         let tokens = sessions.iter().map(|s: &SessionReport| s.tokens).sum();
         Ok(DecodeReport {
             sessions,
             tokens,
             busy_ns,
+            workers: worker_stats,
         })
     }
 

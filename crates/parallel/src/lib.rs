@@ -21,8 +21,10 @@
 //! ```
 
 use std::num::NonZeroUsize;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Environment variable overriding the worker count (`0`/unset means
 /// "use every available core").
@@ -103,6 +105,186 @@ where
                 .expect("every slot filled by a claiming worker")
         })
         .collect()
+}
+
+/// Per-worker execution counters from a chunked fan-out
+/// ([`par_chunk_try_map_threads`]).
+///
+/// `busy_ns` is the worker's **thread CPU time** where the platform
+/// exposes it (Linux), so it counts only cycles the worker actually
+/// executed — on an oversubscribed or single-core host it stays an
+/// honest measure of how the work was distributed, unlike wall-clock,
+/// which also charges a worker for time it spent descheduled.
+/// `wall_ns` is the worker's wall-clock span for comparison.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// The worker's index (`0..workers`).
+    pub worker: usize,
+    /// Items this worker executed.
+    pub items: usize,
+    /// Thread CPU nanoseconds spent in the worker's chunk (wall-clock
+    /// fallback on platforms without per-thread CPU clocks).
+    pub busy_ns: u128,
+    /// Wall-clock nanoseconds from the worker's first item to its last.
+    pub wall_ns: u128,
+}
+
+/// The calling thread's CPU time in nanoseconds, or `None` where the
+/// platform exposes no per-thread CPU clock.
+///
+/// Unlike wall-clock, two samples of this clock bracket only the
+/// cycles *this thread* executed — the honest busy-time measure on
+/// hosts where workers time-share cores.
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_ns() -> Option<u128> {
+    // `/proc/thread-self/schedstat` line: "<on-cpu ns> <runqueue ns>
+    // <timeslices>". The first field is the scheduler's cumulative
+    // on-CPU time for the calling thread, which is the per-thread CPU
+    // clock without reaching for unsafe FFI.
+    let stat = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    stat.split_whitespace().next()?.parse().ok()
+}
+
+/// The calling thread's CPU time in nanoseconds, or `None` where the
+/// platform exposes no per-thread CPU clock (this platform does not).
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_ns() -> Option<u128> {
+    None
+}
+
+/// Splits `0..n` into at most `workers` contiguous, balanced,
+/// deterministic ranges (sizes differ by at most one; earlier ranges
+/// take the remainder). Returns an empty vector for `n == 0` and
+/// never returns an empty range, so every returned chunk holds work.
+///
+/// This is the work-distribution rule of the chunked fan-out: the
+/// mapping from item index to worker is a pure function of
+/// `(n, workers)`, so which worker runs an item never depends on
+/// scheduling — the precondition for pinning per-worker state without
+/// cross-worker locks.
+///
+/// # Example
+///
+/// ```
+/// let chunks = sprint_parallel::chunk_ranges(10, 4);
+/// assert_eq!(chunks, vec![0..3, 3..6, 6..8, 8..10]);
+/// assert!(sprint_parallel::chunk_ranges(0, 4).is_empty());
+/// assert_eq!(sprint_parallel::chunk_ranges(2, 4).len(), 2);
+/// ```
+pub fn chunk_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
+    let w = workers.max(1).min(n);
+    if w == 0 {
+        return Vec::new();
+    }
+    let base = n / w;
+    let extra = n % w;
+    let mut ranges = Vec::with_capacity(w);
+    let mut start = 0;
+    for i in 0..w {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Chunked fallible fan-out with per-worker busy accounting: item `i`
+/// of `items` runs as `f(worker, i, &items[i])` on the worker that
+/// [`chunk_ranges`] deterministically assigns it, and each worker
+/// walks its contiguous chunk in index order on one thread.
+///
+/// This is the shard-friendly sibling of [`par_try_map_threads`]: the
+/// worker index passed to `f` is stable for the whole chunk, so `f`
+/// can own per-worker state (a scratch arena, a pinned substrate
+/// shard) for its entire run with no cross-worker locking and no
+/// slot-stealing. Results come back in input order; the reported
+/// error is the lowest-indexed failure (a failing worker stops at its
+/// first error, and chunks are index-ordered, so the first failing
+/// chunk in order holds the globally lowest failing index).
+///
+/// Returns the results alongside one [`WorkerStats`] per spawned
+/// worker (chunks run on the caller's thread when only one chunk
+/// exists; the stats still report it as worker 0).
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing item.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero; propagates panics from `f`.
+#[allow(clippy::type_complexity)]
+pub fn par_chunk_try_map_threads<T, U, E, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Result<(Vec<U>, Vec<WorkerStats>), E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, usize, &T) -> Result<U, E> + Sync,
+{
+    assert!(threads > 0, "at least one worker is required");
+    let ranges = chunk_ranges(items.len(), threads);
+    let run_chunk = |worker: usize, range: Range<usize>| -> (Result<Vec<U>, E>, WorkerStats) {
+        let wall = Instant::now();
+        let cpu_start = thread_cpu_ns();
+        let mut out = Vec::with_capacity(range.len());
+        let mut failure = None;
+        for i in range.clone() {
+            match f(worker, i, &items[i]) {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let wall_ns = wall.elapsed().as_nanos();
+        let busy_ns = match (cpu_start, thread_cpu_ns()) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => wall_ns,
+        };
+        let stats = WorkerStats {
+            worker,
+            items: out.len() + usize::from(failure.is_some()),
+            busy_ns,
+            wall_ns,
+        };
+        match failure {
+            Some(e) => (Err(e), stats),
+            None => (Ok(out), stats),
+        }
+    };
+
+    let chunks: Vec<(Result<Vec<U>, E>, WorkerStats)> = if ranges.len() <= 1 {
+        ranges
+            .into_iter()
+            .map(|range| run_chunk(0, range))
+            .collect()
+    } else {
+        let run_chunk = &run_chunk;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .enumerate()
+                .map(|(w, range)| scope.spawn(move || run_chunk(w, range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("a scoped thread panicked"))
+                .collect()
+        })
+    };
+
+    let mut results = Vec::with_capacity(items.len());
+    let mut stats = Vec::with_capacity(chunks.len());
+    for (outcome, s) in chunks {
+        stats.push(s);
+        results.extend(outcome?);
+    }
+    Ok((results, stats))
 }
 
 /// Fallible [`par_map`]: runs every item, then returns either all
@@ -208,6 +390,125 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything_once_and_balance() {
+        for n in 0..50usize {
+            for workers in 1..9usize {
+                let ranges = chunk_ranges(n, workers);
+                assert!(ranges.len() <= workers);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "chunks must be contiguous");
+                    assert!(!r.is_empty(), "no empty chunks");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "chunks must cover 0..n");
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(Range::len).min(),
+                    ranges.iter().map(Range::len).max(),
+                ) {
+                    assert!(max - min <= 1, "chunk sizes differ by at most one");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_matches_sequential_and_reports_stats() {
+        let items: Vec<u64> = (0..101).collect();
+        let sequential: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in 1..6usize {
+            let (out, stats) =
+                par_chunk_try_map_threads(threads, &items, |_, _, &x| Ok::<_, ()>(x * x + 1))
+                    .unwrap();
+            assert_eq!(out, sequential, "results identical at {threads} workers");
+            assert_eq!(stats.len(), threads.min(items.len()));
+            assert_eq!(
+                stats.iter().map(|s| s.items).sum::<usize>(),
+                items.len(),
+                "every item accounted to exactly one worker"
+            );
+            for (w, s) in stats.iter().enumerate() {
+                assert_eq!(s.worker, w);
+                assert!(s.items > 0, "worker {w} must have run a non-empty chunk");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_passes_stable_worker_index() {
+        let items: Vec<usize> = (0..40).collect();
+        let (assignments, _) = par_chunk_try_map_threads(4, &items, |worker, i, &x| {
+            assert_eq!(i, x, "item index must match input position");
+            Ok::<_, ()>(worker)
+        })
+        .unwrap();
+        let expected: Vec<usize> = chunk_ranges(items.len(), 4)
+            .into_iter()
+            .enumerate()
+            .flat_map(|(w, r)| r.map(move |_| w))
+            .collect();
+        assert_eq!(
+            assignments, expected,
+            "item-to-worker assignment is the pure chunk_ranges function"
+        );
+    }
+
+    #[test]
+    fn chunked_map_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in 1..6usize {
+            let err = par_chunk_try_map_threads(threads, &items, |_, _, &i| {
+                if i % 10 == 3 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+            assert_eq!(err.err(), Some(3), "lowest failing index wins at {threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_map_handles_empty_input() {
+        let (out, stats) =
+            par_chunk_try_map_threads(4, &[] as &[u32], |_, _, &x| Ok::<_, ()>(x)).unwrap();
+        assert!(out.is_empty());
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn thread_cpu_clock_advances_under_load() {
+        let Some(before) = thread_cpu_ns() else {
+            return; // platform without a per-thread CPU clock
+        };
+        // Spin enough to consume measurable CPU time on this thread.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_add(i ^ (acc >> 3));
+        }
+        std::hint::black_box(acc);
+        let after = thread_cpu_ns().expect("clock available above");
+        assert!(after >= before, "per-thread CPU clock must be monotonic");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_chunked_matches_unchunked(
+            n in 0usize..150,
+            threads in 1usize..9,
+        ) {
+            let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x517c_c1b7)).collect();
+            let sequential: Vec<u64> = items.iter().map(|&x| x ^ (x >> 9)).collect();
+            let (parallel, _) = par_chunk_try_map_threads(
+                threads,
+                &items,
+                |_, _, &x| Ok::<_, ()>(x ^ (x >> 9)),
+            ).unwrap();
+            prop_assert_eq!(parallel, sequential);
+        }
     }
 
     proptest! {

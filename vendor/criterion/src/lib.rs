@@ -108,6 +108,23 @@ impl BenchmarkGroup<'_> {
             f(&mut b);
             samples.push(b.elapsed_ns);
         }
+        self.record_samples(id, &samples)
+    }
+
+    /// Records pre-measured nanosecond samples under this group,
+    /// exactly as if [`BenchmarkGroup::bench_function`] had timed
+    /// them: same printed summary, same [`BenchRecord`] collected for
+    /// `--bench-json`. For quantities that are *computed* rather than
+    /// wall-timed — a batch's parallel critical path from per-worker
+    /// CPU counters, a recorded host property — where re-running the
+    /// work under a stopwatch would measure the wrong thing. (Stub
+    /// extension: real criterion has no equivalent; a swap must port
+    /// these call sites. Empty `samples_ns` records nothing.)
+    pub fn record_samples(&mut self, id: &str, samples_ns: &[u128]) -> &mut Self {
+        if samples_ns.is_empty() {
+            return self;
+        }
+        let mut samples = samples_ns.to_vec();
         samples.sort_unstable();
         let label = if id.is_empty() {
             self.name.clone()
@@ -210,6 +227,25 @@ mod tests {
         });
         group.finish();
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn record_samples_collects_like_bench_function() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("pre");
+        group.record_samples("measured", &[30, 10, 20]);
+        group.record_samples("empty", &[]);
+        group.finish();
+        let records = take_records();
+        let rec = records
+            .iter()
+            .find(|r| r.id == "pre/measured")
+            .expect("recorded");
+        assert_eq!(rec.median_ns, 20);
+        assert_eq!(rec.min_ns, 10);
+        assert_eq!(rec.max_ns, 30);
+        assert_eq!(rec.samples, 3);
+        assert!(!records.iter().any(|r| r.id == "pre/empty"));
     }
 
     #[test]

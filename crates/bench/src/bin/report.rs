@@ -36,6 +36,7 @@ fn run_one(id: &str, scale: &Scale) -> Result<Vec<ExperimentResult>, Box<dyn std
         "fig14" => vec![experiments::fig14()],
         "ffn" => vec![experiments::ffn_table(scale)],
         "extras" => vec![experiments::extras(scale)],
+        "fault_sweep" => vec![experiments::fault_sweep(scale)?],
         "ablations" => sprint_core::ablations::all(scale)?,
         "all" => experiments::all(scale)?,
         other => return Err(format!("unknown experiment id: {other}").into()),
@@ -96,6 +97,7 @@ fn check_report(explicit: Option<&str>) -> Result<(), String> {
         }
     }
     check_scaling(&items)?;
+    check_fault_sweep(&text)?;
     println!(
         "{} ok: {} bench entr{} with finite timings{}",
         path.display(),
@@ -177,6 +179,89 @@ fn check_scaling(items: &[String]) -> Result<(), String> {
         }
         println!("scaling: {prefix} workers4/workers1 ratio {ratio:.2} ok");
     }
+    Ok(())
+}
+
+/// Validates the fault_sweep experiment rows whenever the report
+/// carries an experiments section (CI's fresh bench emission does not
+/// — the check notes the skip there):
+///
+/// * the digital columns (Baseline, Runtime Pruning) never touch the
+///   analog substrate, so their cells must be literally identical
+///   across fault rates;
+/// * SPRINT's accuracy must not increase as the rate grows, and must
+///   end strictly below the fault-free row (the fault sets nest, so
+///   degradation is monotone by construction);
+/// * the detected-fault count must be non-decreasing.
+fn check_fault_sweep(text: &str) -> Result<(), String> {
+    use criterion::report::{array_items, raw_section, string_field};
+    let Some(experiments) = raw_section(text, "experiments") else {
+        println!("fault_sweep: no experiments section in this report (skipped)");
+        return Ok(());
+    };
+    let Some(sweep) = array_items(&experiments)
+        .into_iter()
+        .find(|item| string_field(item, "id").as_deref() == Some("fault_sweep"))
+    else {
+        println!("fault_sweep: not among this report's experiments (skipped)");
+        return Ok(());
+    };
+    let rows: Vec<Vec<String>> = array_items(&raw_section(&sweep, "rows").unwrap_or_default())
+        .iter()
+        .map(|row| {
+            array_items(row)
+                .into_iter()
+                .map(|cell| cell.trim_matches('"').to_string())
+                .collect()
+        })
+        .collect();
+    if rows.len() < 2 || rows.iter().any(|row| row.len() < 6) {
+        return Err("fault_sweep: needs at least two rows of six columns".into());
+    }
+    let num = |row: &[String], col: usize| -> Result<f64, String> {
+        row[col]
+            .parse::<f64>()
+            .map_err(|_| format!("fault_sweep: cell {:?} is not a number", row[col]))
+    };
+    for row in &rows[1..] {
+        for col in [1usize, 2] {
+            if row[col] != rows[0][col] {
+                return Err(format!(
+                    "fault_sweep: digital column {col} drifts with the fault rate \
+                     ({} vs {}) — these modes must be fault-immune",
+                    row[col], rows[0][col]
+                ));
+            }
+        }
+    }
+    for pair in rows.windows(2) {
+        if num(&pair[1], 4)? > num(&pair[0], 4)? + 1e-9 {
+            return Err(format!(
+                "fault_sweep: SPRINT accuracy rises with the fault rate ({} -> {})",
+                pair[0][4], pair[1][4]
+            ));
+        }
+        if num(&pair[1], 5)? < num(&pair[0], 5)? {
+            return Err(format!(
+                "fault_sweep: detected fault count shrinks as the rate grows ({} -> {})",
+                pair[0][5], pair[1][5]
+            ));
+        }
+    }
+    let (first, last) = (
+        rows.first().expect("checked"),
+        rows.last().expect("checked"),
+    );
+    if num(last, 4)? >= num(first, 4)? {
+        return Err(format!(
+            "fault_sweep: SPRINT shows no degradation at the highest rate ({} vs {})",
+            last[4], first[4]
+        ));
+    }
+    println!(
+        "fault_sweep: {} rows ok (digital columns flat, SPRINT degradation monotone)",
+        rows.len()
+    );
     Ok(())
 }
 

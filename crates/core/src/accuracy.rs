@@ -3,8 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use sprint_engine::{Engine, ExecutionMode, ModelProfile, ModelRequest, ModelServer};
-use sprint_reram::{NoiseModel, ThresholdSpec};
+use sprint_engine::{Engine, ExecutionMode, FaultPolicy, ModelProfile, ModelRequest, ModelServer};
+use sprint_reram::{FaultModel, NoiseModel, ThresholdSpec};
 use sprint_workloads::{ModelConfig, TaskScore};
 
 use crate::{SprintConfig, SystemError};
@@ -93,6 +93,69 @@ pub fn evaluate_scenarios(
         sprint_no_recompute: score(2),
         sprint: score(3),
     })
+}
+
+/// Evaluates the four Fig. 9 scenarios under an injected ReRAM cell
+/// fault rate, returning the scores plus the number of faulty cells
+/// the scrub detected on the Sprint pass.
+///
+/// The engine runs the [`FaultPolicy::Monitor`] policy — faults are
+/// detected and counted but left in place — so the sweep isolates the
+/// *accuracy* consequence of stuck analog scores: the digital modes
+/// (`Dense`/`Oracle`) never touch the crossbars and stay flat, Sprint's
+/// on-chip recompute bounds the loss to wrongly pruned keys, and the
+/// no-recompute variant feeds the corrupted scores straight to the
+/// softmax. A zero rate attaches no fault model at all, making row one
+/// bit-identical to the fault-free pipeline.
+///
+/// # Errors
+///
+/// Propagates substrate errors.
+pub fn fault_scenarios(
+    model: &ModelConfig,
+    seq_len: Option<usize>,
+    seed: u64,
+    fault_rate: f64,
+) -> Result<(ScenarioScores, u64), SystemError> {
+    let mut builder = Engine::builder(SprintConfig::medium())
+        .noise(NoiseModel::default())
+        .seed(seed ^ 0xacc)
+        .worker_slots(1)
+        .memory_accounting(false)
+        .fault_policy(FaultPolicy::Monitor);
+    if fault_rate > 0.0 {
+        let fault_model = FaultModel::uniform(fault_rate, seed ^ 0xfa11)
+            .map_err(sprint_engine::SprintError::from)?;
+        builder = builder.fault_model(fault_model);
+    }
+    let server = ModelServer::new(builder.build().map_err(SystemError::from)?);
+    let profile = accuracy_profile(model, seq_len);
+    let requests: Vec<ModelRequest> = ExecutionMode::ALL
+        .iter()
+        .map(|&mode| {
+            ModelRequest::new(profile.clone())
+                .with_seed(seed)
+                .with_mode(mode)
+                .with_accuracy(true)
+        })
+        .collect();
+    let responses = server.serve_many(&requests).map_err(SystemError::from)?;
+    let score =
+        |i: usize| -> TaskScore { responses[i].total.accuracy().expect("accuracy requested") };
+    let faults = responses
+        .iter()
+        .map(|r| r.total.faults_detected)
+        .max()
+        .unwrap_or(0);
+    Ok((
+        ScenarioScores {
+            baseline: score(0),
+            runtime_pruning: score(1),
+            sprint_no_recompute: score(2),
+            sprint: score(3),
+        },
+        faults,
+    ))
 }
 
 /// The single-head accuracy profile of one model: the statistics of

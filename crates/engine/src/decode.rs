@@ -31,11 +31,12 @@ use sprint_attention::{
 };
 use sprint_energy::{Category, EnergyBreakdown};
 use sprint_memory::{MemoryController, MemoryStats};
-use sprint_reram::{InMemoryPruner, NoiseModel, PruneHardwareStats, ThresholdSpec};
+use sprint_reram::{FaultModel, InMemoryPruner, NoiseModel, PruneHardwareStats, ThresholdSpec};
 
 use crate::engine::derive_head_seed;
+use crate::fault::resolve_faults;
 use crate::model::{onchip_op_counts, per_query_compute_cycles, THRESHOLD_ISSUE_CYCLES};
-use crate::{Engine, ExecutionMode, SprintConfig, SprintError};
+use crate::{Engine, ExecutionMode, FaultPolicy, SprintConfig, SprintError};
 
 /// The prefill of a decode session: the key/value history accumulated
 /// before generation starts, plus the head configuration and the
@@ -134,6 +135,14 @@ pub struct StepPerf {
     /// Whether this step forced a full requantize + reprogram (a new
     /// token widened a quantizer's calibrated range).
     pub recalibrated: bool,
+    /// ReRAM cell faults this step's scrub detected (zero without a
+    /// fault model on the engine).
+    pub faults_detected: u64,
+    /// Write-verify reprogram retries spent repairing this step.
+    pub fault_retries: u64,
+    /// Whether this step demoted the session to the exact digital
+    /// pipeline (the session stays demoted for all later steps).
+    pub demoted: bool,
 }
 
 /// The outcome of one [`DecodeSession::step`] — the decode-shaped
@@ -186,6 +195,12 @@ pub struct SessionPerf {
     pub reused_vectors: u64,
     /// Bytes moved over the memory channels.
     pub bytes_fetched: u64,
+    /// ReRAM cell faults detected across all steps.
+    pub faults_detected: u64,
+    /// Write-verify reprogram retries spent repairing across all steps.
+    pub fault_retries: u64,
+    /// Whether the session demoted to the exact digital pipeline.
+    pub demoted: bool,
 }
 
 impl SessionPerf {
@@ -211,6 +226,9 @@ impl SessionPerf {
         self.fetched_vectors += response.memory_stats.fetched_vectors;
         self.reused_vectors += response.memory_stats.reused_vectors;
         self.bytes_fetched += response.memory_stats.bytes_fetched;
+        self.faults_detected += response.perf.faults_detected;
+        self.fault_retries += response.perf.fault_retries;
+        self.demoted |= response.perf.demoted;
     }
 }
 
@@ -274,6 +292,11 @@ pub struct DecodeSession {
     /// Persistent 1×d staging for the step query.
     q_step: Option<Matrix>,
     perf: SessionPerf,
+    fault_model: Option<FaultModel>,
+    fault_policy: FaultPolicy,
+    /// Sticky: once a step demotes the session, every later step runs
+    /// the exact digital pipeline.
+    demoted: bool,
 }
 
 impl Engine {
@@ -317,6 +340,9 @@ impl Engine {
             ws: Workspace::new(),
             q_step: None,
             perf: SessionPerf::default(),
+            fault_model: self.fault_model(),
+            fault_policy: self.fault_policy(),
+            demoted: false,
         })
     }
 }
@@ -380,91 +406,124 @@ impl DecodeSession {
         };
 
         let mut perf = StepPerf::default();
-        let (output, decision, prune_stats) = match self.mode {
-            ExecutionMode::Sprint | ExecutionMode::NoRecompute => {
-                // Grow (or first-build) the programmed crossbars.
-                let needs_full_scale = self.spec.score_bits.is_some();
-                let pruner = match self.pruner.as_mut() {
-                    Some(p) => {
-                        let reprogrammed = p.extend(self.kv.k())?;
-                        p.calibrate_query(q1, needs_full_scale)?;
-                        perf.recalibrated |= reprogrammed;
-                        perf.programmed_tokens += if reprogrammed { s as u64 } else { 1 };
-                        p
-                    }
-                    None => {
-                        // First step: program the whole history once
-                        // (the prefill's program-once cost).
-                        perf.programmed_tokens += s as u64;
-                        self.pruner.insert(InMemoryPruner::new(
-                            q1,
-                            self.kv.k(),
-                            self.attn.scale(),
-                            self.noise,
-                            self.seed,
-                        )?)
-                    }
-                };
-                // K/V quantizer recalibration also rewrites the stored
-                // images.
-                if (kv_delta.requantized_k || kv_delta.requantized_v) && !perf.recalibrated {
-                    perf.recalibrated = true;
-                    perf.programmed_tokens = perf.programmed_tokens.max(s as u64);
+        let analog = matches!(
+            self.mode,
+            ExecutionMode::Sprint | ExecutionMode::NoRecompute
+        ) && !self.demoted;
+        if analog {
+            // Grow (or first-build) the programmed crossbars.
+            let needs_full_scale = self.spec.score_bits.is_some();
+            let (first_build, reprogrammed) = match self.pruner.as_mut() {
+                Some(p) => {
+                    let reprogrammed = p.extend(self.kv.k())?;
+                    p.calibrate_query(q1, needs_full_scale)?;
+                    perf.recalibrated |= reprogrammed;
+                    perf.programmed_tokens += if reprogrammed { s as u64 } else { 1 };
+                    (false, reprogrammed)
                 }
-                let before = pruner.stats();
-                let outcome = pruner.prune_query(step.q, self.threshold, &self.spec)?;
-                let delta = pruner.stats().delta_since(&before);
-                let decision = outcome.decision;
-                let output = if self.mode == ExecutionMode::Sprint {
-                    quantized_attention_decode_with(
+                None => {
+                    // First step: program the whole history once
+                    // (the prefill's program-once cost).
+                    perf.programmed_tokens += s as u64;
+                    self.pruner = Some(InMemoryPruner::new(
                         q1,
-                        &self.kv,
-                        &self.attn,
-                        Some(&decision),
-                        &mut self.ws,
-                    )?
+                        self.kv.k(),
+                        self.attn.scale(),
+                        self.noise,
+                        self.seed,
+                    )?);
+                    (true, false)
+                }
+            };
+            // K/V quantizer recalibration also rewrites the stored
+            // images.
+            if (kv_delta.requantized_k || kv_delta.requantized_v) && !perf.recalibrated {
+                perf.recalibrated = true;
+                perf.programmed_tokens = perf.programmed_tokens.max(s as u64);
+            }
+            if let Some(model) = self.fault_model {
+                let pruner = self.pruner.as_mut().expect("pruner installed above");
+                let fresh_stamp = pruner.fault_model().is_none();
+                if fresh_stamp {
+                    // Stamping clears the remap set, so only stamp
+                    // tiles that have never seen the model.
+                    pruner.set_fault_model(Some(model));
+                }
+                // A reprogram re-rolls every cell's transient state; a
+                // plain append only programs the new column, so the
+                // standing fault picture refreshes incrementally.
+                let map = if fresh_stamp || first_build || reprogrammed {
+                    pruner.scrub()?
                 } else {
-                    // No recompute: softmax directly over the
-                    // approximate analog scores of the kept keys.
-                    let prow = self.ws.prob_row(s);
-                    for (j, slot) in prow.iter_mut().enumerate() {
-                        *slot = if decision.is_kept(j) {
-                            outcome.approx_scores[j]
-                        } else {
-                            f32::NEG_INFINITY
-                        };
-                    }
-                    softmax_inplace(prow);
-                    let mut out = vec![0.0f32; d_v];
-                    for (j, &p) in prow.iter().enumerate() {
-                        if p > 0.0 {
-                            for (o, &vx) in out.iter_mut().zip(self.kv.v().row(j)) {
-                                *o += p * vx;
-                            }
+                    pruner.scrub_key(s - 1)?
+                };
+                let resolved = resolve_faults(pruner, self.fault_policy, map)?;
+                perf.faults_detected = resolved.faults_detected;
+                perf.fault_retries = resolved.retries;
+                if resolved.demoted {
+                    // Graceful degradation: this step and every later
+                    // one run the exact digital pipeline.
+                    self.demoted = true;
+                    perf.demoted = true;
+                }
+            }
+        }
+        let (output, decision, prune_stats) = if analog && !self.demoted {
+            let pruner = self.pruner.as_mut().expect("pruner installed above");
+            let before = pruner.stats();
+            let outcome = pruner.prune_query(step.q, self.threshold, &self.spec)?;
+            let delta = pruner.stats().delta_since(&before);
+            let decision = outcome.decision;
+            let output = if self.mode == ExecutionMode::Sprint {
+                quantized_attention_decode_with(
+                    q1,
+                    &self.kv,
+                    &self.attn,
+                    Some(&decision),
+                    &mut self.ws,
+                )?
+            } else {
+                // No recompute: softmax directly over the
+                // approximate analog scores of the kept keys.
+                let prow = self.ws.prob_row(s);
+                for (j, slot) in prow.iter_mut().enumerate() {
+                    *slot = if decision.is_kept(j) {
+                        outcome.approx_scores[j]
+                    } else {
+                        f32::NEG_INFINITY
+                    };
+                }
+                softmax_inplace(prow);
+                let mut out = vec![0.0f32; d_v];
+                for (j, &p) in prow.iter().enumerate() {
+                    if p > 0.0 {
+                        for (o, &vx) in out.iter_mut().zip(self.kv.v().row(j)) {
+                            *o += p * vx;
                         }
                     }
-                    out
-                };
-                (output, decision, delta)
-            }
-            ExecutionMode::Dense | ExecutionMode::Oracle => {
-                // Recalibrations of the cached K/V images are free in
-                // the digital modes (nothing is programmed), so the
-                // perf fields stay zero here.
-                let threshold = match self.mode {
-                    ExecutionMode::Dense => f32::MIN,
-                    _ => self.threshold,
-                };
-                let (output, decision) = pruned_attention_decode_with(
-                    q1,
-                    self.kv.k(),
-                    self.kv.v(),
-                    &self.attn,
-                    threshold,
-                    &mut self.ws,
-                )?;
-                (output, decision, PruneHardwareStats::default())
-            }
+                }
+                out
+            };
+            (output, decision, delta)
+        } else {
+            // Dense / Oracle — or an analog session that faults have
+            // demoted. Recalibrations of the cached K/V images are
+            // free here (nothing further is programmed), so the
+            // programming perf fields stay zero.
+            let threshold = if self.mode == ExecutionMode::Dense || self.demoted {
+                f32::MIN
+            } else {
+                self.threshold
+            };
+            let (output, decision) = pruned_attention_decode_with(
+                q1,
+                self.kv.k(),
+                self.kv.v(),
+                &self.attn,
+                threshold,
+                &mut self.ws,
+            )?;
+            (output, decision, PruneHardwareStats::default())
         };
 
         // Selective fetch through the session's controller (statistics

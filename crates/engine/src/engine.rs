@@ -10,9 +10,12 @@ use sprint_attention::{
     Workspace,
 };
 use sprint_memory::MemoryController;
-use sprint_reram::{InMemoryPruner, NoiseModel, ThresholdSpec};
+use sprint_reram::{FaultModel, InMemoryPruner, NoiseModel, ThresholdSpec};
 
-use crate::{ExecutionMode, HeadRequest, HeadResponse, SprintConfig, SprintError};
+use crate::fault::resolve_faults;
+use crate::{
+    ExecutionMode, FaultPolicy, FaultReport, HeadRequest, HeadResponse, SprintConfig, SprintError,
+};
 
 /// Derives the per-head pruner seed from the engine's base seed and a
 /// stable head identity (splitmix64-style mixing).
@@ -110,6 +113,8 @@ pub struct EngineBuilder {
     seed: u64,
     worker_slots: usize,
     memory_accounting: bool,
+    fault_model: Option<FaultModel>,
+    fault_policy: FaultPolicy,
 }
 
 impl EngineBuilder {
@@ -165,6 +170,29 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a hard-fault model (default: none). With a model
+    /// attached, every analog head's crossbars are stamped with it,
+    /// scrubbed after programming, and recovered per the engine's
+    /// [`FaultPolicy`]; the outcome lands in
+    /// [`crate::HeadResponse::faults`]. Fault state is a pure function
+    /// of crossbar identity (the per-head construction seed), so
+    /// results stay bit-identical across worker counts.
+    #[must_use]
+    pub fn fault_model(mut self, fault: FaultModel) -> Self {
+        self.fault_model = Some(fault);
+        self
+    }
+
+    /// Sets the recovery policy applied when a scrub finds faults
+    /// (default: [`FaultPolicy::default`] — bounded repair, then
+    /// demotion to the exact digital pipeline). Ignored without a
+    /// fault model.
+    #[must_use]
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
     /// Builds the engine, validating the hardware configuration
     /// eagerly (the memory controller for scratch slot 0 is
     /// constructed up front so configuration errors surface here, not
@@ -189,6 +217,8 @@ impl EngineBuilder {
             seed: self.seed,
             scratches,
             memory_accounting: self.memory_accounting,
+            fault_model: self.fault_model,
+            fault_policy: self.fault_policy,
             next_slot: AtomicUsize::new(0),
         })
     }
@@ -293,6 +323,8 @@ pub struct Engine {
     seed: u64,
     scratches: Vec<Mutex<HeadScratch>>,
     memory_accounting: bool,
+    fault_model: Option<FaultModel>,
+    fault_policy: FaultPolicy,
     /// Rotates overflow callers (more concurrent `run_head`s than
     /// slots) across blocking locks — see [`Engine::with_scratch`].
     next_slot: AtomicUsize,
@@ -330,6 +362,8 @@ impl Engine {
             seed: 0,
             worker_slots: sprint_parallel::max_threads(),
             memory_accounting: true,
+            fault_model: None,
+            fault_policy: FaultPolicy::default(),
         }
     }
 
@@ -356,6 +390,16 @@ impl Engine {
     /// The base seed for per-head seed derivation.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The attached hard-fault model, if any.
+    pub fn fault_model(&self) -> Option<FaultModel> {
+        self.fault_model
+    }
+
+    /// The fault-recovery policy (meaningful only with a fault model).
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
     }
 
     /// Number of worker scratch slots (the concurrency cap of
@@ -620,6 +664,31 @@ impl Engine {
         }
         scratch.recycle(q_live);
         scratch.recycle(k_live);
+
+        // Fault handling: with a model attached, stamp it onto the
+        // freshly programmed crossbars, scrub (transposed-read every
+        // key against its digital shadow), then run the recovery
+        // ladder. Fault state is a pure function of the crossbars'
+        // construction seed, so this whole block is deterministic and
+        // worker-count independent.
+        let mut faults = FaultReport::default();
+        if let Some(model) = self.fault_model {
+            let pruner = scratch.pruner.as_mut().expect("pruner just installed");
+            pruner.set_fault_model(Some(model));
+            let map = pruner.scrub()?;
+            faults = resolve_faults(pruner, self.fault_policy, map)?;
+            if faults.demoted {
+                // Graceful degradation: serve the head through the
+                // exact on-chip pipeline instead, keeping the analog
+                // work already spent (programming, scrub reads, repair
+                // writes) visible in the hardware stats.
+                let prune_stats = pruner.stats();
+                let mut response = self.run_digital(scratch, request, f32::MIN, live_q, live_k)?;
+                response.prune_stats = prune_stats;
+                response.faults = faults;
+                return Ok(response);
+            }
+        }
         if self.memory_accounting && scratch.controller.is_none() {
             scratch.controller = Some(MemoryController::new(
                 self.config.memory_geometry(),
@@ -709,6 +778,7 @@ impl Engine {
             decisions,
             prune_stats,
             memory_stats,
+            faults,
         })
     }
 
@@ -760,6 +830,7 @@ impl Engine {
             decisions,
             prune_stats: sprint_reram::PruneHardwareStats::default(),
             memory_stats,
+            faults: FaultReport::default(),
         })
     }
 }
@@ -778,6 +849,7 @@ fn empty_response(
         decisions,
         prune_stats: sprint_reram::PruneHardwareStats::default(),
         memory_stats: sprint_memory::MemoryStats::default(),
+        faults: FaultReport::default(),
     })
 }
 

@@ -31,6 +31,13 @@
 //!   interleaves many concurrent sessions over [`sprint_parallel`]
 //!   with the same bit-identical-across-worker-counts seeding
 //!   contract as `run_batch`;
+//! * [`FaultPolicy`] / [`FaultReport`] — fault-tolerant serving over a
+//!   faulty substrate: an engine built with a
+//!   [`sprint_reram::FaultModel`] scrubs each head's programmed
+//!   crossbars, repairs what write-verified retries can fix, and
+//!   degrades gracefully (spare-column remap, or demotion to the exact
+//!   digital pipeline) — every request completes, with the outcome
+//!   accounted on its response;
 //! * [`ExecutionMode`] — the four functional pipelines of Fig. 9
 //!   (`Dense` baseline, `Oracle` runtime pruning, `NoRecompute`,
 //!   full `Sprint`), replacing the pre-engine `recompute: bool` flag;
@@ -79,6 +86,7 @@ mod config;
 mod decode;
 mod engine;
 mod error;
+mod fault;
 mod mode;
 mod model;
 pub mod reference;
@@ -89,6 +97,7 @@ pub use config::SprintConfig;
 pub use decode::{DecodeSession, DecodeStep, SessionPerf, SessionRequest, StepPerf, StepResponse};
 pub use engine::{derive_head_seed, BatchReport, Engine, EngineBuilder};
 pub use error::{SprintError, SystemError};
+pub use fault::{FaultPolicy, FaultReport};
 pub use mode::ExecutionMode;
 pub use model::{HeadPlan, LayerReport, ModelProfile, ModelRequest, ModelResponse, PerfRollup};
 pub use request::{HeadRequest, HeadResponse};

@@ -442,6 +442,16 @@ pub struct PerfRollup {
     pub kept_scores: u64,
     /// Live query × live key pairs (the kept-fraction denominator).
     pub live_pairs: u64,
+    /// ReRAM cell faults detected by post-program scrubs (zero without
+    /// an attached [`sprint_reram::FaultModel`]).
+    pub faults_detected: u64,
+    /// Write-verify reprogram retries spent repairing faulty columns.
+    pub fault_retries: u64,
+    /// Faulty key columns routed to spare columns after repair.
+    pub remapped_columns: u64,
+    /// Heads demoted to the exact digital pipeline by the engine's
+    /// [`crate::FaultPolicy`].
+    pub heads_demoted: u64,
     accuracy_sum: f64,
     perplexity_sum: f64,
     agreement_sum: f64,
@@ -569,6 +579,10 @@ impl PerfRollup {
             queries_pruned: p.queries_pruned,
             kept_scores,
             live_pairs: (live_q * live) as u64,
+            faults_detected: response.faults.faults_detected,
+            fault_retries: response.faults.retries,
+            remapped_columns: response.faults.remapped_columns,
+            heads_demoted: u64::from(response.faults.demoted),
             accuracy_sum: 0.0,
             perplexity_sum: 0.0,
             agreement_sum: 0.0,
@@ -595,6 +609,10 @@ impl PerfRollup {
         self.queries_pruned += other.queries_pruned;
         self.kept_scores += other.kept_scores;
         self.live_pairs += other.live_pairs;
+        self.faults_detected += other.faults_detected;
+        self.fault_retries += other.fault_retries;
+        self.remapped_columns += other.remapped_columns;
+        self.heads_demoted += other.heads_demoted;
         self.accuracy_sum += other.accuracy_sum;
         self.perplexity_sum += other.perplexity_sum;
         self.agreement_sum += other.agreement_sum;

@@ -21,7 +21,8 @@ use sprint_memory::MemoryController;
 use sprint_reram::{InMemoryPruner, NoiseModel, ThresholdSpec};
 
 use crate::{
-    engine::validate_request, ExecutionMode, HeadRequest, HeadResponse, SprintConfig, SprintError,
+    engine::validate_request, ExecutionMode, FaultReport, HeadRequest, HeadResponse, SprintConfig,
+    SprintError,
 };
 
 /// Runs one head through the pre-engine pipeline with every piece of
@@ -73,6 +74,7 @@ pub fn run_head_frozen(
                 decisions,
                 prune_stats: sprint_reram::PruneHardwareStats::default(),
                 memory_stats,
+                faults: FaultReport::default(),
             })
         }
         ExecutionMode::Sprint | ExecutionMode::NoRecompute => {
@@ -84,6 +86,7 @@ pub fn run_head_frozen(
                     decisions: (0..s_q).map(|_| all_pruned.clone()).collect(),
                     prune_stats: sprint_reram::PruneHardwareStats::default(),
                     memory_stats: sprint_memory::MemoryStats::default(),
+                    faults: FaultReport::default(),
                 });
             }
 
@@ -155,6 +158,7 @@ pub fn run_head_frozen(
                 decisions,
                 prune_stats: pruner.stats(),
                 memory_stats: controller.stats(),
+                faults: FaultReport::default(),
             })
         }
     }

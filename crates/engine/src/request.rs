@@ -7,7 +7,7 @@ use sprint_memory::MemoryStats;
 use sprint_reram::{PruneHardwareStats, ThresholdSpec};
 use sprint_workloads::HeadTrace;
 
-use crate::ExecutionMode;
+use crate::{ExecutionMode, FaultReport};
 
 /// One attention head to execute: borrowed Q/K/V, the head
 /// configuration, the learned pruning threshold, and optional
@@ -188,6 +188,10 @@ pub struct HeadResponse {
     pub prune_stats: PruneHardwareStats,
     /// Memory-controller statistics (fetches, reuse, commands).
     pub memory_stats: MemoryStats,
+    /// Fault-handling outcome (all-zero unless the engine has a
+    /// [`sprint_reram::FaultModel`] attached and the scrub found
+    /// faults; see [`crate::FaultPolicy`]).
+    pub faults: FaultReport,
 }
 
 #[cfg(test)]

@@ -461,6 +461,8 @@ impl<'a> ServeLoop<'a> {
         let mut busy_ns: u128 = 0;
         let mut batches = 0usize;
         let mut heads = 0u64;
+        let mut faults_detected = 0u64;
+        let mut heads_demoted = 0u64;
         let mut latencies_ns: Vec<u128> = Vec::with_capacity(order.len());
         let mut i = 0usize;
         while i < order.len() {
@@ -485,6 +487,8 @@ impl<'a> ServeLoop<'a> {
             for (arrival, response) in batch.iter().zip(&responses) {
                 latencies_ns.push(clock - arrival.at_ns as u128);
                 heads += response.total.heads;
+                faults_detected += response.total.faults_detected;
+                heads_demoted += response.total.heads_demoted;
             }
         }
         latencies_ns.sort_unstable();
@@ -494,6 +498,8 @@ impl<'a> ServeLoop<'a> {
             batches,
             busy_ns,
             makespan_ns: clock,
+            faults_detected,
+            heads_demoted,
             latencies_ns,
         })
     }
@@ -537,6 +543,13 @@ pub struct SessionReport {
     pub cycles: u64,
     /// Full requantize/reprogram events across the session.
     pub recalibrations: u64,
+    /// ReRAM cell faults detected by the session's scrubs.
+    pub faults_detected: u64,
+    /// Write-verify reprogram retries spent repairing mid-session.
+    pub fault_retries: u64,
+    /// Whether the session demoted to the exact digital pipeline
+    /// mid-decode (and stayed there; see [`crate::FaultPolicy`]).
+    pub demoted: bool,
     /// The last decoded token's attention output row.
     pub final_output: Vec<f32>,
 }
@@ -550,6 +563,10 @@ pub struct DecodeReport {
     pub sessions: Vec<SessionReport>,
     /// Total tokens decoded across all sessions.
     pub tokens: u64,
+    /// ReRAM cell faults detected across all sessions.
+    pub faults_detected: u64,
+    /// Sessions that demoted to the exact digital pipeline mid-decode.
+    pub demoted_sessions: u64,
     /// Wall-clock nanoseconds the run took.
     pub busy_ns: u128,
     /// Per-worker counters from the session fan-out (sessions are
@@ -655,9 +672,13 @@ impl<'a> DecodeLoop<'a> {
             })?;
         let busy_ns = started.elapsed().as_nanos().max(1);
         let tokens = sessions.iter().map(|s: &SessionReport| s.tokens).sum();
+        let faults_detected = sessions.iter().map(|s| s.faults_detected).sum();
+        let demoted_sessions = sessions.iter().filter(|s| s.demoted).count() as u64;
         Ok(DecodeReport {
             sessions,
             tokens,
+            faults_detected,
+            demoted_sessions,
             busy_ns,
             workers: worker_stats,
         })
@@ -700,6 +721,9 @@ impl<'a> DecodeLoop<'a> {
             program_energy: perf.program_energy,
             cycles: perf.cycles,
             recalibrations: perf.recalibrations,
+            faults_detected: perf.faults_detected,
+            fault_retries: perf.fault_retries,
+            demoted: perf.demoted,
             final_output,
         })
     }
@@ -721,6 +745,12 @@ pub struct ServeSummary {
     /// Virtual nanoseconds from the first arrival epoch to the last
     /// completion.
     pub makespan_ns: u128,
+    /// ReRAM cell faults detected across all served requests (zero
+    /// without a [`sprint_reram::FaultModel`] on the engine).
+    pub faults_detected: u64,
+    /// Heads demoted to the exact digital pipeline across all served
+    /// requests (see [`crate::FaultPolicy`]).
+    pub heads_demoted: u64,
     latencies_ns: Vec<u128>,
 }
 
@@ -792,6 +822,13 @@ impl std::fmt::Display for ServeSummary {
             self.busy_ns as f64 / 1e6,
             self.makespan_ns as f64 / 1e6,
         )?;
+        if self.faults_detected > 0 || self.heads_demoted > 0 {
+            writeln!(
+                f,
+                "faults: {} cells detected, {} heads demoted to the exact pipeline",
+                self.faults_detected, self.heads_demoted,
+            )?;
+        }
         write!(
             f,
             "latency (nearest-rank over {} samples): p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms{}",
@@ -960,6 +997,8 @@ mod tests {
             batches: 6,
             busy_ns: 1,
             makespan_ns: 1,
+            faults_detected: 0,
+            heads_demoted: 0,
             latencies_ns: vec![10, 20, 30, 40, 50, 60],
         };
         // Nearest-rank: p50 of 6 samples is rank ceil(3) = sample 30.
@@ -981,6 +1020,8 @@ mod tests {
             batches: 200,
             busy_ns: 1,
             makespan_ns: 1,
+            faults_detected: 0,
+            heads_demoted: 0,
             latencies_ns: (1..=200).collect(),
         };
         assert!(big.resolves_percentile(99.0));

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::{NoiseModel, ReramError};
+use crate::{CellFault, FaultModel, NoiseModel, ProgramOutcome, ReramError};
 
 /// A `rows × cols` ReRAM crossbar of signed MLC cells.
 ///
@@ -42,6 +42,17 @@ pub struct CrossbarArray {
     noise: NoiseModel,
     rng: StdRngState,
     vmm_count: u64,
+    /// Optional hard-fault injector. `None` leaves every path below
+    /// bit-identical to the fault-unaware array.
+    fault: Option<FaultModel>,
+    /// Per-column program epoch (bumped on every write; transient
+    /// faults re-roll per epoch). Maintained unconditionally but only
+    /// observable through a fault model.
+    epochs: Vec<u64>,
+    /// Fault-overlaid analog weights, column-major. Empty unless a
+    /// fault model is attached; refreshed per column on program,
+    /// epoch advance and model attachment.
+    faulted_weights: Vec<f64>,
 }
 
 /// Serializable wrapper holding the RNG seed/stream; the RNG itself is
@@ -129,6 +140,9 @@ impl CrossbarArray {
             noise,
             rng: StdRngState::new(seed),
             vmm_count: 0,
+            fault: None,
+            epochs: vec![0; cols],
+            faulted_weights: Vec::new(),
         })
     }
 
@@ -164,6 +178,15 @@ impl CrossbarArray {
         self.noise = noise;
         self.rng = StdRngState::new(seed);
         self.vmm_count = 0;
+        self.epochs.clear();
+        self.epochs.resize(cols, 0);
+        if self.fault.is_some() {
+            self.faulted_weights.clear();
+            self.faulted_weights.resize(rows * cols, 0.0);
+            for c in 0..cols {
+                self.refresh_faulted_column(c);
+            }
+        }
         Ok(())
     }
 
@@ -184,6 +207,13 @@ impl CrossbarArray {
         self.weights
             .resize(self.weights.len() + added * self.rows, 0.0);
         self.cols += added;
+        self.epochs.resize(self.cols, 0);
+        if self.fault.is_some() {
+            self.faulted_weights.resize(self.weights.len(), 0.0);
+            for c in self.cols - added..self.cols {
+                self.refresh_faulted_column(c);
+            }
+        }
     }
 
     /// Number of wordlines (rows).
@@ -262,15 +292,56 @@ impl CrossbarArray {
             };
             self.weights[idx] = v as f64 * variation;
         }
+        self.epochs[col] += 1;
+        self.refresh_faulted_column(col);
         Ok(())
     }
 
-    /// Returns the digitally stored codes of column `col`.
+    /// Returns the digitally read codes of column `col` — what the
+    /// sense amplifiers regenerate, so an attached [`FaultModel`]
+    /// shows here (a stuck-on cell reads the maximum code, a dead
+    /// line reads 0). Without a fault model this is exactly the
+    /// intended codes.
     ///
     /// # Errors
     ///
     /// Returns [`ReramError::IndexOutOfRange`] for a bad column.
     pub fn column_codes(&self, col: usize) -> Result<Vec<i32>, ReramError> {
+        if col >= self.cols {
+            return Err(ReramError::IndexOutOfRange {
+                what: "column",
+                index: col,
+                bound: self.cols,
+            });
+        }
+        let intended = &self.codes[col * self.rows..(col + 1) * self.rows];
+        let Some(fault) = &self.fault else {
+            return Ok(intended.to_vec());
+        };
+        let epoch = self.epochs[col];
+        Ok(intended
+            .iter()
+            .enumerate()
+            .map(
+                |(r, &code)| match fault.cell_fault(self.rng.seed, r, col, epoch) {
+                    CellFault::None => code,
+                    CellFault::StuckOn => self.code_max(),
+                    CellFault::StuckOff | CellFault::Transient => 0,
+                    CellFault::Worn(f) => (code as f64 * f).round() as i32,
+                },
+            )
+            .collect())
+    }
+
+    /// Returns the *intended* digital codes of column `col` — the
+    /// write-verified shadow the controller holds, unaffected by any
+    /// fault model. Scrub passes compare
+    /// [`CrossbarArray::column_codes`] against this oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::IndexOutOfRange`] for a bad column.
+    pub fn intended_codes(&self, col: usize) -> Result<Vec<i32>, ReramError> {
         if col >= self.cols {
             return Err(ReramError::IndexOutOfRange {
                 what: "column",
@@ -300,9 +371,14 @@ impl CrossbarArray {
         self.vmm_count += 1;
         let full_scale = self.full_scale(input);
         let sigma = self.noise.relative_sigma() * full_scale;
+        let effective = if self.fault.is_some() {
+            &self.faulted_weights
+        } else {
+            &self.weights
+        };
         let mut out = Vec::with_capacity(self.cols);
         for c in 0..self.cols {
-            let weights = &self.weights[c * self.rows..(c + 1) * self.rows];
+            let weights = &effective[c * self.rows..(c + 1) * self.rows];
             let mut acc = 0.0f64;
             for (w, &x) in weights.iter().zip(input) {
                 acc += w * x as f64;
@@ -349,6 +425,121 @@ impl CrossbarArray {
     pub fn full_scale(&self, input: &[i32]) -> f64 {
         let drive: f64 = input.iter().map(|&x| (x as f64).abs()).sum();
         drive * self.code_max() as f64
+    }
+
+    /// The construction seed, doubling as this array's stable identity
+    /// for fault hashing and [`crate::FaultSite`] coordinates.
+    pub fn identity(&self) -> u64 {
+        self.rng.seed
+    }
+
+    /// The attached fault model, if any.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.fault.as_ref()
+    }
+
+    /// Attaches (or detaches, with `None`) a hard-fault model.
+    ///
+    /// Attachment is retroactive and purely overlay-based: the fault
+    /// pattern is a pure function of the model, this array's identity
+    /// and the per-column program epochs, so attaching after
+    /// programming reads identically to having programmed with the
+    /// model attached. Detaching restores the fault-free behavior
+    /// bit-for-bit (intended codes and pristine weights are never
+    /// overwritten, and no RNG draw is ever spent on faults).
+    pub fn set_fault_model(&mut self, fault: Option<FaultModel>) {
+        self.fault = fault;
+        if self.fault.is_some() {
+            self.faulted_weights.clear();
+            self.faulted_weights.resize(self.weights.len(), 0.0);
+            for c in 0..self.cols {
+                self.refresh_faulted_column(c);
+            }
+        } else {
+            self.faulted_weights.clear();
+        }
+    }
+
+    /// Recomputes the fault-overlaid analog weights of column `col`.
+    fn refresh_faulted_column(&mut self, col: usize) {
+        let Some(fault) = &self.fault else {
+            return;
+        };
+        let epoch = self.epochs[col];
+        let code_max = self.code_max() as f64;
+        for r in 0..self.rows {
+            let idx = col * self.rows + r;
+            self.faulted_weights[idx] = match fault.cell_fault(self.rng.seed, r, col, epoch) {
+                CellFault::None => self.weights[idx],
+                CellFault::StuckOn => code_max,
+                CellFault::StuckOff | CellFault::Transient => 0.0,
+                CellFault::Worn(f) => self.weights[idx] * f,
+            };
+        }
+    }
+
+    /// Advances column `col`'s program epoch by `ticks` write cycles
+    /// without rewriting it (the deterministic backoff of a verified
+    /// program: waiting is counted in attempts, never wall-clock).
+    fn advance_epoch(&mut self, col: usize, ticks: u64) {
+        self.epochs[col] += ticks;
+        self.refresh_faulted_column(col);
+    }
+
+    /// Write-verifies column `col`: reads the column back digitally
+    /// and returns the rows whose readout disagrees with the intended
+    /// codes. Empty without a fault model (writes are then verified by
+    /// construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::IndexOutOfRange`] for a bad column.
+    pub fn verify_column(&self, col: usize) -> Result<Vec<usize>, ReramError> {
+        let read = self.column_codes(col)?;
+        let intended = &self.codes[col * self.rows..(col + 1) * self.rows];
+        Ok(read
+            .iter()
+            .zip(intended)
+            .enumerate()
+            .filter(|(_, (r, i))| r != i)
+            .map(|(row, _)| row)
+            .collect())
+    }
+
+    /// Programs column `col` with write-verify and bounded retry:
+    /// program, read back, and while any cell reads wrong and attempts
+    /// remain, back off `2^(attempt-1)` write-cycle ticks (advancing
+    /// the column's program epoch, which re-rolls transient upsets)
+    /// and reprogram. Permanent faults survive every retry and are
+    /// reported in the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CrossbarArray::program_column`].
+    pub fn program_column_verified(
+        &mut self,
+        col: usize,
+        values: &[i32],
+        max_attempts: u32,
+    ) -> Result<ProgramOutcome, ReramError> {
+        let max_attempts = max_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut backoff_ticks = 0u64;
+        loop {
+            self.program_column(col, values)?;
+            attempts += 1;
+            let faulty_rows = self.verify_column(col)?;
+            if faulty_rows.is_empty() || attempts >= max_attempts {
+                return Ok(ProgramOutcome {
+                    attempts,
+                    backoff_ticks,
+                    faulty_rows,
+                });
+            }
+            let ticks = 1u64 << (attempts - 1).min(16);
+            backoff_ticks += ticks;
+            self.advance_epoch(col, ticks);
+        }
     }
 }
 
@@ -510,6 +701,119 @@ mod tests {
         // Invalid reset leaves the array untouched.
         assert!(reused.reset(0, 5, 4, noise, 1).is_err());
         assert_eq!(reused.rows(), 24);
+    }
+
+    #[test]
+    fn attaching_a_quiet_fault_model_changes_nothing() {
+        let noise = NoiseModel::default();
+        let mut plain = CrossbarArray::new(16, 8, 4, noise, 5).unwrap();
+        let mut faulted = CrossbarArray::new(16, 8, 4, noise, 5).unwrap();
+        faulted.set_fault_model(Some(FaultModel::new(99)));
+        let col: Vec<i32> = (0..16).map(|r| (r % 15) - 7).collect();
+        for c in 0..8 {
+            plain.program_column(c, &col).unwrap();
+            faulted.program_column(c, &col).unwrap();
+        }
+        let input = vec![1; 16];
+        assert_eq!(
+            plain.vmm(&input).unwrap(),
+            faulted.vmm(&input).unwrap(),
+            "a quiet model must not perturb a single draw"
+        );
+        assert_eq!(
+            plain.column_codes(0).unwrap(),
+            faulted.column_codes(0).unwrap()
+        );
+        assert!(faulted.verify_column(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn post_hoc_attachment_equals_program_time_attachment() {
+        let fault = FaultModel::uniform(0.2, 17).unwrap();
+        let noise = NoiseModel::default();
+        let col: Vec<i32> = (0..16).map(|r| (r % 15) - 7).collect();
+        let mut before = CrossbarArray::new(16, 8, 4, noise, 5).unwrap();
+        before.set_fault_model(Some(fault));
+        let mut after = CrossbarArray::new(16, 8, 4, noise, 5).unwrap();
+        for c in 0..8 {
+            before.program_column(c, &col).unwrap();
+            after.program_column(c, &col).unwrap();
+        }
+        after.set_fault_model(Some(fault));
+        let input = vec![1; 16];
+        assert_eq!(before.vmm(&input).unwrap(), after.vmm(&input).unwrap());
+        for c in 0..8 {
+            assert_eq!(
+                before.column_codes(c).unwrap(),
+                after.column_codes(c).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn detaching_restores_fault_free_reads() {
+        let mut xb = ideal_array(8, 2);
+        let col = vec![1, 2, 3, 4, 5, 6, 7, -8];
+        xb.program_column(0, &col).unwrap();
+        xb.set_fault_model(Some(FaultModel::new(1).with_stuck_rates(0.5, 0.5).unwrap()));
+        assert!(!xb.verify_column(0).unwrap().is_empty());
+        xb.set_fault_model(None);
+        assert_eq!(xb.column_codes(0).unwrap(), col);
+        assert_eq!(xb.vmm(&[1; 8]).unwrap()[0], 20.0);
+    }
+
+    #[test]
+    fn stuck_faults_show_in_reads_and_compute() {
+        // Every cell stuck on: digital reads saturate at code_max and
+        // the analog output is rows * code_max regardless of codes.
+        let mut xb = ideal_array(4, 1);
+        xb.set_fault_model(Some(FaultModel::new(3).with_stuck_rates(1.0, 0.0).unwrap()));
+        xb.program_column(0, &[1, -2, 3, -4]).unwrap();
+        assert_eq!(xb.column_codes(0).unwrap(), vec![7; 4]);
+        assert_eq!(xb.vmm(&[1, 1, 1, 1]).unwrap()[0], 28.0);
+        assert_eq!(
+            xb.exact_vmm(&[1, 1, 1, 1]).unwrap()[0],
+            -2,
+            "the digital oracle stays on intended codes"
+        );
+        assert_eq!(xb.verify_column(0).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn verified_program_retries_clear_transients_but_not_stuck_cells() {
+        // Transient-only model: a high upset rate almost surely faults
+        // some cell on the first try; bounded retries re-roll the epoch
+        // until the write takes.
+        let fault = FaultModel::new(11).with_transient_rate(0.15).unwrap();
+        let mut xb = CrossbarArray::new(16, 1, 4, NoiseModel::ideal(), 13).unwrap();
+        xb.set_fault_model(Some(fault));
+        let col: Vec<i32> = (0..16).map(|r| (r % 15) - 7).collect();
+        let outcome = xb.program_column_verified(0, &col, 64).unwrap();
+        assert!(outcome.verified(), "transients must eventually clear");
+        assert!(outcome.attempts > 1, "first write should have upset");
+        assert!(outcome.backoff_ticks > 0);
+        // Stuck-at faults never clear, whatever the retry budget.
+        let mut stuck = CrossbarArray::new(8, 1, 4, NoiseModel::ideal(), 13).unwrap();
+        stuck.set_fault_model(Some(FaultModel::new(2).with_stuck_rates(0.0, 1.0).unwrap()));
+        let outcome = stuck
+            .program_column_verified(0, &[1, 2, 3, 4, 5, 6, 7, -8], 4)
+            .unwrap();
+        assert_eq!(outcome.attempts, 4);
+        assert_eq!(outcome.faulty_rows.len(), 8);
+        assert_eq!(outcome.backoff_ticks, 1 + 2 + 4, "2^(attempt-1) ticks");
+    }
+
+    #[test]
+    fn sub_lsb_wear_passes_verify_but_perturbs_analog() {
+        // 10% drift on a code of 2 rounds back to 2 digitally but
+        // shrinks the analog weight.
+        let mut xb = ideal_array(4, 1);
+        xb.set_fault_model(Some(FaultModel::new(5).with_wear(1.0, 0.1).unwrap()));
+        xb.program_column(0, &[2, 2, 2, 2]).unwrap();
+        assert!(xb.verify_column(0).unwrap().is_empty(), "sub-LSB drift");
+        let analog = xb.vmm(&[1, 1, 1, 1]).unwrap()[0];
+        assert!(analog < 8.0, "worn cells must read below {analog}");
+        assert!(analog > 8.0 * 0.9 * 0.9, "drift bounded at 10%");
     }
 
     proptest! {

@@ -40,6 +40,19 @@ pub enum ReramError {
     },
     /// Invalid model parameter (noise sigma, bit width, margin...).
     InvalidParameter(String),
+    /// A program failed write-verify at a specific cell: the column
+    /// could not be brought to its intended codes within the retry
+    /// budget. Carries structured coordinates (crossbar identity, row,
+    /// column) so recovery policy above the substrate can act on them
+    /// without string parsing.
+    ProgramFault {
+        /// Construction seed of the crossbar holding the cell.
+        crossbar: u64,
+        /// Wordline (row) index of the first unverifiable cell.
+        row: usize,
+        /// Bitline (column) index of the unverifiable column.
+        col: usize,
+    },
 }
 
 impl fmt::Display for ReramError {
@@ -60,6 +73,10 @@ impl fmt::Display for ReramError {
                 write!(f, "code {code} does not fit a signed {bits}-bit cell")
             }
             ReramError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ReramError::ProgramFault { crossbar, row, col } => write!(
+                f,
+                "program fault: cell ({row}, {col}) of crossbar {crossbar:#x} failed write-verify"
+            ),
         }
     }
 }
@@ -81,5 +98,26 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<ReramError>();
+    }
+
+    #[test]
+    fn program_fault_carries_structured_coordinates() {
+        let e = ReramError::ProgramFault {
+            crossbar: 0xbeef,
+            row: 3,
+            col: 17,
+        };
+        // The coordinates are matchable fields, not a formatted string.
+        match &e {
+            ReramError::ProgramFault { crossbar, row, col } => {
+                assert_eq!((*crossbar, *row, *col), (0xbeef, 3, 17));
+            }
+            _ => unreachable!(),
+        }
+        let text = e.to_string();
+        assert!(
+            text.contains("0xbeef") && text.contains("(3, 17)"),
+            "{text}"
+        );
     }
 }

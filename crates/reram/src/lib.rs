@@ -36,12 +36,14 @@
 
 mod crossbar;
 mod error;
+mod fault;
 mod noise;
 mod pruner;
 mod transposable;
 
 pub use crossbar::CrossbarArray;
 pub use error::ReramError;
+pub use fault::{CellFault, FaultMap, FaultModel, FaultSite, ProgramOutcome, RepairOutcome};
 pub use noise::NoiseModel;
 pub use pruner::{InMemoryPruner, PruneHardwareStats, PruneOutcome, ThresholdSpec};
 pub use transposable::{AccessMode, TransposableArray};

@@ -52,6 +52,13 @@ impl NoiseModel {
     /// `NoiseModel::equivalent_bits(5)` reproduces the paper's HP-Labs
     /// anchor and is the default used in the §VII evaluation.
     ///
+    /// The per-cell **programming variation defaults to 1 %**
+    /// (`programming_sigma = 0.01`, the write-variation figure the
+    /// paper's robustness analysis assumes). Override it explicitly
+    /// with [`NoiseModel::with_programming_sigma`] when composing with
+    /// other non-idealities (e.g. a [`crate::FaultModel`]), so the two
+    /// error sources stay separately attributable.
+    ///
     /// # Errors
     ///
     /// Returns [`ReramError::InvalidParameter`] unless `1 <= bits <= 16`.
@@ -88,6 +95,28 @@ impl NoiseModel {
             relative_sigma,
             programming_sigma,
         })
+    }
+
+    /// Returns this model with the per-cell programming variation
+    /// replaced, keeping the output-noise sigma. Use this to override
+    /// the 1 % default that [`NoiseModel::equivalent_bits`] bakes in:
+    ///
+    /// ```
+    /// use sprint_reram::NoiseModel;
+    ///
+    /// let quiet_writes = NoiseModel::equivalent_bits(5)
+    ///     .unwrap()
+    ///     .with_programming_sigma(0.0)
+    ///     .unwrap();
+    /// assert_eq!(quiet_writes.programming_sigma(), 0.0);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidParameter`] if the sigma is
+    /// negative or not finite.
+    pub fn with_programming_sigma(self, programming_sigma: f64) -> Result<Self, ReramError> {
+        NoiseModel::from_sigmas(self.relative_sigma, programming_sigma)
     }
 
     /// Output noise standard deviation as a fraction of full scale.
@@ -159,6 +188,22 @@ mod tests {
         assert!(NoiseModel::from_sigmas(-0.1, 0.0).is_err());
         assert!(NoiseModel::from_sigmas(0.0, f64::NAN).is_err());
         assert!(NoiseModel::from_sigmas(0.01, 0.02).is_ok());
+    }
+
+    #[test]
+    fn equivalent_bits_defaults_one_percent_programming_sigma() {
+        let m = NoiseModel::equivalent_bits(5).unwrap();
+        assert_eq!(m.programming_sigma(), 0.01, "the documented default");
+    }
+
+    #[test]
+    fn with_programming_sigma_overrides_only_that_knob() {
+        let base = NoiseModel::equivalent_bits(5).unwrap();
+        let overridden = base.with_programming_sigma(0.05).unwrap();
+        assert_eq!(overridden.relative_sigma(), base.relative_sigma());
+        assert_eq!(overridden.programming_sigma(), 0.05);
+        assert!(base.with_programming_sigma(-0.01).is_err());
+        assert!(base.with_programming_sigma(f64::INFINITY).is_err());
     }
 
     #[test]

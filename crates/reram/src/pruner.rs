@@ -9,6 +9,8 @@
 //! 1-bit ADCs emits the binary pruning vector (ReadP). Scores land in
 //! the analog domain only — no multi-bit ADC anywhere on this path.
 
+use std::collections::BTreeSet;
+
 use serde::{Deserialize, Serialize};
 
 use sprint_attention::{quantize_matrix, Matrix, PruneDecision, QuantParams};
@@ -27,7 +29,9 @@ fn effective_noise(noise: NoiseModel, cell_bits: u32) -> Result<NoiseModel, Rera
     )
 }
 
-use crate::{NoiseModel, ReramError, TransposableArray};
+use crate::{
+    FaultMap, FaultModel, FaultSite, NoiseModel, RepairOutcome, ReramError, TransposableArray,
+};
 
 /// Columns per transposable array (Table I: 64 × 128).
 const ARRAY_COLS: usize = 128;
@@ -179,6 +183,13 @@ pub struct InMemoryPruner {
     /// ADC reference range, 4x the observed workload maximum (design
     /// margin for process, temperature and workload drift).
     full_scale_codes: f64,
+    /// Optional hard-fault injector, stamped onto every tile (and onto
+    /// tiles created later by [`InMemoryPruner::extend`]).
+    fault: Option<FaultModel>,
+    /// Keys remapped to verified fault-free spare columns: the memory
+    /// controller routes their scores from the exact digital shadow
+    /// instead of the faulty analog column.
+    remapped: BTreeSet<usize>,
     stats: PruneHardwareStats,
 }
 
@@ -243,6 +254,8 @@ impl InMemoryPruner {
             seed,
             score_lsb: 1.0,
             full_scale_codes: 1.0,
+            fault: None,
+            remapped: BTreeSet::new(),
             stats: PruneHardwareStats::default(),
         };
         pruner.reprogram_with_cell_bits(q, k, attention_scale, noise, seed, cell_bits)?;
@@ -338,6 +351,7 @@ impl InMemoryPruner {
         let qk = quantize_matrix(k, 8)
             .map_err(|e| ReramError::InvalidParameter(format!("key quantization: {e}")))?;
 
+        let fault = self.fault;
         let col_tiles = s.div_ceil(ARRAY_COLS);
         let row_tiles = d.div_ceil(ARRAY_ROWS);
         self.tiles.truncate(col_tiles);
@@ -358,6 +372,7 @@ impl InMemoryPruner {
                 } else {
                     row_arrays[rt].reset(rows, cols, cell_bits, noise, tile_seed)?;
                 }
+                row_arrays[rt].set_fault_model(fault);
             }
         }
 
@@ -378,6 +393,9 @@ impl InMemoryPruner {
         self.s = s;
         self.k_params = qk.params();
         self.k_max_abs = k.max_abs();
+        // A full reprogram routes every key back to its own column, so
+        // any earlier spare-column remap is stale.
+        self.remapped.clear();
         self.stats = PruneHardwareStats::default();
         Ok(())
     }
@@ -527,13 +545,15 @@ impl InMemoryPruner {
                 let mut row_arrays = Vec::with_capacity(row_tiles);
                 for rt in 0..row_tiles {
                     let rows = (self.d - rt * ARRAY_ROWS).min(ARRAY_ROWS);
-                    row_arrays.push(TransposableArray::with_cell_bits(
+                    let mut arr = TransposableArray::with_cell_bits(
                         rows,
                         1,
                         self.cell_bits,
                         noise,
                         tile_seed(self.seed, ct, rt),
-                    )?);
+                    )?;
+                    arr.set_fault_model(self.fault);
+                    row_arrays.push(arr);
                 }
                 self.tiles.push(row_arrays);
             } else if slot >= self.tiles[ct][0].cols() {
@@ -637,9 +657,18 @@ impl InMemoryPruner {
             })
             .sum();
 
-        let code_scores = self.analog_scores(&q_msb)?;
+        let mut code_scores = self.analog_scores(&q_msb)?;
         self.stats.queries_pruned += 1;
         self.stats.comparator_firings += self.s as u64;
+
+        // Keys remapped to spare columns are served by verified
+        // fault-free cells: the controller substitutes their exact
+        // digital-shadow scores for the faulty analog readings.
+        if !self.remapped.is_empty() {
+            for &j in &self.remapped {
+                code_scores[j] = self.exact_key_score(&q_msb, j)? as f64;
+            }
+        }
 
         let th_codes = threshold as f64 / self.score_lsb;
         let margin_codes = spec.margin_fraction * drive_fs;
@@ -739,6 +768,183 @@ impl InMemoryPruner {
         }
         self.stats.transposed_reads += 1;
         Ok(codes)
+    }
+
+    /// Attaches (or detaches, with `None`) a hard-fault model, stamping
+    /// it onto every crossbar tile. Attachment is retroactive and
+    /// overlay-based (see [`crate::CrossbarArray::set_fault_model`]):
+    /// no noise draw is spent, so a detach restores fault-free behavior
+    /// bit-for-bit. Changing the model also clears any spare-column
+    /// remap, which was derived under the old fault pattern.
+    pub fn set_fault_model(&mut self, fault: Option<FaultModel>) {
+        self.fault = fault;
+        self.remapped.clear();
+        for row_arrays in &mut self.tiles {
+            for arr in row_arrays {
+                arr.set_fault_model(fault);
+            }
+        }
+    }
+
+    /// The attached fault model, if any.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.fault.as_ref()
+    }
+
+    /// Scrubs the whole programmed key set: transposed-reads every key
+    /// and compares the readout against the intended (write-verified)
+    /// digital shadow, returning the map of every disagreeing cell.
+    /// Each scanned key costs one transposed read in the hardware
+    /// stats. Without a fault model the map is always clean.
+    ///
+    /// Scrubbing is only ever invoked explicitly by the layer above —
+    /// programming and extending never scrub implicitly, so their
+    /// hardware-stats contracts are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors (none occur on a consistent pruner).
+    pub fn scrub(&mut self) -> Result<FaultMap, ReramError> {
+        let mut sites = Vec::new();
+        for j in 0..self.s {
+            self.scrub_key_into(j, &mut sites)?;
+        }
+        Ok(FaultMap {
+            keys_scanned: self.s,
+            sites,
+        })
+    }
+
+    /// Scrubs a single key (the decode path's per-append check).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::IndexOutOfRange`] for a bad key index.
+    pub fn scrub_key(&mut self, j: usize) -> Result<FaultMap, ReramError> {
+        if j >= self.s {
+            return Err(ReramError::IndexOutOfRange {
+                what: "key",
+                index: j,
+                bound: self.s,
+            });
+        }
+        let mut sites = Vec::new();
+        self.scrub_key_into(j, &mut sites)?;
+        Ok(FaultMap {
+            keys_scanned: 1,
+            sites,
+        })
+    }
+
+    /// Appends key `j`'s faulty cells (readout vs. intended shadow) to
+    /// `sites`, charging one transposed read.
+    fn scrub_key_into(&mut self, j: usize, sites: &mut Vec<FaultSite>) -> Result<(), ReramError> {
+        let ct = j / ARRAY_COLS;
+        let slot = j % ARRAY_COLS;
+        for (rt, arr) in self.tiles[ct].iter_mut().enumerate() {
+            let read = arr.transposed_read(slot)?;
+            let intended = arr.intended_codes(slot)?;
+            for (r, (got, want)) in read.iter().zip(&intended).enumerate() {
+                if got != want {
+                    sites.push(FaultSite {
+                        crossbar: arr.identity(),
+                        row: rt * ARRAY_ROWS + r,
+                        col: j,
+                    });
+                }
+            }
+        }
+        self.stats.transposed_reads += 1;
+        Ok(())
+    }
+
+    /// Attempts to repair every faulty key in `map` by reprogramming
+    /// its columns from the intended digital shadow with write-verify
+    /// and bounded retry (`max_attempts` per column; backoff advances
+    /// the program epoch, which re-rolls transient upsets). The
+    /// returned outcome counts retries and deterministic backoff ticks
+    /// and re-scrubs the touched keys into `remaining` — permanent
+    /// faults survive and stay listed there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::IndexOutOfRange`] if `map` names a key
+    /// this pruner does not hold.
+    pub fn repair(
+        &mut self,
+        map: &FaultMap,
+        max_attempts: u32,
+    ) -> Result<RepairOutcome, ReramError> {
+        let mut outcome = RepairOutcome::default();
+        let faulty = map.faulty_keys();
+        for &j in &faulty {
+            if j >= self.s {
+                return Err(ReramError::IndexOutOfRange {
+                    what: "key",
+                    index: j,
+                    bound: self.s,
+                });
+            }
+            let ct = j / ARRAY_COLS;
+            let slot = j % ARRAY_COLS;
+            for arr in self.tiles[ct].iter_mut() {
+                let intended = arr.intended_codes(slot)?;
+                let program = arr.store_key_verified(slot, &intended, max_attempts)?;
+                outcome.retries += u64::from(program.attempts.saturating_sub(1));
+                outcome.backoff_ticks += program.backoff_ticks;
+            }
+        }
+        outcome.remaining.keys_scanned = faulty.len();
+        for &j in &faulty {
+            self.scrub_key_into(j, &mut outcome.remaining.sites)?;
+        }
+        Ok(outcome)
+    }
+
+    /// Remaps `keys` to verified fault-free spare columns: their scores
+    /// are thereafter routed from the exact digital shadow instead of
+    /// the faulty analog columns ([`InMemoryPruner::prune_query`]
+    /// substitutes them before the comparator). Replaces any previous
+    /// remap; a full reprogram or fault-model change clears it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::IndexOutOfRange`] if any key is out of
+    /// range.
+    pub fn set_remapped(&mut self, keys: &[usize]) -> Result<(), ReramError> {
+        for &j in keys {
+            if j >= self.s {
+                return Err(ReramError::IndexOutOfRange {
+                    what: "key",
+                    index: j,
+                    bound: self.s,
+                });
+            }
+        }
+        self.remapped = keys.iter().copied().collect();
+        Ok(())
+    }
+
+    /// The keys currently remapped to spare columns, ascending.
+    pub fn remapped_keys(&self) -> Vec<usize> {
+        self.remapped.iter().copied().collect()
+    }
+
+    /// The exact digital-shadow score of key `j` for the given query
+    /// nibbles, in code units (the spare-column substitute for a
+    /// remapped key).
+    fn exact_key_score(&self, q_msb: &[i32], j: usize) -> Result<i64, ReramError> {
+        let ct = j / ARRAY_COLS;
+        let slot = j % ARRAY_COLS;
+        let mut acc = 0i64;
+        for (rt, arr) in self.tiles[ct].iter().enumerate() {
+            let base = rt * ARRAY_ROWS;
+            let intended = arr.intended_codes(slot)?;
+            for (r, &w) in intended.iter().enumerate() {
+                acc += w as i64 * q_msb[base + r] as i64;
+            }
+        }
+        Ok(acc)
     }
 }
 
@@ -1109,6 +1315,173 @@ mod tests {
         // 1-bit quantization collapses to {-fs, 0, fs}.
         let one = quantize_symmetric(30.0, 100.0, 1);
         assert!(one == 0.0 || (one - 100.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::FaultModel;
+    use proptest::prelude::*;
+    use sprint_attention::Matrix;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / 8388608.0) - 1.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+    }
+
+    fn digital_decision(pruner: &InMemoryPruner, q_row: &[f32], th: f32) -> PruneDecision {
+        let exact = pruner.exact_msb_scores(q_row).unwrap();
+        PruneDecision::from_scores(&exact, th)
+    }
+
+    #[test]
+    fn quiet_fault_model_keeps_the_pruner_bit_identical() {
+        let q = random_matrix(4, 64, 201);
+        let k = random_matrix(96, 64, 202);
+        let noise = NoiseModel::default();
+        let mut plain = InMemoryPruner::new(&q, &k, 0.125, noise, 7).unwrap();
+        let mut stamped = InMemoryPruner::new(&q, &k, 0.125, noise, 7).unwrap();
+        stamped.set_fault_model(Some(FaultModel::new(55)));
+        let spec = ThresholdSpec::default();
+        for i in 0..q.rows() {
+            let a = plain.prune_query(q.row(i), 0.02, &spec).unwrap();
+            let b = stamped.prune_query(q.row(i), 0.02, &spec).unwrap();
+            assert_eq!(a, b, "query {i}");
+        }
+        assert!(stamped.scrub().unwrap().is_clean());
+    }
+
+    #[test]
+    fn fault_free_scrub_is_clean_and_charges_reads() {
+        let q = random_matrix(1, 32, 211);
+        let k = random_matrix(20, 32, 212);
+        let mut p = InMemoryPruner::new(&q, &k, 0.176, NoiseModel::default(), 3).unwrap();
+        let before = p.stats();
+        let map = p.scrub().unwrap();
+        assert!(map.is_clean());
+        assert_eq!(map.keys_scanned, 20);
+        assert_eq!(p.stats().delta_since(&before).transposed_reads, 20);
+    }
+
+    #[test]
+    fn repair_clears_transients_completely() {
+        let q = random_matrix(1, 32, 221);
+        let k = random_matrix(16, 32, 222);
+        let fault = FaultModel::new(9).with_transient_rate(0.1).unwrap();
+        let mut p = InMemoryPruner::new(&q, &k, 0.176, NoiseModel::default(), 31).unwrap();
+        p.set_fault_model(Some(fault));
+        let map = p.scrub().unwrap();
+        assert!(!map.is_clean(), "10% upsets over 512 cells must show");
+        let outcome = p.repair(&map, 64).unwrap();
+        assert!(
+            outcome.remaining.is_clean(),
+            "transients must clear: {:?}",
+            outcome.remaining
+        );
+        assert!(outcome.retries > 0);
+        assert!(p.scrub().unwrap().is_clean(), "repair persists");
+    }
+
+    #[test]
+    fn permanent_faults_survive_repair() {
+        let q = random_matrix(1, 32, 231);
+        let k = random_matrix(16, 32, 232);
+        let fault = FaultModel::new(4).with_stuck_rates(0.1, 0.1).unwrap();
+        let mut p = InMemoryPruner::new(&q, &k, 0.176, NoiseModel::default(), 41).unwrap();
+        p.set_fault_model(Some(fault));
+        let map = p.scrub().unwrap();
+        assert!(!map.is_clean());
+        let outcome = p.repair(&map, 8).unwrap();
+        assert_eq!(
+            outcome.remaining.sites, map.sites,
+            "stuck cells shrug off every retry"
+        );
+    }
+
+    #[test]
+    fn dead_columns_flag_every_key() {
+        let q = random_matrix(1, 32, 241);
+        let k = random_matrix(24, 32, 242);
+        let fault = FaultModel::new(6).with_line_rates(1.0, 0.0).unwrap();
+        let mut p = InMemoryPruner::new(&q, &k, 0.176, NoiseModel::default(), 51).unwrap();
+        p.set_fault_model(Some(fault));
+        let map = p.scrub().unwrap();
+        assert_eq!(map.faulty_keys(), (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remapped_keys_score_from_the_digital_shadow() {
+        // Ideal noise: clean analog columns are exact, so once the
+        // faulty keys are remapped the decision must equal the digital
+        // reference despite heavy stuck faults.
+        let q = random_matrix(4, 64, 251);
+        let k = random_matrix(96, 64, 252);
+        let fault = FaultModel::new(12).with_stuck_rates(0.1, 0.1).unwrap();
+        let mut p = InMemoryPruner::new(&q, &k, 0.125, NoiseModel::ideal(), 61).unwrap();
+        p.set_fault_model(Some(fault));
+        let map = p.scrub().unwrap();
+        assert!(!map.is_clean());
+        p.set_remapped(&map.faulty_keys()).unwrap();
+        assert_eq!(p.remapped_keys(), map.faulty_keys());
+        let spec = ThresholdSpec::default();
+        for i in 0..q.rows() {
+            let out = p.prune_query(q.row(i), 0.02, &spec).unwrap();
+            let reference = digital_decision(&p, q.row(i), 0.02);
+            assert_eq!(out.decision, reference, "query {i}");
+        }
+    }
+
+    #[test]
+    fn scrub_key_and_repair_validate_indices() {
+        let q = random_matrix(1, 16, 261);
+        let k = random_matrix(8, 16, 262);
+        let mut p = InMemoryPruner::new(&q, &k, 0.25, NoiseModel::ideal(), 71).unwrap();
+        assert!(p.scrub_key(8).is_err());
+        assert!(p.scrub_key(7).unwrap().is_clean());
+        assert!(p.set_remapped(&[8]).is_err());
+        let bogus = FaultMap {
+            keys_scanned: 1,
+            sites: vec![FaultSite {
+                crossbar: 0,
+                row: 0,
+                col: 9,
+            }],
+        };
+        assert!(p.repair(&bogus, 2).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn prop_permanent_fault_maps_survive_reprogram_cycles(
+            seed in 0u64..40,
+            fault_seed in 0u64..40,
+        ) {
+            // The determinism contract: a permanent-fault map derives
+            // from crossbar identity alone, so independently built
+            // pruners agree and reprogram/reset cycles change nothing.
+            let q = random_matrix(2, 64, seed ^ 0xaaaa);
+            let k = random_matrix(160, 64, seed ^ 0xbbbb);
+            let fault = FaultModel::new(fault_seed)
+                .with_stuck_rates(0.05, 0.05).unwrap()
+                .with_line_rates(0.05, 0.02).unwrap();
+            let noise = NoiseModel::default();
+            let mut a = InMemoryPruner::new(&q, &k, 0.125, noise, seed).unwrap();
+            a.set_fault_model(Some(fault));
+            let map = a.scrub().unwrap();
+            let mut b = InMemoryPruner::new(&q, &k, 0.125, noise, seed).unwrap();
+            b.set_fault_model(Some(fault));
+            prop_assert_eq!(&map, &b.scrub().unwrap());
+            a.reprogram(&q, &k, 0.125, noise, seed).unwrap();
+            prop_assert_eq!(&map, &a.scrub().unwrap());
+        }
     }
 }
 

@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CrossbarArray, NoiseModel, ReramError};
+use crate::{CrossbarArray, FaultModel, NoiseModel, ProgramOutcome, ReramError};
 
 /// The access mode a transposable array was last used in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -197,6 +197,61 @@ impl TransposableArray {
     /// Full-scale output used to size noise and margins.
     pub fn full_scale(&self, query_msb: &[i32]) -> f64 {
         self.inner.full_scale(query_msb)
+    }
+
+    /// The construction seed of the underlying crossbar, doubling as
+    /// this array's stable identity for fault coordinates.
+    pub fn identity(&self) -> u64 {
+        self.inner.identity()
+    }
+
+    /// Attaches (or detaches) a hard-fault model — see
+    /// [`CrossbarArray::set_fault_model`].
+    pub fn set_fault_model(&mut self, fault: Option<FaultModel>) {
+        self.inner.set_fault_model(fault);
+    }
+
+    /// The attached fault model, if any.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.inner.fault_model()
+    }
+
+    /// The *intended* (write-verified) codes of key `slot`, unaffected
+    /// by any fault model — the digital oracle scrub passes compare
+    /// [`TransposableArray::transposed_read`] against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::IndexOutOfRange`] for a bad slot.
+    pub fn intended_codes(&self, slot: usize) -> Result<Vec<i32>, ReramError> {
+        self.inner.intended_codes(slot)
+    }
+
+    /// Write-verifies key `slot`: the rows whose digital readout
+    /// disagrees with the intended codes — see
+    /// [`CrossbarArray::verify_column`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::IndexOutOfRange`] for a bad slot.
+    pub fn verify_key(&self, slot: usize) -> Result<Vec<usize>, ReramError> {
+        self.inner.verify_column(slot)
+    }
+
+    /// Stores key `slot` with write-verify and bounded deterministic
+    /// retry — see [`CrossbarArray::program_column_verified`].
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`TransposableArray::store_key`].
+    pub fn store_key_verified(
+        &mut self,
+        slot: usize,
+        msb_codes: &[i32],
+        max_attempts: u32,
+    ) -> Result<ProgramOutcome, ReramError> {
+        self.inner
+            .program_column_verified(slot, msb_codes, max_attempts)
     }
 }
 

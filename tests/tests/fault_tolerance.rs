@@ -1,0 +1,302 @@
+//! Fault-tolerant substrate, end to end: injected ReRAM faults must
+//! degrade service gracefully — results stay bit-identical across
+//! worker counts, no errors surface under non-Fail policies, and
+//! unrepairable damage demotes to the exact digital pipeline instead
+//! of corrupting outputs.
+
+use sprint_core::SprintConfig;
+use sprint_engine::{
+    DecodeLoop, DecodeTask, Engine, ExecutionMode, FaultPolicy, HeadRequest, ModelProfile,
+    ModelRequest, ModelServer, SprintError,
+};
+use sprint_reram::{FaultModel, NoiseModel, ReramError};
+use sprint_workloads::{ModelConfig, TraceGenerator};
+
+fn traces(n: usize, seq: usize) -> Vec<sprint_workloads::HeadTrace> {
+    (0..n)
+        .map(|i| {
+            let spec = ModelConfig::bert_base().trace_spec().with_seq_len(seq);
+            TraceGenerator::new(1000 + i as u64)
+                .generate(&spec)
+                .unwrap()
+        })
+        .collect()
+}
+
+fn engine_with(
+    model: Option<FaultModel>,
+    policy: FaultPolicy,
+    mode: ExecutionMode,
+    workers: usize,
+) -> Engine {
+    let mut b = Engine::builder(SprintConfig::medium())
+        .noise(NoiseModel::default())
+        .mode(mode)
+        .seed(0xdead)
+        .worker_slots(workers)
+        .fault_policy(policy);
+    if let Some(m) = model {
+        b = b.fault_model(m);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn fault_policy_without_a_model_changes_nothing() {
+    // The pinned contract: a fault-free engine is bit-identical to the
+    // pre-fault pipeline no matter which policy it carries, and every
+    // response reports a clean default fault record.
+    let traces = traces(3, 48);
+    let requests: Vec<HeadRequest> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| HeadRequest::from_trace(t).with_head_id(i as u64))
+        .collect();
+    let baseline = engine_with(None, FaultPolicy::default(), ExecutionMode::Sprint, 1)
+        .run_batch(&requests)
+        .unwrap();
+    for policy in [
+        FaultPolicy::Monitor,
+        FaultPolicy::Retry { max_attempts: 5 },
+        FaultPolicy::Remap {
+            max_attempts: 2,
+            spare_columns: 8,
+        },
+        FaultPolicy::Fail { max_attempts: 1 },
+    ] {
+        let responses = engine_with(None, policy, ExecutionMode::Sprint, 1)
+            .run_batch(&requests)
+            .unwrap();
+        assert_eq!(responses, baseline, "policy {policy:?} altered results");
+    }
+    for response in &baseline {
+        assert_eq!(response.faults, Default::default());
+        assert!(!response.faults.degraded());
+    }
+}
+
+#[test]
+fn faulted_batches_are_bit_identical_across_1_2_4_8_workers() {
+    // Fault state derives from each crossbar's construction-seed
+    // identity, never from scheduling — so the same faulted batch must
+    // produce the same bytes at every worker count.
+    let model = FaultModel::uniform(0.05, 0xbad).unwrap();
+    let traces = traces(6, 40);
+    let requests: Vec<HeadRequest> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| HeadRequest::from_trace(t).with_head_id(i as u64))
+        .collect();
+    let reference = engine_with(
+        Some(model),
+        FaultPolicy::default(),
+        ExecutionMode::Sprint,
+        1,
+    )
+    .run_batch(&requests)
+    .unwrap();
+    let detected: u64 = reference.iter().map(|r| r.faults.faults_detected).sum();
+    assert!(detected > 0, "a 5% fault rate must be visible to the scrub");
+    for workers in [2usize, 4, 8] {
+        let responses = engine_with(
+            Some(model),
+            FaultPolicy::default(),
+            ExecutionMode::Sprint,
+            workers,
+        )
+        .run_batch(&requests)
+        .unwrap();
+        assert_eq!(responses, reference, "diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn unrepairable_faults_demote_to_the_exact_dense_pipeline() {
+    // Every bitline faulty: repair cannot help, remapping cannot
+    // absorb it, so the Demote ladder must fall back to on-chip dense
+    // recomputation — bit-identical to a fault-free Dense engine —
+    // with zero surfaced errors.
+    let model = FaultModel::new(3).with_line_rates(1.0, 0.0).unwrap();
+    let traces = traces(2, 32);
+    for (i, trace) in traces.iter().enumerate() {
+        let request = HeadRequest::from_trace(trace).with_head_id(i as u64);
+        let demoted = engine_with(
+            Some(model),
+            FaultPolicy::Demote { max_attempts: 2 },
+            ExecutionMode::Sprint,
+            1,
+        )
+        .run_head(&request)
+        .unwrap();
+        assert!(demoted.faults.demoted, "head {i} must demote");
+        assert!(demoted.faults.degraded());
+        assert!(demoted.faults.faults_detected > 0);
+        let dense = engine_with(None, FaultPolicy::default(), ExecutionMode::Dense, 1)
+            .run_head(&request)
+            .unwrap();
+        assert_eq!(demoted.output, dense.output, "head {i} output");
+        assert_eq!(demoted.decisions, dense.decisions, "head {i} decisions");
+    }
+}
+
+#[test]
+fn fail_policy_surfaces_the_first_faulty_site() {
+    let model = FaultModel::new(3).with_line_rates(1.0, 0.0).unwrap();
+    let trace = &traces(1, 24)[0];
+    let err = engine_with(
+        Some(model),
+        FaultPolicy::Fail { max_attempts: 1 },
+        ExecutionMode::Sprint,
+        1,
+    )
+    .run_head(&HeadRequest::from_trace(trace))
+    .unwrap_err();
+    match err {
+        SprintError::Reram(ReramError::ProgramFault { crossbar, .. }) => {
+            assert_ne!(crossbar, 0, "the site names the faulty crossbar");
+        }
+        other => panic!("expected a ProgramFault, got {other}"),
+    }
+}
+
+#[test]
+fn remap_policy_substitutes_spares_without_demoting() {
+    // A sparse column-fault population fits in the spare budget: the
+    // engine must remap rather than demote, and still finish cleanly.
+    let model = FaultModel::new(9).with_line_rates(0.05, 0.0).unwrap();
+    let traces = traces(3, 40);
+    let requests: Vec<HeadRequest> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| HeadRequest::from_trace(t).with_head_id(i as u64))
+        .collect();
+    let responses = engine_with(
+        Some(model),
+        FaultPolicy::Remap {
+            max_attempts: 2,
+            spare_columns: 64,
+        },
+        ExecutionMode::Sprint,
+        1,
+    )
+    .run_batch(&requests)
+    .unwrap();
+    let remapped: u64 = responses.iter().map(|r| r.faults.remapped_columns).sum();
+    assert!(remapped > 0, "5% column faults must exercise the spares");
+    for response in &responses {
+        assert!(!response.faults.demoted);
+        assert!(response.output.as_slice().iter().all(|x| x.is_finite()));
+    }
+}
+
+#[test]
+fn faulted_decode_loop_completes_and_is_worker_invariant() {
+    // Mid-decode fault handling: every session must run to completion
+    // under a nonzero fault rate, account its scrub findings, and stay
+    // bit-identical across worker counts.
+    let model = FaultModel::uniform(0.05, 0x5eed).unwrap();
+    let base = ModelConfig::bert_base().trace_spec();
+    let tasks: Vec<DecodeTask> = [
+        (32usize, 16usize, None),
+        (24, 8, Some(ExecutionMode::NoRecompute)),
+        (16, 12, Some(ExecutionMode::Dense)),
+        (40, 1, None),
+    ]
+    .into_iter()
+    .map(|(seq, prefill, mode)| DecodeTask {
+        spec: base.with_seq_len(seq),
+        prefill,
+        mode,
+        threshold_spec: None,
+    })
+    .collect();
+    let engine = engine_with(Some(model), FaultPolicy::Monitor, ExecutionMode::Sprint, 1);
+    let reference = DecodeLoop::new(&engine).run_threads(1, &tasks).unwrap();
+    assert_eq!(reference.sessions.len(), tasks.len());
+    assert!(reference.faults_detected > 0);
+    // Monitoring never demotes; the Dense session never scrubs.
+    assert_eq!(reference.demoted_sessions, 0);
+    assert_eq!(reference.sessions[2].faults_detected, 0);
+    for report in &reference.sessions {
+        assert!(report.final_output.iter().all(|x| x.is_finite()));
+    }
+    for workers in [2usize, 4, 8] {
+        let run = DecodeLoop::new(&engine)
+            .run_threads(workers, &tasks)
+            .unwrap();
+        assert_eq!(
+            run.sessions, reference.sessions,
+            "decode diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn fully_faulted_decode_sessions_demote_and_match_dense() {
+    // The graceful-degradation floor for decode: unrepairable faults
+    // demote analog sessions mid-stream, after which every step must
+    // match the fault-free Dense decode of the same tasks.
+    let model = FaultModel::new(4).with_line_rates(1.0, 0.0).unwrap();
+    let base = ModelConfig::bert_base().trace_spec();
+    let tasks: Vec<DecodeTask> = [(24usize, 10usize), (32, 16)]
+        .into_iter()
+        .map(|(seq, prefill)| DecodeTask {
+            spec: base.with_seq_len(seq),
+            prefill,
+            mode: None,
+            threshold_spec: None,
+        })
+        .collect();
+    let faulted = engine_with(
+        Some(model),
+        FaultPolicy::Demote { max_attempts: 1 },
+        ExecutionMode::Sprint,
+        1,
+    );
+    let report = DecodeLoop::new(&faulted).run(&tasks).unwrap();
+    assert_eq!(report.demoted_sessions, tasks.len() as u64);
+    let dense_tasks: Vec<DecodeTask> = tasks
+        .iter()
+        .map(|t| DecodeTask {
+            mode: Some(ExecutionMode::Dense),
+            ..*t
+        })
+        .collect();
+    let dense_engine = engine_with(None, FaultPolicy::default(), ExecutionMode::Sprint, 1);
+    let dense = DecodeLoop::new(&dense_engine).run(&dense_tasks).unwrap();
+    for (faulted_session, dense_session) in report.sessions.iter().zip(&dense.sessions) {
+        assert_eq!(
+            faulted_session.final_output, dense_session.final_output,
+            "session {} strays from the dense floor",
+            faulted_session.session
+        );
+        assert!(faulted_session.demoted);
+        assert!(faulted_session.faults_detected > 0);
+    }
+}
+
+#[test]
+fn model_serving_reports_fault_totals() {
+    // The counters roll up through the model layer: a faulted Sprint
+    // pass reports its scrub findings in the serving totals while a
+    // digital pass on the same server stays clean.
+    let model = FaultModel::uniform(0.05, 0xf00d).unwrap();
+    let server = ModelServer::new(engine_with(
+        Some(model),
+        FaultPolicy::Monitor,
+        ExecutionMode::Sprint,
+        1,
+    ));
+    let profile = ModelProfile::from_model(&ModelConfig::bert_base())
+        .with_layers(1)
+        .with_heads(2)
+        .with_seq_len(48);
+    let requests = vec![
+        ModelRequest::new(profile.clone()).with_mode(ExecutionMode::Sprint),
+        ModelRequest::new(profile).with_mode(ExecutionMode::Dense),
+    ];
+    let responses = server.serve_many(&requests).unwrap();
+    assert!(responses[0].total.faults_detected > 0);
+    assert_eq!(responses[0].total.heads_demoted, 0);
+    assert_eq!(responses[1].total.faults_detected, 0);
+}

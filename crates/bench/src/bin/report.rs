@@ -98,6 +98,7 @@ fn check_report(explicit: Option<&str>) -> Result<(), String> {
     }
     check_scaling(&items)?;
     check_fault_sweep(&text)?;
+    check_server_stress(&items)?;
     println!(
         "{} ok: {} bench entr{} with finite timings{}",
         path.display(),
@@ -262,6 +263,85 @@ fn check_fault_sweep(text: &str) -> Result<(), String> {
         "fault_sweep: {} rows ok (digital columns flat, SPRINT degradation monotone)",
         rows.len()
     );
+    Ok(())
+}
+
+/// Minimum sustained QPS the capacity phase of the HTTP stress
+/// harness must record. Deliberately modest: the harness runs a tiny
+/// request shape and must hold this floor on a single-core host.
+const SERVER_MIN_QPS: u128 = 5;
+
+/// Shed-rate band (parts per million of offered requests) for the
+/// overload phase: the server must actually shed under ~2x-capacity
+/// load (floor), but never collapse into rejecting nearly everything
+/// (ceiling).
+const SERVER_SHED_PPM: (u128, u128) = (1_000, 950_000);
+
+/// Overload p99 latency ceiling (ns) for requests that *were* served:
+/// bounded queues must keep the tail bounded even while shedding.
+const SERVER_OVERLOAD_P99_MAX_NS: u128 = 2_000_000_000;
+
+/// Validates the `server/...` rows the HTTP stress harness
+/// (`cargo run -p sprint-server --bin stress_test`) records:
+///
+/// * `server/stress/sustained_qps` ≥ [`SERVER_MIN_QPS`];
+/// * `server/overload/shed_rate_ppm` inside [`SERVER_SHED_PPM`] —
+///   admission control engaged, but the server kept serving;
+/// * `server/overload/p99_ns` ≤ [`SERVER_OVERLOAD_P99_MAX_NS`].
+///
+/// Rows that are absent are skipped with a note — CI's fresh bench
+/// emission does not run the stress harness.
+fn check_server_stress(items: &[String]) -> Result<(), String> {
+    use criterion::report::{string_field, u128_field};
+    let median_of = |id: &str| -> Option<u128> {
+        items
+            .iter()
+            .find(|item| string_field(item, "id").as_deref() == Some(id))
+            .and_then(|item| u128_field(item, "median_ns"))
+    };
+    match median_of("server/stress/sustained_qps") {
+        None => println!("server: stress rows not in this report (skipped)"),
+        Some(qps) if qps < SERVER_MIN_QPS => {
+            return Err(format!(
+                "server/stress/sustained_qps: {qps} QPS is below the {SERVER_MIN_QPS} floor"
+            ));
+        }
+        Some(qps) => println!("server: sustained {qps} QPS ok (floor {SERVER_MIN_QPS})"),
+    }
+    match median_of("server/overload/shed_rate_ppm") {
+        None => println!("server: overload rows not in this report (skipped)"),
+        Some(ppm) if ppm < SERVER_SHED_PPM.0 => {
+            return Err(format!(
+                "server/overload/shed_rate_ppm: {ppm} ppm — the server never shed \
+                 under 2x-capacity load; admission control is not engaging"
+            ));
+        }
+        Some(ppm) if ppm > SERVER_SHED_PPM.1 => {
+            return Err(format!(
+                "server/overload/shed_rate_ppm: {ppm} ppm — the server rejected \
+                 nearly everything under overload"
+            ));
+        }
+        Some(ppm) => println!(
+            "server: overload shed rate {ppm} ppm inside [{}, {}]",
+            SERVER_SHED_PPM.0, SERVER_SHED_PPM.1
+        ),
+    }
+    match median_of("server/overload/p99_ns") {
+        None => {}
+        Some(p99) if p99 > SERVER_OVERLOAD_P99_MAX_NS => {
+            return Err(format!(
+                "server/overload/p99_ns: {p99} ns exceeds the \
+                 {SERVER_OVERLOAD_P99_MAX_NS} ns ceiling — bounded queues \
+                 are no longer bounding the tail"
+            ));
+        }
+        Some(p99) => println!(
+            "server: overload p99 {:.1} ms under the {} ms ceiling",
+            p99 as f64 / 1e6,
+            SERVER_OVERLOAD_P99_MAX_NS / 1_000_000
+        ),
+    }
     Ok(())
 }
 

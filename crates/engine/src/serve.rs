@@ -396,11 +396,7 @@ impl ModelServer {
 ///         .with_heads(2)
 ///         .with_seq_len(32),
 /// );
-/// let arrivals = TraceGenerator::new(9).arrivals(&ArrivalSpec {
-///     count: 4,
-///     mean_interarrival_ns: 200_000.0,
-///     templates: 1,
-/// })?;
+/// let arrivals = TraceGenerator::new(9).arrivals(&ArrivalSpec::poisson(4, 200_000.0, 1))?;
 /// let summary = ServeLoop::new(&server).run(&arrivals, &[template])?;
 /// assert_eq!(summary.served, 4);
 /// assert!(summary.throughput_per_s() > 0.0);
@@ -462,6 +458,8 @@ impl<'a> ServeLoop<'a> {
         let mut batches = 0usize;
         let mut heads = 0u64;
         let mut faults_detected = 0u64;
+        let mut fault_retries = 0u64;
+        let mut remapped_columns = 0u64;
         let mut heads_demoted = 0u64;
         let mut latencies_ns: Vec<u128> = Vec::with_capacity(order.len());
         let mut i = 0usize;
@@ -488,6 +486,8 @@ impl<'a> ServeLoop<'a> {
                 latencies_ns.push(clock - arrival.at_ns as u128);
                 heads += response.total.heads;
                 faults_detected += response.total.faults_detected;
+                fault_retries += response.total.fault_retries;
+                remapped_columns += response.total.remapped_columns;
                 heads_demoted += response.total.heads_demoted;
             }
         }
@@ -499,6 +499,8 @@ impl<'a> ServeLoop<'a> {
             busy_ns,
             makespan_ns: clock,
             faults_detected,
+            fault_retries,
+            remapped_columns,
             heads_demoted,
             latencies_ns,
         })
@@ -748,6 +750,11 @@ pub struct ServeSummary {
     /// ReRAM cell faults detected across all served requests (zero
     /// without a [`sprint_reram::FaultModel`] on the engine).
     pub faults_detected: u64,
+    /// Write-verify reprogram retries spent repairing faulty cells
+    /// across all served requests (see [`crate::FaultPolicy`]).
+    pub fault_retries: u64,
+    /// Crossbar columns remapped to spares across all served requests.
+    pub remapped_columns: u64,
     /// Heads demoted to the exact digital pipeline across all served
     /// requests (see [`crate::FaultPolicy`]).
     pub heads_demoted: u64,
@@ -825,8 +832,9 @@ impl std::fmt::Display for ServeSummary {
         if self.faults_detected > 0 || self.heads_demoted > 0 {
             writeln!(
                 f,
-                "faults: {} cells detected, {} heads demoted to the exact pipeline",
-                self.faults_detected, self.heads_demoted,
+                "faults: {} cells detected, {} retries, {} columns remapped, \
+                 {} heads demoted to the exact pipeline",
+                self.faults_detected, self.fault_retries, self.remapped_columns, self.heads_demoted,
             )?;
         }
         write!(
@@ -969,11 +977,7 @@ mod tests {
         )
         .with_seed(5);
         let arrivals = TraceGenerator::new(17)
-            .arrivals(&ArrivalSpec {
-                count: 6,
-                mean_interarrival_ns: 50_000.0,
-                templates: 1,
-            })
+            .arrivals(&ArrivalSpec::poisson(6, 50_000.0, 1))
             .unwrap();
         let summary = ServeLoop::new(&s)
             .max_batch(4)
@@ -998,6 +1002,8 @@ mod tests {
             busy_ns: 1,
             makespan_ns: 1,
             faults_detected: 0,
+            fault_retries: 0,
+            remapped_columns: 0,
             heads_demoted: 0,
             latencies_ns: vec![10, 20, 30, 40, 50, 60],
         };
@@ -1021,12 +1027,41 @@ mod tests {
             busy_ns: 1,
             makespan_ns: 1,
             faults_detected: 0,
+            fault_retries: 0,
+            remapped_columns: 0,
             heads_demoted: 0,
             latencies_ns: (1..=200).collect(),
         };
         assert!(big.resolves_percentile(99.0));
         assert_eq!(big.latency_ns(99.0), 198);
         assert!(!big.to_string().contains("p99 = max"));
+    }
+
+    #[test]
+    fn display_surfaces_fault_rollups_when_present() {
+        let mut summary = ServeSummary {
+            served: 1,
+            heads: 2,
+            batches: 1,
+            busy_ns: 1,
+            makespan_ns: 1,
+            faults_detected: 7,
+            fault_retries: 3,
+            remapped_columns: 2,
+            heads_demoted: 1,
+            latencies_ns: vec![10],
+        };
+        let text = summary.to_string();
+        assert!(
+            text.contains("7 cells detected, 3 retries, 2 columns remapped"),
+            "{text}"
+        );
+        assert!(text.contains("1 heads demoted"), "{text}");
+        summary.faults_detected = 0;
+        summary.fault_retries = 0;
+        summary.remapped_columns = 0;
+        summary.heads_demoted = 0;
+        assert!(!summary.to_string().contains("faults:"));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! `sprint_server` — boot the HTTP serving front end.
+//!
+//! ```text
+//! cargo run --release -p sprint-server --bin sprint_server -- \
+//!     --addr 127.0.0.1:8080 --seed 7 --serve-seconds 60
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:8080`;
+//!   port 0 picks an ephemeral port and prints it).
+//! * `--seed N` — engine base seed (default 7).
+//! * `--http-threads N` / `--max-batch N` / `--batch-window-ms N` /
+//!   `--queue-per-tenant N` / `--queue-global N` — the corresponding
+//!   [`ServerConfig`] knobs.
+//! * `--serve-seconds N` — run for N seconds, then shut down
+//!   gracefully (CI smoke uses this; the default runs until SIGKILL).
+
+use sprint_engine::{Engine, SprintConfig};
+use sprint_server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            let prefix = format!("{flag}=");
+            args.iter()
+                .find(|a| a.starts_with(&prefix))
+                .map(|a| a[prefix.len()..].to_string())
+        })
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    arg_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = ServerConfig {
+        addr: arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        http_threads: parse(&args, "--http-threads", 4),
+        batch_window: Duration::from_millis(parse(&args, "--batch-window-ms", 2)),
+        max_batch: parse(&args, "--max-batch", 16),
+        queue_per_tenant: parse(&args, "--queue-per-tenant", 32),
+        queue_global: parse(&args, "--queue-global", 128),
+        ..ServerConfig::default()
+    };
+    let seed = parse(&args, "--seed", 7u64);
+    let serve_seconds: u64 = parse(&args, "--serve-seconds", 0);
+
+    let engine = Engine::builder(SprintConfig::small()).seed(seed).build()?;
+    let server = Server::start(engine, config)?;
+    // Machine-greppable boot line (CI curls the printed address).
+    println!("sprint-server listening on {}", server.local_addr());
+
+    if serve_seconds > 0 {
+        std::thread::sleep(Duration::from_secs(serve_seconds));
+        println!("sprint-server draining after {serve_seconds}s");
+        server.shutdown();
+        println!("sprint-server stopped");
+    } else {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,257 @@
+//! `stress_test` — sustained-load harness for the HTTP front end.
+//!
+//! Boots an in-process [`sprint_server::Server`] on an ephemeral port
+//! and replays [`sprint_workloads::ArrivalSpec`] traffic at it over
+//! real sockets, in two phases:
+//!
+//! 1. **capacity** — bursty Poisson traffic (the new
+//!    [`sprint_workloads::ArrivalShape::Burst`] shape) against the
+//!    production admission config. Records the sustained completed
+//!    QPS and the p50/p99 client-observed latency.
+//! 2. **overload** — a ramp ([`sprint_workloads::ArrivalShape::Ramp`])
+//!    averaging ~2× the server's deliberately throttled capacity
+//!    (an injected per-batch service delay makes capacity exact and
+//!    host-independent), against tiny admission queues. The server
+//!    must *shed* (429 + `Retry-After`) rather than let the tail run
+//!    away: the harness records the shed rate (ppm) and the p99 of
+//!    the requests that did complete.
+//!
+//! Rows merge into `BENCH_report.json` under `server/...` ids;
+//! `cargo run -p sprint-bench --bin report -- --check` enforces the
+//! sustained-QPS floor, a shed-rate band, and the bounded overload
+//! p99. `--no-report` skips the merge (pure smoke run); `--quick`
+//! shrinks both phases for CI smoke.
+
+use criterion::report::{merge_bench_records, repo_root};
+use criterion::BenchRecord;
+use sprint_engine::{Engine, SprintConfig};
+use sprint_server::{Server, ServerConfig};
+use sprint_workloads::{ArrivalSpec, TraceGenerator};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Capacity-phase client workers (each owns one keep-alive
+/// connection).
+const CAPACITY_WORKERS: usize = 4;
+
+/// Overload-phase client workers. Clients are closed-loop (a worker
+/// blocks on its in-flight request), so the worker count bounds the
+/// in-flight concurrency — it must comfortably exceed the overload
+/// config's queue capacity plus the batch in service, or the queues
+/// can never fill and nothing sheds.
+const OVERLOAD_WORKERS: usize = 16;
+
+#[derive(Debug, Default, Clone)]
+struct PhaseStats {
+    completed: u64,
+    shed: u64,
+    other: u64,
+    latencies_ns: Vec<u64>,
+    wall: Duration,
+}
+
+impl PhaseStats {
+    fn offered(&self) -> u64 {
+        self.completed + self.shed + self.other
+    }
+
+    fn qps(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn shed_ppm(&self) -> u64 {
+        if self.offered() == 0 {
+            return 0;
+        }
+        (self.shed as f64 / self.offered() as f64 * 1e6).round() as u64
+    }
+
+    fn percentile_ns(&mut self, pct: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        self.latencies_ns.sort_unstable();
+        let rank = ((pct / 100.0) * self.latencies_ns.len() as f64).ceil() as usize;
+        self.latencies_ns[rank.clamp(1, self.latencies_ns.len()) - 1]
+    }
+}
+
+/// Replays `arrivals` (virtual ns mapped 1:1 onto real ns) against
+/// `addr`, striped across `workers` keep-alive clients.
+fn replay(
+    addr: &str,
+    arrivals: &[sprint_workloads::Arrival],
+    body: &str,
+    workers: usize,
+) -> PhaseStats {
+    let started = Instant::now();
+    let addr = Arc::new(addr.to_string());
+    let body = Arc::new(body.to_string());
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let mine: Vec<u64> = arrivals
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % workers == w)
+            .map(|(_, a)| a.at_ns)
+            .collect();
+        let addr = Arc::clone(&addr);
+        let body = Arc::clone(&body);
+        handles.push(std::thread::spawn(move || {
+            let mut client = minihttp::Client::connect(addr.as_str().to_string())
+                .with_read_timeout(Some(Duration::from_secs(30)));
+            let mut stats = PhaseStats::default();
+            for at_ns in mine {
+                let due = Duration::from_nanos(at_ns);
+                if let Some(wait) = due.checked_sub(started.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                let sent = Instant::now();
+                match client.post_json("/v1/serve", &body) {
+                    Ok(response) if response.status == 200 => {
+                        stats.completed += 1;
+                        stats.latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                    }
+                    Ok(response) if response.status == 429 => stats.shed += 1,
+                    Ok(_) | Err(_) => stats.other += 1,
+                }
+            }
+            stats
+        }));
+    }
+    let mut total = PhaseStats::default();
+    for handle in handles {
+        let stats = handle.join().expect("client worker panicked");
+        total.completed += stats.completed;
+        total.shed += stats.shed;
+        total.other += stats.other;
+        total.latencies_ns.extend(stats.latencies_ns);
+    }
+    total.wall = started.elapsed();
+    total
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_report = args.iter().any(|a| a == "--no-report");
+    let seed = 42u64;
+    // Tiny shape: the harness measures the serving fabric, not the
+    // substrate, and must hold its floors on a single-core host.
+    let body = r#"{"model":"synth1","layers":1,"heads":1,"seq_len":16,"seed":3}"#;
+
+    // ---- Phase 1: capacity (bursty traffic, production config) ----
+    let count = if quick { 40 } else { 240 };
+    let engine = Engine::builder(SprintConfig::small()).seed(7).build()?;
+    let server = Server::start(engine, ServerConfig::default())?;
+    let addr = server.local_addr().to_string();
+    // Mean gap 20 ms (50 req/s offered) in bursts of 8 spread over
+    // 2 ms — the pattern that exercises window coalescing hardest.
+    let arrivals = TraceGenerator::new(seed)
+        .arrivals(&ArrivalSpec::poisson(count, 20_000_000.0, 1).burst(8, 2_000_000.0))?;
+    let mut capacity = replay(&addr, &arrivals, body, CAPACITY_WORKERS);
+    let capacity_p50 = capacity.percentile_ns(50.0);
+    let capacity_p99 = capacity.percentile_ns(99.0);
+    server.shutdown();
+    println!(
+        "[capacity] offered {} completed {} shed {} other {} in {:.2}s -> {:.1} QPS, p50 {:.2} ms, p99 {:.2} ms",
+        capacity.offered(),
+        capacity.completed,
+        capacity.shed,
+        capacity.other,
+        capacity.wall.as_secs_f64(),
+        capacity.qps(),
+        capacity_p50 as f64 / 1e6,
+        capacity_p99 as f64 / 1e6,
+    );
+
+    // ---- Phase 2: overload (~2x capacity, tiny queues) ----
+    // Throttled capacity: max_batch 2 per >=25 ms batch -> ~80 req/s.
+    // The ramp averages ~2x that (80 -> 320 req/s across the phase),
+    // so the bounded queues must shed.
+    let count = if quick { 80 } else { 400 };
+    let engine = Engine::builder(SprintConfig::small()).seed(7).build()?;
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            // Handlers are connection-pinned, so the pool must exceed
+            // the client count for all clients to contend at once.
+            http_threads: OVERLOAD_WORKERS + 2,
+            max_batch: 2,
+            batch_window: Duration::from_millis(1),
+            queue_per_tenant: 4,
+            queue_global: 8,
+            service_delay: Some(Duration::from_millis(25)),
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr().to_string();
+    let arrivals = TraceGenerator::new(seed + 1)
+        .arrivals(&ArrivalSpec::poisson(count, 6_250_000.0, 1).ramp(2.0, 0.5))?;
+    let mut overload = replay(&addr, &arrivals, body, OVERLOAD_WORKERS);
+    let overload_p99 = overload.percentile_ns(99.0);
+    server.shutdown();
+    println!(
+        "[overload] offered {} completed {} shed {} other {} in {:.2}s -> {:.1} QPS, shed {} ppm, p99 {:.2} ms",
+        overload.offered(),
+        overload.completed,
+        overload.shed,
+        overload.other,
+        overload.wall.as_secs_f64(),
+        overload.qps(),
+        overload.shed_ppm(),
+        overload_p99 as f64 / 1e6,
+    );
+
+    if overload.shed == 0 {
+        eprintln!("warning: overload phase shed nothing; queues never filled");
+    }
+
+    if !no_report {
+        let records = vec![
+            BenchRecord {
+                id: "server/stress/sustained_qps".to_string(),
+                median_ns: capacity.qps().round() as u128,
+                min_ns: capacity.qps().round() as u128,
+                max_ns: capacity.qps().round() as u128,
+                samples: capacity.completed as usize,
+            },
+            BenchRecord {
+                id: "server/stress/p50_ns".to_string(),
+                median_ns: capacity_p50 as u128,
+                min_ns: capacity_p50 as u128,
+                max_ns: capacity_p99 as u128,
+                samples: capacity.completed as usize,
+            },
+            BenchRecord {
+                id: "server/stress/p99_ns".to_string(),
+                median_ns: capacity_p99 as u128,
+                min_ns: capacity_p50 as u128,
+                max_ns: capacity_p99 as u128,
+                samples: capacity.completed as usize,
+            },
+            BenchRecord {
+                id: "server/overload/shed_rate_ppm".to_string(),
+                median_ns: overload.shed_ppm() as u128,
+                min_ns: overload.shed_ppm() as u128,
+                max_ns: overload.shed_ppm() as u128,
+                samples: overload.offered() as usize,
+            },
+            BenchRecord {
+                id: "server/overload/p99_ns".to_string(),
+                median_ns: overload_p99 as u128,
+                min_ns: overload_p99 as u128,
+                max_ns: overload_p99 as u128,
+                samples: overload.completed as usize,
+            },
+        ];
+        let path = repo_root().join("BENCH_report.json");
+        merge_bench_records(&path, &records)?;
+        println!(
+            "merged {} server rows into {}",
+            records.len(),
+            path.display()
+        );
+    }
+    Ok(())
+}

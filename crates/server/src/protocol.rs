@@ -1,0 +1,234 @@
+//! The wire protocol: JSON request/response shapes and their mapping
+//! onto `sprint-engine` types.
+//!
+//! The protocol is deliberately *reference-based*: clients name a
+//! model catalog entry and a seed instead of shipping query/key/value
+//! matrices over the wire. The server synthesizes the same
+//! deterministic traces the offline harnesses use
+//! ([`sprint_workloads::TraceGenerator`]), so an HTTP response is
+//! bit-identical to the equivalent in-process
+//! [`sprint_engine::ModelServer::serve`] call — the integration tests
+//! assert exactly that.
+
+use crate::json::Json;
+use sprint_engine::{ExecutionMode, ModelProfile, ModelRequest, ModelResponse, PerfRollup};
+use sprint_workloads::ModelConfig;
+
+/// Looks up a catalog model by its request name (the lowercase,
+/// hyphen-free spelling used on the wire).
+pub fn model_by_name(name: &str) -> Option<ModelConfig> {
+    match name {
+        "bert_base" => Some(ModelConfig::bert_base()),
+        "bert_large" => Some(ModelConfig::bert_large()),
+        "albert_xl" => Some(ModelConfig::albert_xl()),
+        "albert_xxl" => Some(ModelConfig::albert_xxl()),
+        "vit_base" => Some(ModelConfig::vit_base()),
+        "gpt2_large" => Some(ModelConfig::gpt2_large()),
+        "synth1" => Some(ModelConfig::synth1()),
+        "synth2" => Some(ModelConfig::synth2()),
+        _ => None,
+    }
+}
+
+/// Wire names accepted by [`model_by_name`], for error messages.
+pub const MODEL_NAMES: [&str; 8] = [
+    "bert_base",
+    "bert_large",
+    "albert_xl",
+    "albert_xxl",
+    "vit_base",
+    "gpt2_large",
+    "synth1",
+    "synth2",
+];
+
+fn mode_by_name(name: &str) -> Option<ExecutionMode> {
+    match name {
+        "sprint" => Some(ExecutionMode::Sprint),
+        "no_recompute" => Some(ExecutionMode::NoRecompute),
+        "dense" => Some(ExecutionMode::Dense),
+        "oracle" => Some(ExecutionMode::Oracle),
+        _ => None,
+    }
+}
+
+fn mode_name(mode: ExecutionMode) -> &'static str {
+    match mode {
+        ExecutionMode::Sprint => "sprint",
+        ExecutionMode::NoRecompute => "no_recompute",
+        ExecutionMode::Dense => "dense",
+        ExecutionMode::Oracle => "oracle",
+    }
+}
+
+/// A parsed `POST /v1/serve` body.
+///
+/// ```json
+/// {"model": "vit_base", "layers": 1, "heads": 2, "seq_len": 32,
+///  "seed": 7, "mode": "sprint"}
+/// ```
+///
+/// Only `model` is required; `layers`/`heads`/`seq_len` override the
+/// catalog shape (the knob small hosts use to keep service times
+/// bounded), `seed` defaults to 0, `mode` to the engine default.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// The catalog model name.
+    pub model: String,
+    /// Layer-count override.
+    pub layers: Option<usize>,
+    /// Heads-per-layer override.
+    pub heads: Option<usize>,
+    /// Sequence-length override.
+    pub seq_len: Option<usize>,
+    /// Base seed for deterministic trace synthesis.
+    pub seed: u64,
+    /// Execution-mode override.
+    pub mode: Option<ExecutionMode>,
+}
+
+impl ServeRequest {
+    /// Parses the JSON body of a serve call.
+    ///
+    /// # Errors
+    ///
+    /// A client-facing message naming the offending field.
+    pub fn parse(body: &Json) -> Result<ServeRequest, String> {
+        let model = body
+            .str_field("model")
+            .ok_or_else(|| format!("missing 'model' (one of {})", MODEL_NAMES.join(", ")))?
+            .to_string();
+        if model_by_name(&model).is_none() {
+            return Err(format!(
+                "unknown model '{model}' (one of {})",
+                MODEL_NAMES.join(", ")
+            ));
+        }
+        let dim = |key: &str| -> Result<Option<usize>, String> {
+            match body.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(|n| Some(n as usize))
+                    .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+            }
+        };
+        let mode = match body.get("mode") {
+            None => None,
+            Some(v) => {
+                let name = v.as_str().ok_or("'mode' must be a string")?;
+                Some(mode_by_name(name).ok_or_else(|| {
+                    format!("unknown mode '{name}' (sprint, no_recompute, dense, oracle)")
+                })?)
+            }
+        };
+        Ok(ServeRequest {
+            model,
+            layers: dim("layers")?,
+            heads: dim("heads")?,
+            seq_len: dim("seq_len")?,
+            seed: match body.get("seed") {
+                None => 0,
+                Some(v) => v.as_u64().ok_or("'seed' must be a non-negative integer")?,
+            },
+            mode,
+        })
+    }
+
+    /// Builds the engine-side request this wire request names.
+    pub fn to_model_request(&self) -> ModelRequest {
+        let config = model_by_name(&self.model).expect("validated at parse time");
+        let mut profile = ModelProfile::from_model(&config);
+        if let Some(layers) = self.layers {
+            profile = profile.with_layers(layers);
+        }
+        if let Some(heads) = self.heads {
+            profile = profile.with_heads(heads);
+        }
+        if let Some(seq_len) = self.seq_len {
+            profile = profile.with_seq_len(seq_len);
+        }
+        let mut request = ModelRequest::new(profile).with_seed(self.seed);
+        if let Some(mode) = self.mode {
+            request = request.with_mode(mode);
+        }
+        request
+    }
+}
+
+/// Renders a [`PerfRollup`] as the protocol's rollup object. Counters
+/// are exact integers; energy renders shortest-round-trip (equal
+/// strings ⇔ bit-identical floats).
+pub fn rollup_json(rollup: &PerfRollup) -> Json {
+    Json::obj([
+        ("heads", Json::Int(rollup.heads as i128)),
+        ("cycles", Json::Int(rollup.cycles as i128)),
+        ("energy_pj", Json::Num(rollup.energy.total().as_pj())),
+        ("fetched_vectors", Json::Int(rollup.fetched_vectors as i128)),
+        ("reused_vectors", Json::Int(rollup.reused_vectors as i128)),
+        ("bytes_fetched", Json::Int(rollup.bytes_fetched as i128)),
+        ("queries_pruned", Json::Int(rollup.queries_pruned as i128)),
+        ("kept_scores", Json::Int(rollup.kept_scores as i128)),
+        ("live_pairs", Json::Int(rollup.live_pairs as i128)),
+        ("faults_detected", Json::Int(rollup.faults_detected as i128)),
+        ("fault_retries", Json::Int(rollup.fault_retries as i128)),
+        (
+            "remapped_columns",
+            Json::Int(rollup.remapped_columns as i128),
+        ),
+        ("heads_demoted", Json::Int(rollup.heads_demoted as i128)),
+    ])
+}
+
+/// Renders a [`ModelResponse`] as the protocol's serve-response body.
+pub fn response_json(response: &ModelResponse) -> Json {
+    Json::obj([
+        ("model", Json::Str(response.model.clone())),
+        ("mode", Json::Str(mode_name(response.mode).to_string())),
+        ("layers", Json::Int(response.layers.len() as i128)),
+        ("total", rollup_json(&response.total)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_request_parses_and_builds() {
+        let body = Json::parse(
+            r#"{"model":"vit_base","layers":1,"heads":2,"seq_len":32,"seed":7,"mode":"dense"}"#,
+        )
+        .unwrap();
+        let req = ServeRequest::parse(&body).unwrap();
+        assert_eq!(req.model, "vit_base");
+        assert_eq!(req.seed, 7);
+        let model_request = req.to_model_request();
+        assert_eq!(model_request.profile().layers(), 1);
+        assert_eq!(model_request.profile().heads(), 2);
+        assert_eq!(model_request.base_seed(), 7);
+        assert_eq!(model_request.mode_override(), Some(ExecutionMode::Dense));
+    }
+
+    #[test]
+    fn serve_request_rejects_bad_fields() {
+        for (body, needle) in [
+            (r#"{}"#, "missing 'model'"),
+            (r#"{"model":"nope"}"#, "unknown model"),
+            (r#"{"model":"synth1","seed":-1}"#, "'seed'"),
+            (r#"{"model":"synth1","layers":"x"}"#, "'layers'"),
+            (r#"{"model":"synth1","mode":"warp"}"#, "unknown mode"),
+        ] {
+            let err = ServeRequest::parse(&Json::parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn every_catalog_name_resolves() {
+        for name in MODEL_NAMES {
+            assert!(model_by_name(name).is_some(), "{name}");
+        }
+        assert!(model_by_name("resnet").is_none());
+    }
+}

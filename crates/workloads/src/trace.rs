@@ -309,25 +309,96 @@ impl TraceGenerator {
     }
 }
 
-/// Specification of a synthetic request-arrival stream for the
-/// trace-driven serving loop (`sprint_engine::ServeLoop`).
+/// The temporal shape of a synthetic arrival stream — how requests
+/// cluster in time at a fixed long-run mean rate.
 ///
-/// Arrivals follow a memoryless (Poisson) process: inter-arrival gaps
-/// are exponential with the given mean, the standard model for
-/// independent user traffic. Each arrival picks one of `templates`
-/// request templates uniformly, so a mixed-model stream needs no extra
-/// machinery.
+/// Every shape preserves [`ArrivalSpec::mean_interarrival_ns`] as the
+/// long-run mean gap; only the clustering changes. The serving stress
+/// harness (`sprint-server`'s `stress_test`) replays all three to
+/// exercise admission control under steady, bursty and ramping load.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ArrivalShape {
+    /// Memoryless (Poisson) arrivals: exponential inter-arrival gaps,
+    /// the standard model for independent user traffic.
+    #[default]
+    Poisson,
+    /// On/off burst traffic: arrivals come in bursts of `size`
+    /// requests scattered uniformly over a `spread_ns` window, with
+    /// burst *starts* following a Poisson process whose mean gap is
+    /// `size × mean_interarrival_ns` — so the long-run rate matches
+    /// the Poisson shape while the instantaneous rate spikes.
+    Burst {
+        /// Arrivals per burst (≥ 1). The final burst truncates at the
+        /// stream's total `count`.
+        size: usize,
+        /// Window (ns of virtual time) each burst's arrivals scatter
+        /// over, uniformly. Zero means fully simultaneous arrivals.
+        spread_ns: f64,
+    },
+    /// Linearly ramping load: arrival `i`'s expected gap is
+    /// `mean_interarrival_ns` scaled by the interpolation of
+    /// `start_factor → end_factor` across the stream (gaps stay
+    /// exponential around that moving mean). `start_factor > 1.0 >
+    /// end_factor` ramps the offered rate *up* — the warm-up-then-slam
+    /// profile capacity tests use.
+    Ramp {
+        /// Gap multiplier at the first arrival (> 0, finite).
+        start_factor: f64,
+        /// Gap multiplier at the last arrival (> 0, finite).
+        end_factor: f64,
+    },
+}
+
+/// Specification of a synthetic request-arrival stream for the
+/// trace-driven serving loop (`sprint_engine::ServeLoop`) and the
+/// HTTP stress harness.
+///
+/// The [`ArrivalShape`] controls clustering (steady Poisson, bursts,
+/// or a linear ramp) at the same long-run mean rate. Each arrival
+/// picks one of `templates` request templates uniformly, so a
+/// mixed-model stream needs no extra machinery.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ArrivalSpec {
     /// Number of arrivals to draw.
     pub count: usize,
-    /// Mean inter-arrival gap in nanoseconds of virtual time.
+    /// Long-run mean inter-arrival gap in nanoseconds of virtual time.
     pub mean_interarrival_ns: f64,
     /// Number of request templates arrivals choose from (uniformly).
     pub templates: usize,
+    /// How arrivals cluster in time (default: Poisson).
+    pub shape: ArrivalShape,
 }
 
 impl ArrivalSpec {
+    /// A memoryless (Poisson) stream — the default shape.
+    pub fn poisson(count: usize, mean_interarrival_ns: f64, templates: usize) -> Self {
+        ArrivalSpec {
+            count,
+            mean_interarrival_ns,
+            templates,
+            shape: ArrivalShape::Poisson,
+        }
+    }
+
+    /// Returns the spec reshaped to bursts of `size` arrivals spread
+    /// over `spread_ns` (see [`ArrivalShape::Burst`]).
+    #[must_use]
+    pub fn burst(mut self, size: usize, spread_ns: f64) -> Self {
+        self.shape = ArrivalShape::Burst { size, spread_ns };
+        self
+    }
+
+    /// Returns the spec reshaped to a linear gap ramp from
+    /// `start_factor` to `end_factor` (see [`ArrivalShape::Ramp`]).
+    #[must_use]
+    pub fn ramp(mut self, start_factor: f64, end_factor: f64) -> Self {
+        self.shape = ArrivalShape::Ramp {
+            start_factor,
+            end_factor,
+        };
+        self
+    }
+
     fn validate(&self) -> Result<(), AttentionError> {
         if self.mean_interarrival_ns <= 0.0 || !self.mean_interarrival_ns.is_finite() {
             return Err(AttentionError::InvalidQuantization(format!(
@@ -340,6 +411,34 @@ impl ArrivalSpec {
                 name: "templates",
                 value: 0,
             });
+        }
+        match self.shape {
+            ArrivalShape::Poisson => {}
+            ArrivalShape::Burst { size, spread_ns } => {
+                if size == 0 {
+                    return Err(AttentionError::InvalidDimension {
+                        name: "burst size",
+                        value: 0,
+                    });
+                }
+                if spread_ns < 0.0 || !spread_ns.is_finite() {
+                    return Err(AttentionError::InvalidQuantization(format!(
+                        "burst spread {spread_ns} must be non-negative and finite"
+                    )));
+                }
+            }
+            ArrivalShape::Ramp {
+                start_factor,
+                end_factor,
+            } => {
+                for (name, f) in [("start", start_factor), ("end", end_factor)] {
+                    if f <= 0.0 || !f.is_finite() {
+                        return Err(AttentionError::InvalidQuantization(format!(
+                            "ramp {name} factor {f} must be positive and finite"
+                        )));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -359,9 +458,9 @@ pub struct Arrival {
 impl TraceGenerator {
     /// Draws one arrival stream from the generator's randomness.
     ///
-    /// Arrival times are the running sum of exponential gaps, so the
-    /// stream is sorted by construction and fully determined by the
-    /// generator seed and stream position.
+    /// The stream is sorted by arrival time and fully determined by
+    /// the generator seed, stream position, and spec — the same seed
+    /// always replays the same traffic, for every [`ArrivalShape`].
     ///
     /// # Errors
     ///
@@ -372,22 +471,72 @@ impl TraceGenerator {
     /// ```
     /// use sprint_workloads::{ArrivalSpec, TraceGenerator};
     ///
-    /// let spec = ArrivalSpec { count: 16, mean_interarrival_ns: 1_000_000.0, templates: 2 };
+    /// let spec = ArrivalSpec::poisson(16, 1_000_000.0, 2);
     /// let stream = TraceGenerator::new(3).arrivals(&spec).unwrap();
     /// assert_eq!(stream.len(), 16);
     /// assert!(stream.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    /// // The same spec reshaped into bursts of 8 over a 10 µs window:
+    /// let bursty = TraceGenerator::new(3).arrivals(&spec.burst(8, 10_000.0)).unwrap();
+    /// assert_eq!(bursty.len(), 16);
     /// ```
     pub fn arrivals(&mut self, spec: &ArrivalSpec) -> Result<Vec<Arrival>, AttentionError> {
         spec.validate()?;
-        let mut t = 0.0f64;
+        fn exp_gap(rng: &mut StdRng, mean: f64) -> f64 {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            -mean * u.ln()
+        }
         let mut out = Vec::with_capacity(spec.count);
-        for _ in 0..spec.count {
-            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-            t += -spec.mean_interarrival_ns * u.ln();
-            out.push(Arrival {
-                at_ns: t as u64,
-                template: self.rng.gen_range(0..spec.templates),
-            });
+        match spec.shape {
+            ArrivalShape::Poisson => {
+                let mut t = 0.0f64;
+                for _ in 0..spec.count {
+                    t += exp_gap(&mut self.rng, spec.mean_interarrival_ns);
+                    out.push(Arrival {
+                        at_ns: t as u64,
+                        template: self.rng.gen_range(0..spec.templates),
+                    });
+                }
+            }
+            ArrivalShape::Burst { size, spread_ns } => {
+                // Burst starts are Poisson at 1/size the arrival rate,
+                // so `size` arrivals per burst keep the long-run mean.
+                let mut burst_start = 0.0f64;
+                let mut emitted = 0usize;
+                while emitted < spec.count {
+                    burst_start += exp_gap(&mut self.rng, size as f64 * spec.mean_interarrival_ns);
+                    for _ in 0..size.min(spec.count - emitted) {
+                        let offset = if spread_ns > 0.0 {
+                            self.rng.gen_range(0.0..spread_ns)
+                        } else {
+                            0.0
+                        };
+                        out.push(Arrival {
+                            at_ns: (burst_start + offset) as u64,
+                            template: self.rng.gen_range(0..spec.templates),
+                        });
+                        emitted += 1;
+                    }
+                }
+                // Bursts may overlap when the spread exceeds the burst
+                // gap; a stable sort restores the time order without
+                // perturbing same-instant draws.
+                out.sort_by_key(|a| a.at_ns);
+            }
+            ArrivalShape::Ramp {
+                start_factor,
+                end_factor,
+            } => {
+                let mut t = 0.0f64;
+                let denom = spec.count.saturating_sub(1).max(1) as f64;
+                for i in 0..spec.count {
+                    let factor = start_factor + (end_factor - start_factor) * (i as f64 / denom);
+                    t += exp_gap(&mut self.rng, spec.mean_interarrival_ns * factor);
+                    out.push(Arrival {
+                        at_ns: t as u64,
+                        template: self.rng.gen_range(0..spec.templates),
+                    });
+                }
+            }
         }
         Ok(out)
     }
@@ -718,11 +867,7 @@ mod tests {
 
     #[test]
     fn arrival_streams_are_sorted_deterministic_and_calibrated() {
-        let spec = ArrivalSpec {
-            count: 512,
-            mean_interarrival_ns: 50_000.0,
-            templates: 3,
-        };
+        let spec = ArrivalSpec::poisson(512, 50_000.0, 3);
         let a = TraceGenerator::new(11).arrivals(&spec).unwrap();
         let b = TraceGenerator::new(11).arrivals(&spec).unwrap();
         assert_eq!(a, b, "same seed, same stream");
@@ -741,11 +886,7 @@ mod tests {
 
     #[test]
     fn arrival_spec_validation_rejects_bad_values() {
-        let base = ArrivalSpec {
-            count: 4,
-            mean_interarrival_ns: 1000.0,
-            templates: 1,
-        };
+        let base = ArrivalSpec::poisson(4, 1000.0, 1);
         assert!(TraceGenerator::new(0).arrivals(&base).is_ok());
         assert!(TraceGenerator::new(0)
             .arrivals(&ArrivalSpec {
@@ -759,6 +900,71 @@ mod tests {
                 ..base
             })
             .is_err());
+        assert!(TraceGenerator::new(0)
+            .arrivals(&base.burst(0, 100.0))
+            .is_err());
+        assert!(TraceGenerator::new(0)
+            .arrivals(&base.burst(4, -1.0))
+            .is_err());
+        assert!(TraceGenerator::new(0)
+            .arrivals(&base.ramp(0.0, 1.0))
+            .is_err());
+        assert!(TraceGenerator::new(0)
+            .arrivals(&base.ramp(1.0, f64::INFINITY))
+            .is_err());
+    }
+
+    #[test]
+    fn burst_arrivals_cluster_but_keep_long_run_rate() {
+        let spec = ArrivalSpec::poisson(512, 50_000.0, 2).burst(8, 5_000.0);
+        let a = TraceGenerator::new(31).arrivals(&spec).unwrap();
+        let b = TraceGenerator::new(31).arrivals(&spec).unwrap();
+        assert_eq!(a, b, "same seed, same burst stream");
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(a.len(), 512);
+        // Long-run rate matches the Poisson spec within 25%.
+        let span = a.last().unwrap().at_ns as f64;
+        let mean = span / spec.count as f64;
+        assert!(
+            (mean - spec.mean_interarrival_ns).abs() < 0.25 * spec.mean_interarrival_ns,
+            "measured mean gap {mean}"
+        );
+        // Clustering: the median gap is far below the mean gap, because
+        // most consecutive pairs land inside a burst's narrow spread.
+        let mut gaps: Vec<u64> = a.windows(2).map(|w| w[1].at_ns - w[0].at_ns).collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2] as f64;
+        assert!(
+            median < 0.2 * spec.mean_interarrival_ns,
+            "median gap {median} should sit inside a burst spread"
+        );
+    }
+
+    #[test]
+    fn burst_final_burst_truncates_at_count() {
+        // 10 arrivals in bursts of 8: one full burst plus a 2-wide tail.
+        let spec = ArrivalSpec::poisson(10, 1_000.0, 1).burst(8, 100.0);
+        let a = TraceGenerator::new(5).arrivals(&spec).unwrap();
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn ramp_arrivals_speed_up_when_end_factor_shrinks() {
+        // Gap multiplier ramps 4.0 -> 0.25: the back half of the stream
+        // must be denser (smaller gaps) than the front half.
+        let spec = ArrivalSpec::poisson(400, 10_000.0, 1).ramp(4.0, 0.25);
+        let a = TraceGenerator::new(17).arrivals(&spec).unwrap();
+        let b = TraceGenerator::new(17).arrivals(&spec).unwrap();
+        assert_eq!(a, b, "same seed, same ramp stream");
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        let gaps: Vec<u64> = a.windows(2).map(|w| w[1].at_ns - w[0].at_ns).collect();
+        let half = gaps.len() / 2;
+        let front: f64 = gaps[..half].iter().sum::<u64>() as f64 / half as f64;
+        let back: f64 = gaps[half..].iter().sum::<u64>() as f64 / (gaps.len() - half) as f64;
+        assert!(
+            back < 0.5 * front,
+            "ramp should compress gaps: front mean {front}, back mean {back}"
+        );
     }
 
     #[test]

@@ -63,11 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (mean gap 50 ms — the server idles between arrivals) and heavy
     // (mean gap 1 ms — arrivals pile up and batch).
     for (label, gap_ns) in [("relaxed", 50_000_000.0), ("heavy", 1_000_000.0)] {
-        let arrivals = TraceGenerator::new(42).arrivals(&ArrivalSpec {
-            count: 24,
-            mean_interarrival_ns: gap_ns,
-            templates: templates.len(),
-        })?;
+        let arrivals =
+            TraceGenerator::new(42).arrivals(&ArrivalSpec::poisson(24, gap_ns, templates.len()))?;
         let summary = ServeLoop::new(&server)
             .max_batch(8)
             .run(&arrivals, &templates)?;

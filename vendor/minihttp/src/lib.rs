@@ -1,0 +1,645 @@
+//! Offline minimal HTTP/1.1 primitives over `std::net`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of HTTP it needs — the same
+//! offline-deps pattern as the `rand`/`serde`/`criterion` stand-ins.
+//! This crate is deliberately tiny and explicit:
+//!
+//! * [`read_request`] / [`Response::write_to`] — the server side:
+//!   parse one request from a buffered stream, write one response,
+//!   with persistent (keep-alive) connections supported;
+//! * [`Client`] — the client side: a keep-alive connection that sends
+//!   requests and parses [`Response`]s, reconnecting once on a broken
+//!   socket;
+//! * hard limits on header count, line length and body size, so a
+//!   misbehaving peer cannot balloon server memory.
+//!
+//! Not supported (requests using them are rejected with
+//! `InvalidData`): chunked transfer encoding, trailers, multi-line
+//! headers, HTTP/2. Swap this crate for `tiny_http`/`ureq` in the
+//! workspace manifest when network access is available.
+//!
+//! # Timeouts and idle polling
+//!
+//! A server handling keep-alive connections needs to distinguish "the
+//! peer is idle between requests" from "the peer stalled mid-request".
+//! [`read_request`] makes that split explicit: a read timeout **before
+//! any byte of a new request** surfaces as [`io::ErrorKind::WouldBlock`]
+//! / [`io::ErrorKind::TimedOut`] with nothing consumed (the caller can
+//! poll a shutdown flag and retry safely), while a timeout **inside** a
+//! request is retried internally up to [`MAX_STALL_TICKS`] read
+//! timeouts before failing the connection.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum header-line length in bytes (request line included).
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Maximum number of headers per message.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum body size in bytes accepted by the parsers.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Read-timeout ticks tolerated mid-message before the connection is
+/// declared stalled (with a 100 ms stream timeout this is a 10 s
+/// grace).
+pub const MAX_STALL_TICKS: usize = 100;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by convention of the sender
+    /// (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path plus optional query), verbatim.
+    pub path: String,
+    /// Protocol version token (`HTTP/1.1`).
+    pub version: String,
+    /// Header `(name, value)` pairs in arrival order; names keep their
+    /// original case (use [`Request::header`] for lookups).
+    pub headers: Vec<(String, String)>,
+    /// Raw message body (`Content-Length` bytes; empty without one).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, name)
+    }
+
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// anything older defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One HTTP response, built fluently and written with
+/// [`Response::write_to`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 429, ...).
+    pub status: u16,
+    /// Reason phrase (canonical for known codes).
+    pub reason: String,
+    /// Header `(name, value)` pairs. `Content-Length` and `Connection`
+    /// are managed by [`Response::write_to`]; setting them here too
+    /// duplicates them.
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the canonical reason phrase for `status`.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            reason: reason_phrase(status).to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain; charset=utf-8` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .with_header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sets the body.
+    #[must_use]
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, name)
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Writes the response (status line, headers, `Content-Length`, a
+    /// `Connection` header matching `keep_alive`, blank line, body) and
+    /// flushes.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying writer.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(
+            w,
+            "Connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this workspace uses
+/// (`"Unknown"` otherwise).
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn header_of<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line, retrying mid-line
+/// read timeouts up to [`MAX_STALL_TICKS`]. The line must fit in
+/// [`MAX_LINE_BYTES`].
+fn read_line<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut stalls = 0usize;
+    loop {
+        let available = match r.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MAX_STALL_TICKS {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled mid-message",
+                    ));
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            if line.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof before line end",
+                ));
+            }
+            return Err(invalid("eof inside header line"));
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        line.extend_from_slice(&available[..take]);
+        r.consume(take);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(invalid("header line exceeds MAX_LINE_BYTES"));
+        }
+        if newline.is_some() {
+            while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line).map_err(|_| invalid("header line is not UTF-8"));
+        }
+    }
+}
+
+/// Reads exactly `n` body bytes, retrying mid-body read timeouts up to
+/// [`MAX_STALL_TICKS`].
+fn read_body<R: BufRead>(r: &mut R, n: usize) -> io::Result<Vec<u8>> {
+    let mut body = vec![0u8; n];
+    let mut read = 0usize;
+    let mut stalls = 0usize;
+    while read < n {
+        match r.read(&mut body[read..]) {
+            Ok(0) => return Err(invalid("eof inside message body")),
+            Ok(k) => read += k,
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MAX_STALL_TICKS {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled mid-body",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(body)
+}
+
+/// Parses headers (shared by request and response paths) up to the
+/// blank line.
+fn read_headers<R: BufRead>(r: &mut R) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(invalid("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| invalid("header line without ':'"))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+}
+
+/// Validates framing headers and returns the declared body length.
+fn body_length(headers: &[(String, String)]) -> io::Result<usize> {
+    if header_of(headers, "transfer-encoding").is_some() {
+        return Err(invalid("chunked transfer encoding is not supported"));
+    }
+    let Some(raw) = header_of(headers, "content-length") else {
+        return Ok(0);
+    };
+    let n: usize = raw
+        .trim()
+        .parse()
+        .map_err(|_| invalid("unparseable Content-Length"))?;
+    if n > MAX_BODY_BYTES {
+        return Err(invalid("body exceeds MAX_BODY_BYTES"));
+    }
+    Ok(n)
+}
+
+/// Reads one request from a buffered stream.
+///
+/// Returns `Ok(None)` on a clean EOF before any byte of a new request
+/// (the peer closed an idle keep-alive connection). A read timeout in
+/// the same position surfaces unchanged (`WouldBlock`/`TimedOut`) with
+/// nothing consumed, so a server loop can poll a shutdown flag and call
+/// again; timeouts *inside* a request are retried internally (see the
+/// crate docs).
+///
+/// # Errors
+///
+/// `InvalidData` for malformed or over-limit messages; I/O errors from
+/// the stream otherwise.
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+    // Peek before consuming anything: clean EOF and idle timeouts must
+    // be distinguishable from mid-message failures.
+    match r.fill_buf() {
+        Ok([]) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(e),
+    }
+    let request_line = read_line(r)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m.to_string(), p.to_string(), v.to_string()),
+        _ => return Err(invalid("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+    let headers = read_headers(r)?;
+    let body = read_body(r, body_length(&headers)?)?;
+    Ok(Some(Request {
+        method,
+        path,
+        version,
+        headers,
+        body,
+    }))
+}
+
+/// Reads one response from a buffered stream.
+///
+/// # Errors
+///
+/// `InvalidData` for malformed or over-limit messages; I/O errors from
+/// the stream otherwise.
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
+    let status_line = read_line(r)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("malformed status line"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("unparseable status code"))?;
+    let reason = parts.next().unwrap_or_default().to_string();
+    let headers = read_headers(r)?;
+    let body = read_body(r, body_length(&headers)?)?;
+    Ok(Response {
+        status,
+        reason,
+        headers,
+        body,
+    })
+}
+
+/// A keep-alive HTTP client connection.
+///
+/// Lazily connects on first use and reuses the socket across requests;
+/// a send on a connection the server has since closed reconnects and
+/// retries once. Not thread-safe by design — give each client thread
+/// its own `Client`.
+///
+/// # Example
+///
+/// ```no_run
+/// let mut client = minihttp::Client::connect("127.0.0.1:8080");
+/// let response = client.get("/health").unwrap();
+/// assert_eq!(response.status, 200);
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+    read_timeout: Option<Duration>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`). No socket is opened until
+    /// the first send.
+    pub fn connect(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            stream: None,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+
+    /// Sets the per-response read timeout (default 30 s; `None`
+    /// blocks forever).
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    fn ensure_stream(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(self.read_timeout)?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(self.stream.as_mut().expect("just ensured"))
+    }
+
+    fn send_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        let reader = self.ensure_stream()?;
+        {
+            let mut stream = reader.get_ref();
+            write!(stream, "{method} {path} HTTP/1.1\r\nHost: localhost\r\n")?;
+            for (name, value) in headers {
+                write!(stream, "{name}: {value}\r\n")?;
+            }
+            write!(
+                stream,
+                "Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+                body.len()
+            )?;
+            stream.write_all(body)?;
+            stream.flush()?;
+        }
+        let response = read_response(reader)?;
+        // Honor a server-requested close so the next send reconnects.
+        if response
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+
+    /// Sends one request and reads its response. A failure on a reused
+    /// connection (the server closed it between requests) reconnects
+    /// and retries once; failures on a fresh connection surface as-is.
+    ///
+    /// # Errors
+    ///
+    /// Connection, timeout, or parse (`InvalidData`) errors.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        let reused = self.stream.is_some();
+        match self.send_once(method, path, headers, body) {
+            Ok(response) => Ok(response),
+            Err(e) if reused && !is_timeout(&e) => {
+                self.stream = None;
+                self.send_once(method, path, headers, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::send`].
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.send("GET", path, &[], &[])
+    }
+
+    /// `POST path` with an `application/json` body.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::send`].
+    pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<Response> {
+        self.send(
+            "POST",
+            path,
+            &[("Content-Type", "application/json")],
+            body.as_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> io::Result<Option<Request>> {
+        read_request(&mut Cursor::new(text.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r = parse("POST /v1/serve HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/serve");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"), "lookup is case-insensitive");
+        assert_eq!(r.body, b"body");
+        assert!(r.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_a_get_without_body_and_bare_lf_lines() {
+        let r = parse("GET /health HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        assert_eq!(r.method, "GET");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!r.keep_alive());
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!old.keep_alive(), "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_messages_are_invalid_data() {
+        for text in [
+            "GARBAGE\r\n\r\n",
+            "GET / HTTP/2\r\n\r\n",
+            "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            let err = parse(text).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE_BYTES));
+        assert!(parse(&long_line).is_err());
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            many.push_str(&format!("H{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert!(parse(&many).is_err());
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(parse(&huge).is_err());
+    }
+
+    #[test]
+    fn response_round_trips_through_its_own_writer() {
+        let response = Response::json(429, "{\"err\":\"full\"}").with_header("Retry-After", "1");
+        let mut wire = Vec::new();
+        response.write_to(&mut wire, true).unwrap();
+        let parsed = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(parsed.status, 429);
+        assert_eq!(parsed.reason, "Too Many Requests");
+        assert_eq!(parsed.header("retry-after"), Some("1"));
+        assert_eq!(parsed.header("connection"), Some("keep-alive"));
+        assert_eq!(parsed.body_str(), "{\"err\":\"full\"}");
+    }
+
+    #[test]
+    fn write_to_close_marks_the_connection() {
+        let mut wire = Vec::new();
+        Response::text(200, "ok")
+            .write_to(&mut wire, false)
+            .unwrap();
+        let parsed = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(parsed.header("connection"), Some("close"));
+        assert_eq!(parsed.header("content-length"), Some("2"));
+    }
+
+    #[test]
+    fn client_and_server_speak_over_a_real_socket() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            // Serve two requests on one connection, then close.
+            for i in 0..2 {
+                let request = read_request(&mut reader).unwrap().unwrap();
+                assert_eq!(request.path, format!("/ping/{i}"));
+                Response::text(200, format!("pong {i}"))
+                    .write_to(&mut reader.get_mut(), true)
+                    .unwrap();
+            }
+            assert!(read_request(&mut reader).unwrap().is_none());
+        });
+        let mut client = Client::connect(addr.to_string());
+        for i in 0..2 {
+            let response = client.get(&format!("/ping/{i}")).unwrap();
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body_str(), format!("pong {i}"));
+        }
+        drop(client);
+        server.join().unwrap();
+    }
+}

@@ -221,7 +221,7 @@ pub(crate) fn query_is_live(i: usize, padding: Option<&PaddingMask>) -> bool {
 /// The d = 64 case (every studied model) takes a fixed-size path so the
 /// loop fully unrolls with no bounds checks.
 #[inline]
-fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
+pub(crate) fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
     if let (Ok(o), Ok(xv)) = (
         <&mut [f32; 64]>::try_from(&mut *out),
         <&[f32; 64]>::try_from(x),

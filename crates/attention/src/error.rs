@@ -39,6 +39,15 @@ pub enum AttentionError {
     InvalidQuantization(String),
     /// An empty input where at least one element is required.
     EmptyInput(&'static str),
+    /// A bounded [`crate::PagePool`] has no free page and is at
+    /// capacity. The failed allocation mutates nothing, so the caller
+    /// can evict a cache and retry.
+    PoolExhausted {
+        /// Pages currently held by live caches.
+        in_use: usize,
+        /// The pool's page budget.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for AttentionError {
@@ -64,6 +73,10 @@ impl fmt::Display for AttentionError {
                 write!(f, "invalid quantization parameters: {msg}")
             }
             AttentionError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            AttentionError::PoolExhausted { in_use, capacity } => write!(
+                f,
+                "kv page pool exhausted: {in_use} of {capacity} pages in use"
+            ),
         }
     }
 }

@@ -32,6 +32,7 @@ mod error;
 mod fixed;
 mod matrix;
 mod metrics;
+mod paged;
 mod pruning;
 pub mod reference;
 mod softmax;
@@ -43,12 +44,13 @@ pub use attention::{
     QuantizedAttentionOutput, MASK_NEG,
 };
 pub use decode::{
-    dense_attention_decode_with, pruned_attention_decode_with, quantized_attention_decode_with,
-    KvCache, KvDelta,
+    dense_attention_decode_with, pruned_attention_decode_cached_with,
+    pruned_attention_decode_with, quantized_attention_decode_with, KvCache, KvDelta,
 };
 pub use error::AttentionError;
 pub use fixed::{dequantize, quantize_matrix, quantize_value, QuantParams, QuantizedMatrix};
 pub use matrix::Matrix;
+pub use paged::{PagePool, DEFAULT_PAGE_BYTES};
 pub use metrics::{kl_divergence, mean_abs_error, prune_set_overlap, top1_agreement};
 pub use pruning::{calibrate_threshold, pruning_stats, PruneDecision, PruningStats, ThresholdSet};
 pub use softmax::{

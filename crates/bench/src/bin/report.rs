@@ -99,6 +99,7 @@ fn check_report(explicit: Option<&str>) -> Result<(), String> {
     check_scaling(&items)?;
     check_fault_sweep(&text)?;
     check_server_stress(&items)?;
+    check_decode_churn(&items)?;
     println!(
         "{} ok: {} bench entr{} with finite timings{}",
         path.display(),
@@ -341,6 +342,114 @@ fn check_server_stress(items: &[String]) -> Result<(), String> {
             p99 as f64 / 1e6,
             SERVER_OVERLOAD_P99_MAX_NS / 1_000_000
         ),
+    }
+    Ok(())
+}
+
+/// Ceiling on the churned-run / never-evicted-run wall ratio. Each
+/// rehydration replays the session's whole history (a full reprogram +
+/// requantize), so churn over a quarter-size pool is legitimately
+/// slower than staying resident — but by a bounded, amortized factor.
+/// A regression that replays per *step* instead of per *rehydration*
+/// (or re-replays already-resident sessions) blows well past this.
+const CHURN_OVERHEAD_MAX: f64 = 50.0;
+
+/// Validates the `decode_throughput/churn/...` rows the session-churn
+/// scenario records (eight sessions over a pool sized for two):
+///
+/// * `churn/pages_leaked` must be exactly zero — every page a churned
+///   run ever allocated went back to the pool (zero accounting drift);
+/// * `churn/evictions` and `churn/rehydrated_tokens` must be non-zero —
+///   the scenario actually exercised the evict/rehydrate path;
+/// * `churn/peak_pages` must not exceed `churn/pool_capacity_pages` —
+///   a bounded pool stayed bounded;
+/// * the churned wall median must stay within [`CHURN_OVERHEAD_MAX`]×
+///   the never-evicted twin's (`churn_resident/...`) — rehydration's
+///   amortized cost is bounded.
+///
+/// Absent rows are skipped with a note — other bench groups' emissions
+/// don't carry them.
+fn check_decode_churn(items: &[String]) -> Result<(), String> {
+    use criterion::report::{string_field, u128_field};
+    let median_of = |id: &str| -> Option<u128> {
+        items
+            .iter()
+            .find(|item| string_field(item, "id").as_deref() == Some(id))
+            .and_then(|item| u128_field(item, "median_ns"))
+    };
+    let churn_wall = items.iter().find_map(|item| {
+        let id = string_field(item, "id")?;
+        if id.starts_with("decode_throughput/churn/") && id.contains("sess_") {
+            u128_field(item, "median_ns")
+        } else {
+            None
+        }
+    });
+    let Some(churn_wall) = churn_wall else {
+        println!("decode churn: rows not in this report (skipped)");
+        return Ok(());
+    };
+    match median_of("decode_throughput/churn/pages_leaked") {
+        Some(0) => println!("decode churn: zero page-accounting drift"),
+        Some(n) => {
+            return Err(format!(
+                "decode_throughput/churn/pages_leaked: {n} page(s) never \
+                 returned to the pool — KV page accounting drifted"
+            ));
+        }
+        None => {
+            return Err(
+                "decode churn: scenario row present but churn/pages_leaked missing".to_string()
+            );
+        }
+    }
+    for (id, what) in [
+        ("decode_throughput/churn/evictions", "eviction"),
+        ("decode_throughput/churn/rehydrated_tokens", "rehydrated token"),
+    ] {
+        match median_of(id) {
+            Some(0) => {
+                return Err(format!(
+                    "{id}: zero {what}s — the churn scenario never left residency; \
+                     the pool is no longer applying pressure"
+                ));
+            }
+            Some(n) => println!("decode churn: {n} {what}s"),
+            None => return Err(format!("decode churn: scenario row present but {id} missing")),
+        }
+    }
+    if let (Some(peak), Some(cap)) = (
+        median_of("decode_throughput/churn/peak_pages"),
+        median_of("decode_throughput/churn/pool_capacity_pages"),
+    ) {
+        if peak > cap {
+            return Err(format!(
+                "decode_throughput/churn/peak_pages: {peak} exceeds the \
+                 {cap}-page pool capacity — the bound was not enforced"
+            ));
+        }
+        println!("decode churn: peak {peak} pages within the {cap}-page pool");
+    }
+    let resident = items.iter().find_map(|item| {
+        let id = string_field(item, "id")?;
+        if id.starts_with("decode_throughput/churn_resident/") {
+            u128_field(item, "median_ns")
+        } else {
+            None
+        }
+    });
+    if let Some(resident) = resident {
+        let ratio = churn_wall as f64 / resident.max(1) as f64;
+        if ratio > CHURN_OVERHEAD_MAX {
+            return Err(format!(
+                "decode churn: churned run is {ratio:.1}x the never-evicted twin \
+                 (limit {CHURN_OVERHEAD_MAX}) — rehydration cost is no longer amortized"
+            ));
+        }
+        println!(
+            "decode churn: wall overhead {ratio:.2}x the never-evicted twin \
+             (limit {CHURN_OVERHEAD_MAX})"
+        );
     }
     Ok(())
 }

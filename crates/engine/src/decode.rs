@@ -26,7 +26,7 @@
 //! order than a fresh build, so equivalence is distributional.
 
 use sprint_attention::{
-    pruned_attention_decode_with, quantized_attention_decode_with, softmax_inplace,
+    pruned_attention_decode_cached_with, quantized_attention_decode_with, softmax_inplace,
     AttentionConfig, KvCache, Matrix, PruneDecision, Workspace,
 };
 use sprint_energy::{Category, EnergyBreakdown};
@@ -201,6 +201,18 @@ pub struct SessionPerf {
     pub fault_retries: u64,
     /// Whether the session demoted to the exact digital pipeline.
     pub demoted: bool,
+    /// Times this session's KV pages were dropped back to the pool
+    /// ([`DecodeSession::evict`]).
+    pub evictions: u64,
+    /// Times the session was rebuilt from its replayed history
+    /// ([`Engine::resume_session`]).
+    pub rehydrations: u64,
+    /// History tokens replayed across all rehydrations.
+    pub rehydrated_tokens: u64,
+    /// Crossbar reprogramming energy paid at rehydration (kept apart
+    /// from step-attributed `program_energy` so every step's perf stays
+    /// bit-identical to a never-evicted twin's).
+    pub rehydration_energy: EnergyBreakdown,
 }
 
 impl SessionPerf {
@@ -299,6 +311,60 @@ pub struct DecodeSession {
     demoted: bool,
 }
 
+/// A decode session with its pages dropped back to the pool: the
+/// configuration, seed, accounting and lifecycle flags survive, the KV
+/// cache, crossbars, controller and scratch do not.
+///
+/// Deliberately, **no quantizer state survives eviction** — no running
+/// `max_abs`, no [`sprint_attention::QuantParams`], no programmed
+/// codes. [`Engine::resume_session`] rebuilds all of it from the
+/// replayed token history, exactly as a fresh prefill would, so the
+/// per-column running maxima are recomputed from the rows themselves
+/// rather than restored from a pre-eviction high-water mark (the
+/// running max over the same rows is the same max — which is what
+/// keeps a rehydrated session bit-identical to a never-evicted twin
+/// even when a recalibration straddles the eviction).
+///
+/// The caller retains the token history (the serving layers keep the
+/// per-session trace seed and token count; the engine keeps nothing).
+#[derive(Debug)]
+pub struct EvictedSession {
+    config: SprintConfig,
+    noise: NoiseModel,
+    spec: ThresholdSpec,
+    mode: ExecutionMode,
+    seed: u64,
+    attn: AttentionConfig,
+    threshold: f32,
+    memory_accounting: bool,
+    had_pruner: bool,
+    history_len: usize,
+    d: usize,
+    d_v: usize,
+    perf: SessionPerf,
+    fault_model: Option<FaultModel>,
+    fault_policy: FaultPolicy,
+    demoted: bool,
+}
+
+impl EvictedSession {
+    /// Tokens the session held when evicted — the number of history
+    /// rows [`Engine::resume_session`] expects back.
+    pub fn history_len(&self) -> usize {
+        self.history_len
+    }
+
+    /// The mode the session ran (and will resume) under.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Cumulative accounting, carried across the eviction.
+    pub fn perf(&self) -> &SessionPerf {
+        &self.perf
+    }
+}
+
 impl Engine {
     /// Opens a stateful [`DecodeSession`] seeded and configured from
     /// this engine's defaults (with the request's overrides), starting
@@ -334,7 +400,7 @@ impl Engine {
             attn: request.config,
             threshold: request.threshold,
             memory_accounting: self.memory_accounting_enabled(),
-            kv: KvCache::new(request.k, request.v)?,
+            kv: KvCache::new_in(self.kv_pool(), request.k, request.v)?,
             pruner: None,
             controller: None,
             ws: Workspace::new(),
@@ -343,6 +409,107 @@ impl Engine {
             fault_model: self.fault_model(),
             fault_policy: self.fault_policy(),
             demoted: false,
+        })
+    }
+
+    /// Rebuilds an evicted session from its replayed token history
+    /// (`k`/`v` must hold exactly the rows the session had when
+    /// evicted — the serving layers re-synthesize them from the
+    /// retained trace seed).
+    ///
+    /// The KV cache is requantized and, for analog sessions that had
+    /// programmed crossbars, the pruner is reprogrammed from scratch —
+    /// all derived from the rows themselves, never from cached
+    /// pre-eviction state (see [`EvictedSession`]). The reprogram cost
+    /// lands in [`SessionPerf::rehydration_energy`], so every
+    /// subsequent step's [`StepPerf`] stays bit-identical to a
+    /// never-evicted twin's. The stub is borrowed: on error (e.g. the
+    /// pool is still [`SprintError::is_pool_exhausted`]) it remains
+    /// valid and the resume can be retried after more eviction.
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Request`] when the history disagrees with the
+    /// evicted geometry; pool exhaustion or substrate errors otherwise.
+    pub fn resume_session(
+        &self,
+        stub: &EvictedSession,
+        k: &Matrix,
+        v: &Matrix,
+    ) -> Result<DecodeSession, SprintError> {
+        if k.rows() != stub.history_len || v.rows() != stub.history_len {
+            return Err(SprintError::Request(format!(
+                "rehydration history holds {}/{} rows, evicted session had {}",
+                k.rows(),
+                v.rows(),
+                stub.history_len
+            )));
+        }
+        if k.cols() != stub.d || v.cols() != stub.d_v {
+            return Err(SprintError::Request(format!(
+                "rehydration embedding {}x{} does not match evicted session {}x{}",
+                k.cols(),
+                v.cols(),
+                stub.d,
+                stub.d_v
+            )));
+        }
+        let kv = KvCache::new_in(self.kv_pool(), k, v)?;
+        let mut perf = stub.perf;
+        perf.rehydrations += 1;
+        perf.rehydrated_tokens += stub.history_len as u64;
+        let mut demoted = stub.demoted;
+        let analog = matches!(
+            stub.mode,
+            ExecutionMode::Sprint | ExecutionMode::NoRecompute
+        ) && !demoted;
+        let mut pruner = None;
+        if stub.had_pruner && analog {
+            // Reprogram the crossbars from the replayed history with a
+            // placeholder query: `calibrate_query` runs at the top of
+            // every analog step and recomputes all query-side state,
+            // so the placeholder never reaches a step's outcome.
+            let q0 = Matrix::zeros(1, stub.d)?;
+            let mut p = InMemoryPruner::new(&q0, k, stub.attn.scale(), stub.noise, stub.seed)?;
+            perf.rehydration_energy.charge(
+                Category::ReramWrite,
+                stub.config
+                    .energies
+                    .reram_write_bits(stub.history_len as u64 * 2 * (stub.d * 8) as u64),
+            );
+            if let Some(model) = stub.fault_model {
+                // A rebuild is a fresh program epoch: stamp the model
+                // and scrub everything, as the first step would.
+                p.set_fault_model(Some(model));
+                let map = p.scrub()?;
+                let resolved = resolve_faults(&mut p, stub.fault_policy, map)?;
+                perf.faults_detected += resolved.faults_detected;
+                perf.fault_retries += resolved.retries;
+                if resolved.demoted {
+                    demoted = true;
+                    perf.demoted = true;
+                }
+            }
+            pruner = Some(p);
+        }
+        Ok(DecodeSession {
+            config: stub.config.clone(),
+            noise: stub.noise,
+            spec: stub.spec,
+            mode: stub.mode,
+            seed: stub.seed,
+            attn: stub.attn,
+            threshold: stub.threshold,
+            memory_accounting: stub.memory_accounting,
+            kv,
+            pruner,
+            controller: None,
+            ws: Workspace::new(),
+            q_step: None,
+            perf,
+            fault_model: stub.fault_model,
+            fault_policy: stub.fault_policy,
+            demoted,
         })
     }
 }
@@ -363,6 +530,40 @@ impl DecodeSession {
         &self.perf
     }
 
+    /// Pages this session's KV cache currently holds.
+    pub fn kv_pages(&self) -> usize {
+        self.kv.pages()
+    }
+
+    /// Evicts the session: every KV page returns to the pool, the
+    /// crossbars, controller and scratch are dropped, and a small
+    /// [`EvictedSession`] stub survives with the configuration, seed
+    /// and accounting needed for [`Engine::resume_session`] to rebuild
+    /// the session — bit-identically — from the replayed history.
+    pub fn evict(mut self) -> EvictedSession {
+        self.perf.evictions += 1;
+        EvictedSession {
+            history_len: self.kv.len(),
+            d: self.kv.embed_dim(),
+            d_v: self.kv.value_dim(),
+            had_pruner: self.pruner.is_some(),
+            config: self.config,
+            noise: self.noise,
+            spec: self.spec,
+            mode: self.mode,
+            seed: self.seed,
+            attn: self.attn,
+            threshold: self.threshold,
+            memory_accounting: self.memory_accounting,
+            perf: self.perf,
+            fault_model: self.fault_model,
+            fault_policy: self.fault_policy,
+            demoted: self.demoted,
+        }
+        // The partially-moved `self` drops here: the KvCache releases
+        // its pages, the pruner/controller/workspace free their state.
+    }
+
     /// Serves one decode step: appends the token's K/V to the history,
     /// thresholds its query against the grown crossbars (analog modes)
     /// or the digital score row (Dense/Oracle), drives the kept set
@@ -374,8 +575,8 @@ impl DecodeSession {
     /// [`SprintError::Request`] for mis-sized rows; substrate errors
     /// otherwise.
     pub fn step(&mut self, step: &DecodeStep<'_>) -> Result<StepResponse, SprintError> {
-        let d = self.kv.k().cols();
-        let d_v = self.kv.v().cols();
+        let d = self.kv.embed_dim();
+        let d_v = self.kv.value_dim();
         if step.q.len() != d || step.k.len() != d {
             return Err(SprintError::Request(format!(
                 "step q/k rows hold {}/{} values, history embedding is {d}",
@@ -415,7 +616,11 @@ impl DecodeSession {
             let needs_full_scale = self.spec.score_bits.is_some();
             let (first_build, reprogrammed) = match self.pruner.as_mut() {
                 Some(p) => {
-                    let reprogrammed = p.extend(self.kv.k())?;
+                    // The new key row comes straight from page storage;
+                    // the O(s·d) gather is only paid on the rare
+                    // recalibrating reprogram.
+                    let kv = &self.kv;
+                    let reprogrammed = p.extend_row(kv.k_row(s - 1), || kv.gather_k())?;
                     p.calibrate_query(q1, needs_full_scale)?;
                     perf.recalibrated |= reprogrammed;
                     perf.programmed_tokens += if reprogrammed { s as u64 } else { 1 };
@@ -427,7 +632,7 @@ impl DecodeSession {
                     perf.programmed_tokens += s as u64;
                     self.pruner = Some(InMemoryPruner::new(
                         q1,
-                        self.kv.k(),
+                        &self.kv.gather_k(),
                         self.attn.scale(),
                         self.noise,
                         self.seed,
@@ -497,7 +702,7 @@ impl DecodeSession {
                 let mut out = vec![0.0f32; d_v];
                 for (j, &p) in prow.iter().enumerate() {
                     if p > 0.0 {
-                        for (o, &vx) in out.iter_mut().zip(self.kv.v().row(j)) {
+                        for (o, &vx) in out.iter_mut().zip(self.kv.v_row(j)) {
                             *o += p * vx;
                         }
                     }
@@ -515,10 +720,9 @@ impl DecodeSession {
             } else {
                 self.threshold
             };
-            let (output, decision) = pruned_attention_decode_with(
+            let (output, decision) = pruned_attention_decode_cached_with(
                 q1,
-                self.kv.k(),
-                self.kv.v(),
+                &self.kv,
                 &self.attn,
                 threshold,
                 &mut self.ws,
@@ -569,7 +773,7 @@ impl DecodeSession {
         memory_stats: &MemoryStats,
     ) {
         let u = &self.config.energies;
-        let d = self.kv.k().cols();
+        let d = self.kv.embed_dim();
         let s = decision.len();
         let kept = decision.kept_count() as u64;
         let d_bits = (d * 8) as u64;

@@ -6,8 +6,8 @@ use std::sync::{Mutex, MutexGuard, TryLockError};
 use std::time::Instant;
 
 use sprint_attention::{
-    pruned_attention_with, quantized_attention_with, softmax_inplace, Matrix, PruneDecision,
-    Workspace,
+    pruned_attention_with, quantized_attention_with, softmax_inplace, Matrix, PagePool,
+    PruneDecision, Workspace, DEFAULT_PAGE_BYTES,
 };
 use sprint_memory::MemoryController;
 use sprint_reram::{FaultModel, InMemoryPruner, NoiseModel, ThresholdSpec};
@@ -115,6 +115,7 @@ pub struct EngineBuilder {
     memory_accounting: bool,
     fault_model: Option<FaultModel>,
     fault_policy: FaultPolicy,
+    kv_pool: Option<PagePool>,
 }
 
 impl EngineBuilder {
@@ -193,6 +194,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the shared KV page pool every decode session opened on
+    /// this engine draws from (default: an unbounded private pool with
+    /// [`DEFAULT_PAGE_BYTES`] pages). A bounded pool turns session
+    /// opens and steps into capacity-checked allocations that fail
+    /// with a retryable pool-exhausted error — the signal the serving
+    /// layers use to evict cold sessions.
+    #[must_use]
+    pub fn kv_pool(mut self, pool: PagePool) -> Self {
+        self.kv_pool = Some(pool);
+        self
+    }
+
     /// Builds the engine, validating the hardware configuration
     /// eagerly (the memory controller for scratch slot 0 is
     /// constructed up front so configuration errors surface here, not
@@ -219,6 +232,9 @@ impl EngineBuilder {
             memory_accounting: self.memory_accounting,
             fault_model: self.fault_model,
             fault_policy: self.fault_policy,
+            kv_pool: self
+                .kv_pool
+                .unwrap_or_else(|| PagePool::unbounded(DEFAULT_PAGE_BYTES)),
             next_slot: AtomicUsize::new(0),
         })
     }
@@ -325,6 +341,7 @@ pub struct Engine {
     memory_accounting: bool,
     fault_model: Option<FaultModel>,
     fault_policy: FaultPolicy,
+    kv_pool: PagePool,
     /// Rotates overflow callers (more concurrent `run_head`s than
     /// slots) across blocking locks — see [`Engine::with_scratch`].
     next_slot: AtomicUsize,
@@ -364,6 +381,7 @@ impl Engine {
             memory_accounting: true,
             fault_model: None,
             fault_policy: FaultPolicy::default(),
+            kv_pool: None,
         }
     }
 
@@ -400,6 +418,12 @@ impl Engine {
     /// The fault-recovery policy (meaningful only with a fault model).
     pub fn fault_policy(&self) -> FaultPolicy {
         self.fault_policy
+    }
+
+    /// The shared KV page pool decode sessions draw from (see
+    /// [`EngineBuilder::kv_pool`]).
+    pub fn kv_pool(&self) -> &PagePool {
+        &self.kv_pool
     }
 
     /// Number of worker scratch slots (the concurrency cap of

@@ -106,6 +106,19 @@ impl fmt::Display for SprintError {
     }
 }
 
+impl SprintError {
+    /// Whether this error is the shared KV page pool running out of
+    /// capacity — the one failure the session layers treat as
+    /// *retryable*: evict a cold session (freeing its pages) and issue
+    /// the identical open/step/resume again.
+    pub fn is_pool_exhausted(&self) -> bool {
+        matches!(
+            self,
+            SprintError::Attention(AttentionError::PoolExhausted { .. })
+        )
+    }
+}
+
 impl Error for SprintError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {

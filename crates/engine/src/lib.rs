@@ -94,7 +94,9 @@ mod request;
 mod serve;
 
 pub use config::SprintConfig;
-pub use decode::{DecodeSession, DecodeStep, SessionPerf, SessionRequest, StepPerf, StepResponse};
+pub use decode::{
+    DecodeSession, DecodeStep, EvictedSession, SessionPerf, SessionRequest, StepPerf, StepResponse,
+};
 pub use engine::{derive_head_seed, BatchReport, Engine, EngineBuilder};
 pub use error::{SprintError, SystemError};
 pub use fault::{FaultPolicy, FaultReport};

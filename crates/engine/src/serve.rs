@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use sprint_energy::EnergyBreakdown;
 use sprint_reram::ThresholdSpec;
-use sprint_workloads::{Arrival, ProxyTask, TaskScore, TraceGenerator, TraceSpec};
+use sprint_workloads::{Arrival, HeadTrace, ProxyTask, TaskScore, TraceGenerator, TraceSpec};
 
 use crate::decode::{DecodeStep, SessionRequest};
 use crate::engine::{derive_head_seed, BatchReport};
@@ -492,6 +492,7 @@ impl<'a> ServeLoop<'a> {
             }
         }
         latencies_ns.sort_unstable();
+        let pool = self.server.engine().kv_pool();
         Ok(ServeSummary {
             served: order.len(),
             heads,
@@ -502,6 +503,8 @@ impl<'a> ServeLoop<'a> {
             fault_retries,
             remapped_columns,
             heads_demoted,
+            kv_pages_in_use: pool.pages_in_use(),
+            kv_pages_peak: pool.peak_pages(),
             latencies_ns,
         })
     }
@@ -569,6 +572,20 @@ pub struct DecodeReport {
     pub faults_detected: u64,
     /// Sessions that demoted to the exact digital pipeline mid-decode.
     pub demoted_sessions: u64,
+    /// KV-page eviction events across all sessions (zero for
+    /// [`DecodeLoop::run`]; only [`DecodeLoop::run_churn`] evicts).
+    pub evictions: u64,
+    /// Session rehydrations across all sessions (zero for
+    /// [`DecodeLoop::run`]).
+    pub rehydrations: u64,
+    /// History tokens replayed across all rehydrations.
+    pub rehydrated_tokens: u64,
+    /// Pages the engine's shared KV pool held when the run finished
+    /// (zero once every session closed, unless other sessions share
+    /// the pool).
+    pub kv_pages_in_use: usize,
+    /// The pool's lifetime peak resident page count.
+    pub kv_pages_peak: usize,
     /// Wall-clock nanoseconds the run took.
     pub busy_ns: u128,
     /// Per-worker counters from the session fan-out (sessions are
@@ -673,25 +690,130 @@ impl<'a> DecodeLoop<'a> {
                 self.run_one(i, task)
             })?;
         let busy_ns = started.elapsed().as_nanos().max(1);
+        Ok(self.finish_report(sessions, (0, 0, 0), busy_ns, worker_stats))
+    }
+
+    /// Runs every task under a per-worker **residency cap**: at most
+    /// `resident_cap` sessions per worker hold KV pages at once, the
+    /// rest sit evicted ([`crate::DecodeSession::evict`]) with only
+    /// their stub and retained trace. Each worker serves its sessions
+    /// one token per turn, round-robin; a turn on an evicted session
+    /// transparently rehydrates it through the ordinary prefill path
+    /// ([`Engine::resume_session`]), evicting its own least-recently
+    /// used session first when the shared page pool is exhausted.
+    ///
+    /// Under an ideal noise model and no fault model, the per-session
+    /// reports are **bit-identical** to [`DecodeLoop::run`] over the
+    /// same tasks — eviction and rehydration are invisible in every
+    /// output, decision and step-attributed perf number; only the
+    /// churn counters ([`DecodeReport::evictions`],
+    /// [`DecodeReport::rehydrations`]) and the separately-booked
+    /// [`crate::SessionPerf::rehydration_energy`] differ. The counter
+    /// *values* depend on the worker count (chunk boundaries move);
+    /// the session reports do not.
+    ///
+    /// Size a bounded pool for at least `workers × resident_cap`
+    /// resident sessions: a worker whose own resident set is empty
+    /// cannot free pages held by other workers, so an undersized pool
+    /// surfaces as the pool-exhausted error instead of deadlocking.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DecodeLoop::run`], plus the pool-exhausted error
+    /// ([`SprintError::is_pool_exhausted`]) when eviction cannot free
+    /// enough pages for the next turn.
+    pub fn run_churn(
+        &self,
+        tasks: &[DecodeTask],
+        resident_cap: usize,
+    ) -> Result<DecodeReport, SprintError> {
+        self.run_churn_threads(sprint_parallel::max_threads(), tasks, resident_cap)
+    }
+
+    /// [`DecodeLoop::run_churn`] with an explicit worker-count cap.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DecodeLoop::run_churn`].
+    pub fn run_churn_threads(
+        &self,
+        threads: usize,
+        tasks: &[DecodeTask],
+        resident_cap: usize,
+    ) -> Result<DecodeReport, SprintError> {
+        for (i, task) in tasks.iter().enumerate() {
+            if task.prefill == 0 || task.prefill >= task.spec.seq_len {
+                return Err(SprintError::Request(format!(
+                    "decode task {i}: prefill {} outside 1..{}",
+                    task.prefill, task.spec.seq_len
+                )));
+            }
+        }
+        let workers = threads.max(1);
+        let cap = resident_cap.max(1);
+        let started = Instant::now();
+        // One chunk per worker, the same contiguous split `run` uses —
+        // the chunk round-robins internally instead of finishing each
+        // session before the next.
+        let ranges = sprint_parallel::chunk_ranges(tasks.len(), workers);
+        let (chunks, worker_stats) =
+            sprint_parallel::par_chunk_try_map_threads(workers.max(1), &ranges, |_, _, range| {
+                self.churn_chunk(range.clone(), tasks, cap)
+            })?;
+        let busy_ns = started.elapsed().as_nanos().max(1);
+        let mut sessions = Vec::with_capacity(tasks.len());
+        let mut totals = (0u64, 0u64, 0u64);
+        for (reports, evictions, rehydrations, rehydrated_tokens) in chunks {
+            sessions.extend(reports);
+            totals.0 += evictions;
+            totals.1 += rehydrations;
+            totals.2 += rehydrated_tokens;
+        }
+        Ok(self.finish_report(sessions, totals, busy_ns, worker_stats))
+    }
+
+    fn finish_report(
+        &self,
+        sessions: Vec<SessionReport>,
+        (evictions, rehydrations, rehydrated_tokens): (u64, u64, u64),
+        busy_ns: u128,
+        workers: Vec<sprint_parallel::WorkerStats>,
+    ) -> DecodeReport {
         let tokens = sessions.iter().map(|s: &SessionReport| s.tokens).sum();
         let faults_detected = sessions.iter().map(|s| s.faults_detected).sum();
         let demoted_sessions = sessions.iter().filter(|s| s.demoted).count() as u64;
-        Ok(DecodeReport {
+        let pool = self.engine.kv_pool();
+        DecodeReport {
             sessions,
             tokens,
             faults_detected,
             demoted_sessions,
+            evictions,
+            rehydrations,
+            rehydrated_tokens,
+            kv_pages_in_use: pool.pages_in_use(),
+            kv_pages_peak: pool.peak_pages(),
             busy_ns,
-            workers: worker_stats,
-        })
+            workers,
+        }
     }
 
-    /// Synthesizes task `i`'s token stream and decodes it end to end.
-    fn run_one(&self, i: usize, task: &DecodeTask) -> Result<SessionReport, SprintError> {
+    /// Synthesizes task `i`'s token stream (the retained history every
+    /// rehydration replays from).
+    fn synth_trace(&self, i: usize, task: &DecodeTask) -> Result<HeadTrace, SprintError> {
         let mut spec = task.spec;
         spec.padding_fraction = 0.0;
         let trace_seed = derive_head_seed(self.engine.seed() ^ TRACE_SALT, i as u64);
-        let trace = TraceGenerator::new(trace_seed).generate(&spec)?;
+        Ok(TraceGenerator::new(trace_seed).generate(&spec)?)
+    }
+
+    /// Opens task `i`'s session from its trace's prefill rows.
+    fn open_one(
+        &self,
+        i: usize,
+        task: &DecodeTask,
+        trace: &HeadTrace,
+    ) -> Result<crate::DecodeSession, SprintError> {
         let prefill_k = trace.k().prefix_rows(task.prefill)?;
         let prefill_v = trace.v().prefix_rows(task.prefill)?;
         let mut request =
@@ -703,20 +825,20 @@ impl<'a> DecodeLoop<'a> {
         if let Some(spec) = task.threshold_spec {
             request = request.with_threshold_spec(spec);
         }
-        let mut session = self.engine.open_session(&request)?;
-        let mut final_output = Vec::new();
-        for t in task.prefill..spec.seq_len {
-            let response = session.step(&DecodeStep {
-                q: trace.q().row(t),
-                k: trace.k().row(t),
-                v: trace.v().row(t),
-            })?;
-            final_output = response.output;
-        }
+        self.engine.open_session(&request)
+    }
+
+    /// Folds a finished session into its report.
+    fn close_one(
+        i: usize,
+        prefill: usize,
+        session: &crate::DecodeSession,
+        final_output: Vec<f32>,
+    ) -> SessionReport {
         let perf = *session.perf();
-        Ok(SessionReport {
+        SessionReport {
             session: i,
-            prefill: task.prefill,
+            prefill,
             tokens: perf.tokens,
             kept_fraction: perf.kept_fraction(),
             energy: perf.energy,
@@ -727,7 +849,183 @@ impl<'a> DecodeLoop<'a> {
             fault_retries: perf.fault_retries,
             demoted: perf.demoted,
             final_output,
-        })
+        }
+    }
+
+    /// Synthesizes task `i`'s token stream and decodes it end to end.
+    fn run_one(&self, i: usize, task: &DecodeTask) -> Result<SessionReport, SprintError> {
+        let trace = self.synth_trace(i, task)?;
+        let mut session = self.open_one(i, task, &trace)?;
+        let mut final_output = Vec::new();
+        for t in task.prefill..task.spec.seq_len {
+            let response = session.step(&DecodeStep {
+                q: trace.q().row(t),
+                k: trace.k().row(t),
+                v: trace.v().row(t),
+            })?;
+            final_output = response.output;
+        }
+        Ok(Self::close_one(i, task.prefill, &session, final_output))
+    }
+
+    /// One worker's share of [`DecodeLoop::run_churn`]: round-robin
+    /// one-token turns over `range`'s sessions with at most `cap` of
+    /// them resident. Returns the chunk's reports (in task order) plus
+    /// its `(evictions, rehydrations, rehydrated_tokens)` totals.
+    #[allow(clippy::type_complexity)]
+    fn churn_chunk(
+        &self,
+        range: std::ops::Range<usize>,
+        tasks: &[DecodeTask],
+        cap: usize,
+    ) -> Result<(Vec<SessionReport>, u64, u64, u64), SprintError> {
+        enum Slot {
+            Unopened,
+            Live(Box<crate::DecodeSession>),
+            Parked(Box<crate::EvictedSession>),
+            Done,
+        }
+        struct ChurnSlot {
+            task_index: usize,
+            trace: HeadTrace,
+            /// Next token to decode (== current history length).
+            t: usize,
+            final_output: Vec<f32>,
+            state: Slot,
+        }
+        /// Parks the least-recently-used resident session other than
+        /// `current`, returning whether anything could be parked.
+        fn evict_coldest(slots: &mut [ChurnSlot], lru: &mut Vec<usize>, current: usize) -> bool {
+            let Some(pos) = lru.iter().position(|&x| x != current) else {
+                return false;
+            };
+            let victim = lru.remove(pos);
+            match std::mem::replace(&mut slots[victim].state, Slot::Unopened) {
+                Slot::Live(session) => slots[victim].state = Slot::Parked(Box::new(session.evict())),
+                other => slots[victim].state = other, // unreachable by construction
+            }
+            true
+        }
+
+        let mut slots: Vec<ChurnSlot> = range
+            .clone()
+            .map(|i| {
+                Ok(ChurnSlot {
+                    task_index: i,
+                    trace: self.synth_trace(i, &tasks[i])?,
+                    t: tasks[i].prefill,
+                    final_output: Vec::new(),
+                    state: Slot::Unopened,
+                })
+            })
+            .collect::<Result<_, SprintError>>()?;
+        // Resident slots in recency order: front = coldest.
+        let mut lru: Vec<usize> = Vec::new();
+        let mut reports: Vec<Option<SessionReport>> = (0..slots.len()).map(|_| None).collect();
+        let mut evictions = 0u64;
+        let mut rehydrations = 0u64;
+        let mut rehydrated_tokens = 0u64;
+        let mut remaining = slots.len();
+        while remaining > 0 {
+            for s in 0..slots.len() {
+                if matches!(slots[s].state, Slot::Done) {
+                    continue;
+                }
+                // Make the session resident (open or rehydrate),
+                // evicting our own coldest session on pool pressure.
+                while !matches!(slots[s].state, Slot::Live(_)) {
+                    let i = slots[s].task_index;
+                    let attempt = match &slots[s].state {
+                        Slot::Unopened => self.open_one(i, &tasks[i], &slots[s].trace),
+                        Slot::Parked(stub) => {
+                            let k = slots[s].trace.k().prefix_rows(slots[s].t)?;
+                            let v = slots[s].trace.v().prefix_rows(slots[s].t)?;
+                            self.engine.resume_session(stub, &k, &v)
+                        }
+                        _ => unreachable!("done and live slots handled above"),
+                    };
+                    match attempt {
+                        Ok(session) => {
+                            slots[s].state = Slot::Live(Box::new(session));
+                            lru.push(s);
+                        }
+                        Err(e) if e.is_pool_exhausted() => {
+                            if !evict_coldest(&mut slots, &mut lru, s) {
+                                return Err(e);
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                // Serve one token (retrying through eviction if the
+                // history append needs a page the pool cannot give).
+                if let Some(pos) = lru.iter().position(|&x| x == s) {
+                    lru.remove(pos);
+                    lru.push(s);
+                }
+                loop {
+                    let t = slots[s].t;
+                    let ChurnSlot { trace, state, .. } = &mut slots[s];
+                    let Slot::Live(session) = state else {
+                        unreachable!("made resident above")
+                    };
+                    match session.step(&DecodeStep {
+                        q: trace.q().row(t),
+                        k: trace.k().row(t),
+                        v: trace.v().row(t),
+                    }) {
+                        Ok(response) => {
+                            slots[s].final_output = response.output;
+                            slots[s].t += 1;
+                            break;
+                        }
+                        Err(e) if e.is_pool_exhausted() => {
+                            if !evict_coldest(&mut slots, &mut lru, s) {
+                                return Err(e);
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                // Finished sessions close immediately, freeing pages.
+                let i = slots[s].task_index;
+                if slots[s].t == tasks[i].spec.seq_len {
+                    if let Some(pos) = lru.iter().position(|&x| x == s) {
+                        lru.remove(pos);
+                    }
+                    let state = std::mem::replace(&mut slots[s].state, Slot::Done);
+                    let Slot::Live(session) = state else {
+                        unreachable!("just stepped")
+                    };
+                    let perf = session.perf();
+                    evictions += perf.evictions;
+                    rehydrations += perf.rehydrations;
+                    rehydrated_tokens += perf.rehydrated_tokens;
+                    reports[s] = Some(Self::close_one(
+                        i,
+                        tasks[i].prefill,
+                        &session,
+                        std::mem::take(&mut slots[s].final_output),
+                    ));
+                    remaining -= 1;
+                    continue;
+                }
+                // Enforce the residency cap: the coldest sessions park
+                // until their next turn.
+                while lru.len() > cap {
+                    let victim = lru.remove(0);
+                    match std::mem::replace(&mut slots[victim].state, Slot::Unopened) {
+                        Slot::Live(session) => slots[victim].state = Slot::Parked(Box::new(session.evict())),
+                        other => slots[victim].state = other,
+                    }
+                }
+            }
+        }
+        let reports = reports
+            .into_iter()
+            .map(|r| r.expect("every slot finished"))
+            .collect();
+        Ok((reports, evictions, rehydrations, rehydrated_tokens))
     }
 }
 
@@ -758,6 +1056,12 @@ pub struct ServeSummary {
     /// Heads demoted to the exact digital pipeline across all served
     /// requests (see [`crate::FaultPolicy`]).
     pub heads_demoted: u64,
+    /// Pages resident in the engine's shared KV page pool when the run
+    /// finished (held by decode sessions sharing the engine; zero for
+    /// a pure model-serving deployment).
+    pub kv_pages_in_use: usize,
+    /// The pool's lifetime peak resident page count.
+    pub kv_pages_peak: usize,
     latencies_ns: Vec<u128>,
 }
 
@@ -835,6 +1139,13 @@ impl std::fmt::Display for ServeSummary {
                 "faults: {} cells detected, {} retries, {} columns remapped, \
                  {} heads demoted to the exact pipeline",
                 self.faults_detected, self.fault_retries, self.remapped_columns, self.heads_demoted,
+            )?;
+        }
+        if self.kv_pages_peak > 0 {
+            writeln!(
+                f,
+                "kv pool: {} pages resident, peak {}",
+                self.kv_pages_in_use, self.kv_pages_peak,
             )?;
         }
         write!(
@@ -1005,6 +1316,8 @@ mod tests {
             fault_retries: 0,
             remapped_columns: 0,
             heads_demoted: 0,
+            kv_pages_in_use: 0,
+            kv_pages_peak: 0,
             latencies_ns: vec![10, 20, 30, 40, 50, 60],
         };
         // Nearest-rank: p50 of 6 samples is rank ceil(3) = sample 30.
@@ -1030,6 +1343,8 @@ mod tests {
             fault_retries: 0,
             remapped_columns: 0,
             heads_demoted: 0,
+            kv_pages_in_use: 0,
+            kv_pages_peak: 0,
             latencies_ns: (1..=200).collect(),
         };
         assert!(big.resolves_percentile(99.0));
@@ -1049,6 +1364,8 @@ mod tests {
             fault_retries: 3,
             remapped_columns: 2,
             heads_demoted: 1,
+            kv_pages_in_use: 0,
+            kv_pages_peak: 0,
             latencies_ns: vec![10],
         };
         let text = summary.to_string();
@@ -1107,6 +1424,106 @@ mod tests {
             let run = loop_.run_threads(workers, &tasks).unwrap();
             assert_eq!(run.sessions, reference.sessions, "workers = {workers}");
         }
+    }
+
+    fn churn_tasks() -> [DecodeTask; 3] {
+        let base = ModelConfig::bert_base().trace_spec();
+        [
+            DecodeTask {
+                spec: base.with_seq_len(24),
+                prefill: 16,
+                mode: None,
+                threshold_spec: None,
+            },
+            DecodeTask {
+                spec: base.with_seq_len(40),
+                prefill: 8,
+                mode: Some(ExecutionMode::Oracle),
+                threshold_spec: None,
+            },
+            DecodeTask {
+                spec: base.with_seq_len(16),
+                prefill: 12,
+                mode: Some(ExecutionMode::Dense),
+                threshold_spec: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn churn_loop_is_bit_identical_to_the_never_evicted_twin() {
+        use sprint_attention::PagePool;
+        let tasks = churn_tasks();
+        let twin_engine = Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .seed(21)
+            .build()
+            .unwrap();
+        let twin = DecodeLoop::new(&twin_engine).run_threads(1, &tasks).unwrap();
+        assert_eq!(twin.evictions, 0);
+        assert_eq!(twin.rehydrations, 0);
+
+        // Small pages (4 tokens each at d = d_v = 64) so sessions span
+        // many pages; residency cap 1 forces every round-robin turn to
+        // evict and rehydrate.
+        let engine = Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .seed(21)
+            .kv_pool(PagePool::unbounded(4 * 5 * 128))
+            .build()
+            .unwrap();
+        let loop_ = DecodeLoop::new(&engine);
+        for workers in [1usize, 2, 4] {
+            let churn = loop_.run_churn_threads(workers, &tasks, 1).unwrap();
+            assert_eq!(churn.sessions, twin.sessions, "workers = {workers}");
+            if workers < tasks.len() {
+                // A worker holding one session alone never exceeds the
+                // cap, so only shared workers are forced to churn.
+                assert!(churn.evictions > 0, "cap 1 over shared workers must churn");
+                assert!(churn.rehydrations > 0);
+                assert!(churn.rehydrated_tokens > 0);
+            }
+            assert_eq!(
+                churn.kv_pages_in_use, 0,
+                "every session closed; pages leaked"
+            );
+            assert!(churn.kv_pages_peak > 0);
+        }
+        assert_eq!(engine.kv_pool().pages_in_use(), 0);
+    }
+
+    #[test]
+    fn churn_loop_serves_more_sessions_than_a_bounded_pool_holds() {
+        use sprint_attention::PagePool;
+        let tasks = churn_tasks();
+        let twin_engine = Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .seed(21)
+            .build()
+            .unwrap();
+        let twin = DecodeLoop::new(&twin_engine).run_threads(1, &tasks).unwrap();
+
+        // 12 pages of 4 tokens: the 40-token session alone needs 10,
+        // so a cap-2 resident set (up to 16 pages) cannot fit — the
+        // pool-exhausted retry path must evict mid-turn.
+        let engine = Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .seed(21)
+            .kv_pool(PagePool::bounded(4 * 5 * 128, 12))
+            .build()
+            .unwrap();
+        let churn = DecodeLoop::new(&engine)
+            .run_churn_threads(1, &tasks, 2)
+            .unwrap();
+        assert_eq!(churn.sessions, twin.sessions);
+        assert!(churn.evictions > 0);
+        assert!(churn.kv_pages_peak <= 12, "bounded pool never overshoots");
+        assert_eq!(engine.kv_pool().pages_in_use(), 0, "no accounting drift");
+        assert_eq!(
+            engine.kv_pool().free_pages(),
+            engine.kv_pool().peak_pages(),
+            "every allocated page returned to the free list"
+        );
     }
 
     #[test]

@@ -533,50 +533,118 @@ impl InMemoryPruner {
             return Ok(true);
         }
         self.k_max_abs = new_max;
-        let noise = effective_noise(self.noise, self.cell_bits)?;
-        let shift = 8 - self.cell_bits;
         for j in self.s..k_full.rows() {
-            let ct = j / ARRAY_COLS;
-            let slot = j % ARRAY_COLS;
-            if ct == self.tiles.len() {
-                // First key of a new column tile: create its row tiles
-                // with the same derived seeds a fresh build would use.
-                let row_tiles = self.d.div_ceil(ARRAY_ROWS);
-                let mut row_arrays = Vec::with_capacity(row_tiles);
-                for rt in 0..row_tiles {
-                    let rows = (self.d - rt * ARRAY_ROWS).min(ARRAY_ROWS);
-                    let mut arr = TransposableArray::with_cell_bits(
-                        rows,
-                        1,
-                        self.cell_bits,
-                        noise,
-                        tile_seed(self.seed, ct, rt),
-                    )?;
-                    arr.set_fault_model(self.fault);
-                    row_arrays.push(arr);
-                }
-                self.tiles.push(row_arrays);
-            } else if slot >= self.tiles[ct][0].cols() {
-                for arr in &mut self.tiles[ct] {
-                    arr.append_slots(1);
-                }
-            }
-            for (rt, arr) in self.tiles[ct].iter_mut().enumerate() {
-                let base = rt * ARRAY_ROWS;
-                let codes: Vec<i32> = (0..arr.rows())
-                    .map(|r| {
-                        round_msb_bits(
-                            self.k_params.quantize(k_full.get(j, base + r)),
-                            shift,
-                            self.cell_bits,
-                        )
-                    })
-                    .collect();
-                arr.store_key(slot, &codes)?;
-            }
+            self.append_key(j, k_full.row(j))?;
             self.s += 1;
         }
         Ok(false)
+    }
+
+    /// [`InMemoryPruner::extend`] for exactly one appended key row,
+    /// with the full-history gather deferred behind a closure: the
+    /// paged decode path hands each step's key row straight from page
+    /// storage and only pays the `O(s·d)` `history()` gather on the
+    /// rare recalibration (a key that widens the quantizer range,
+    /// which requantizes and reprograms everything — exactly as
+    /// [`InMemoryPruner::extend`] would).
+    ///
+    /// `history()` must return the entire grown key history, new row
+    /// included. Returns `Ok(true)` on a recalibrating reprogram
+    /// (hardware counters zeroed, as in `extend`), `Ok(false)` on the
+    /// common `O(d)` single-column append. The stored codes afterwards
+    /// equal a fresh build over the grown history in both regimes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::LengthMismatch`] for a wrong embedding
+    /// size and [`ReramError::InvalidParameter`] if `history()`
+    /// disagrees with the grown geometry on a recalibration.
+    pub fn extend_row(
+        &mut self,
+        row: &[f32],
+        history: impl FnOnce() -> Matrix,
+    ) -> Result<bool, ReramError> {
+        if row.len() != self.d {
+            return Err(ReramError::LengthMismatch {
+                what: "key embedding",
+                expected: self.d,
+                found: row.len(),
+            });
+        }
+        let new_max = row.iter().fold(self.k_max_abs, |m, v| m.max(v.abs()));
+        let new_params = QuantParams::for_max_abs(8, new_max)
+            .map_err(|e| ReramError::InvalidParameter(format!("key quantization: {e}")))?;
+        if new_params != self.k_params {
+            let full = history();
+            if full.cols() != self.d || full.rows() != self.s + 1 {
+                return Err(ReramError::InvalidParameter(format!(
+                    "key history is {}x{}, expected {}x{}",
+                    full.rows(),
+                    full.cols(),
+                    self.s + 1,
+                    self.d
+                )));
+            }
+            self.program_keys(&full)?;
+            let unit = 4f64.powi((8 - self.cell_bits) as i32);
+            self.score_lsb = unit
+                * self.q_params.step() as f64
+                * self.k_params.step() as f64
+                * self.attention_scale as f64;
+            return Ok(true);
+        }
+        self.k_max_abs = new_max;
+        self.append_key(self.s, row)?;
+        self.s += 1;
+        Ok(false)
+    }
+
+    /// Programs key `j` (== the current key count) into fresh crossbar
+    /// columns under the already-calibrated quantizer — the shared
+    /// append arm of [`InMemoryPruner::extend`] and
+    /// [`InMemoryPruner::extend_row`]. Does not bump `self.s`.
+    fn append_key(&mut self, j: usize, key: &[f32]) -> Result<(), ReramError> {
+        let noise = effective_noise(self.noise, self.cell_bits)?;
+        let shift = 8 - self.cell_bits;
+        let ct = j / ARRAY_COLS;
+        let slot = j % ARRAY_COLS;
+        if ct == self.tiles.len() {
+            // First key of a new column tile: create its row tiles
+            // with the same derived seeds a fresh build would use.
+            let row_tiles = self.d.div_ceil(ARRAY_ROWS);
+            let mut row_arrays = Vec::with_capacity(row_tiles);
+            for rt in 0..row_tiles {
+                let rows = (self.d - rt * ARRAY_ROWS).min(ARRAY_ROWS);
+                let mut arr = TransposableArray::with_cell_bits(
+                    rows,
+                    1,
+                    self.cell_bits,
+                    noise,
+                    tile_seed(self.seed, ct, rt),
+                )?;
+                arr.set_fault_model(self.fault);
+                row_arrays.push(arr);
+            }
+            self.tiles.push(row_arrays);
+        } else if slot >= self.tiles[ct][0].cols() {
+            for arr in &mut self.tiles[ct] {
+                arr.append_slots(1);
+            }
+        }
+        for (rt, arr) in self.tiles[ct].iter_mut().enumerate() {
+            let base = rt * ARRAY_ROWS;
+            let codes: Vec<i32> = (0..arr.rows())
+                .map(|r| {
+                    round_msb_bits(
+                        self.k_params.quantize(key[base + r]),
+                        shift,
+                        self.cell_bits,
+                    )
+                })
+                .collect();
+            arr.store_key(slot, &codes)?;
+        }
+        Ok(())
     }
 
     /// Number of keys covered.

@@ -13,9 +13,16 @@
 //! * `--http-threads N` / `--max-batch N` / `--batch-window-ms N` /
 //!   `--queue-per-tenant N` / `--queue-global N` — the corresponding
 //!   [`ServerConfig`] knobs.
+//! * `--kv-pool-pages N` — cap the shared KV page pool at N pages
+//!   (decode sessions beyond the cap are LRU-evicted and rehydrated
+//!   transparently; default 0 = unbounded).
+//! * `--kv-page-bytes N` — KV page size in bytes (default 65536).
+//! * `--max-resident-sessions N` — cap how many decode sessions hold
+//!   KV pages at once (default 0 = uncapped).
 //! * `--serve-seconds N` — run for N seconds, then shut down
 //!   gracefully (CI smoke uses this; the default runs until SIGKILL).
 
+use sprint_attention::{PagePool, DEFAULT_PAGE_BYTES};
 use sprint_engine::{Engine, SprintConfig};
 use sprint_server::{Server, ServerConfig};
 use std::time::Duration;
@@ -40,6 +47,7 @@ fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_resident: usize = parse(&args, "--max-resident-sessions", 0);
     let config = ServerConfig {
         addr: arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
         http_threads: parse(&args, "--http-threads", 4),
@@ -47,12 +55,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_batch: parse(&args, "--max-batch", 16),
         queue_per_tenant: parse(&args, "--queue-per-tenant", 32),
         queue_global: parse(&args, "--queue-global", 128),
+        max_resident_sessions: (max_resident > 0).then_some(max_resident),
         ..ServerConfig::default()
     };
     let seed = parse(&args, "--seed", 7u64);
     let serve_seconds: u64 = parse(&args, "--serve-seconds", 0);
 
-    let engine = Engine::builder(SprintConfig::small()).seed(seed).build()?;
+    let page_bytes: usize = parse(&args, "--kv-page-bytes", DEFAULT_PAGE_BYTES);
+    let pool_pages: usize = parse(&args, "--kv-pool-pages", 0);
+    let kv_pool = if pool_pages > 0 {
+        PagePool::bounded(page_bytes, pool_pages)
+    } else {
+        PagePool::unbounded(page_bytes)
+    };
+    let engine = Engine::builder(SprintConfig::small())
+        .seed(seed)
+        .kv_pool(kv_pool)
+        .build()?;
     let server = Server::start(engine, config)?;
     // Machine-greppable boot line (CI curls the printed address).
     println!("sprint-server listening on {}", server.local_addr());

@@ -40,6 +40,11 @@ pub struct Metrics {
     pub sessions_open: AtomicU64,
     /// Decode steps served.
     pub decode_steps: AtomicU64,
+    /// Decode sessions whose KV pages were dropped back to the shared
+    /// pool (the session survives; its next step rehydrates it).
+    pub sessions_evicted: AtomicU64,
+    /// Decode sessions rebuilt from their replayed token history.
+    pub sessions_rehydrated: AtomicU64,
     /// ReRAM cell faults detected, rolled up across responses.
     pub faults_detected: AtomicU64,
     /// Write-verify repair retries, rolled up across responses.
@@ -71,6 +76,8 @@ impl Default for Metrics {
             sessions_opened: AtomicU64::new(0),
             sessions_open: AtomicU64::new(0),
             decode_steps: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
+            sessions_rehydrated: AtomicU64::new(0),
             faults_detected: AtomicU64::new(0),
             fault_retries: AtomicU64::new(0),
             remapped_columns: AtomicU64::new(0),
@@ -132,8 +139,15 @@ impl Metrics {
     }
 
     /// Renders the Prometheus-style text exposition, with the live
-    /// queue depth supplied by the caller (the queue owns that number).
-    pub fn render(&self, queue_depth: usize) -> String {
+    /// queue depth and KV pool occupancy supplied by the caller (the
+    /// queue and the engine's page pool own those numbers;
+    /// `kv_pages_capacity` of zero means the pool is unbounded).
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        kv_pages_in_use: usize,
+        kv_pages_capacity: usize,
+    ) -> String {
         let (p50, p90, p99) = self.latency_quantiles_ns();
         let counter = |out: &mut String, name: &str, help: &str, value: u64| {
             out.push_str(&format!(
@@ -229,6 +243,30 @@ impl Metrics {
         );
         counter(
             &mut out,
+            "sprint_sessions_evicted_total",
+            "Decode sessions whose KV pages were dropped back to the pool.",
+            load(&self.sessions_evicted),
+        );
+        counter(
+            &mut out,
+            "sprint_sessions_rehydrated_total",
+            "Decode sessions rebuilt from their replayed token history.",
+            load(&self.sessions_rehydrated),
+        );
+        gauge(
+            &mut out,
+            "sprint_kv_pages_in_use",
+            "Pages resident in the shared KV page pool.",
+            kv_pages_in_use.to_string(),
+        );
+        gauge(
+            &mut out,
+            "sprint_kv_pages_capacity",
+            "Page capacity of the KV pool (0 = unbounded).",
+            kv_pages_capacity.to_string(),
+        );
+        counter(
+            &mut out,
             "sprint_fault_cells_detected_total",
             "ReRAM cell faults detected across all served work.",
             load(&self.faults_detected),
@@ -267,11 +305,17 @@ mod tests {
         m.record_faults(5, 2, 1, 1);
         m.record_latency(1_000_000);
         m.record_latency(3_000_000);
-        let text = m.render(4);
+        m.sessions_evicted.fetch_add(6, Ordering::Relaxed);
+        m.sessions_rehydrated.fetch_add(4, Ordering::Relaxed);
+        let text = m.render(4, 9, 16);
         for needle in [
             "sprint_http_requests_total 3",
             "sprint_requests_completed_total 2",
             "sprint_queue_depth 4",
+            "sprint_sessions_evicted_total 6",
+            "sprint_sessions_rehydrated_total 4",
+            "sprint_kv_pages_in_use 9",
+            "sprint_kv_pages_capacity 16",
             "sprint_request_latency_ms{quantile=\"0.5\"} 1.000",
             "sprint_request_latency_ms{quantile=\"0.99\"} 3.000",
             "sprint_fault_cells_detected_total 5",

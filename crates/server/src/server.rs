@@ -50,8 +50,8 @@ use crate::protocol::{self, ServeRequest};
 use crate::queue::{AdmissionQueue, Rejection};
 use minihttp::{read_request, Request, Response};
 use sprint_engine::{
-    DecodeSession, DecodeStep, Engine, ModelRequest, ModelResponse, ModelServer, SessionRequest,
-    SprintError,
+    DecodeSession, DecodeStep, Engine, EvictedSession, ModelRequest, ModelResponse, ModelServer,
+    SessionRequest, SprintError,
 };
 use sprint_workloads::{HeadTrace, TraceGenerator};
 
@@ -77,6 +77,11 @@ pub struct ServerConfig {
     pub queue_global: usize,
     /// Worker-thread cap handed to the engine per batch.
     pub engine_workers: usize,
+    /// Most decode sessions allowed to hold KV pages at once; the
+    /// least-recently-used session beyond this is evicted (its pages
+    /// return to the engine's shared pool, its next step rehydrates it
+    /// transparently). `None` leaves residency to pool pressure alone.
+    pub max_resident_sessions: Option<usize>,
     /// Test hook: an artificial service delay inserted before each
     /// engine batch. Lets the overload and drain tests hold requests
     /// in flight deterministically. `None` in production.
@@ -94,6 +99,7 @@ impl Default for ServerConfig {
             queue_per_tenant: 32,
             queue_global: 128,
             engine_workers: sprint_parallel::max_threads(),
+            max_resident_sessions: None,
             service_delay: None,
         }
     }
@@ -106,13 +112,28 @@ struct QueuedServe {
     reply: mpsc::Sender<Result<ModelResponse, SprintError>>,
 }
 
+/// Where a decode session's substrate currently lives.
+enum SessionSlot {
+    /// KV pages resident in the shared pool; steps serve directly.
+    Resident(Box<DecodeSession>),
+    /// Pages dropped back to the pool; the next step rehydrates the
+    /// session from its retained trace before serving.
+    Evicted(Box<EvictedSession>),
+    /// Transitional placeholder while a session moves between states
+    /// (never observed across a lock release).
+    Vacant,
+}
+
 /// One open decode session: the synthesized token stream plus the
-/// engine session consuming it.
+/// engine session consuming it (resident or evicted).
 struct SessionState {
-    session: DecodeSession,
+    slot: SessionSlot,
     trace: HeadTrace,
     next_token: usize,
     seq_len: usize,
+    /// Monotone recency stamp ([`Shared::lru_tick`]) — the coldest
+    /// resident session is the eviction victim under pool pressure.
+    last_used: u64,
 }
 
 struct Shared {
@@ -124,6 +145,11 @@ struct Shared {
     shutdown: AtomicBool,
     sessions: Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>,
     next_session: AtomicU64,
+    /// Recency clock for session LRU eviction.
+    lru_tick: AtomicU64,
+    /// Sessions currently holding KV pages (maintained at every
+    /// open/rehydrate/evict/close transition).
+    resident_sessions: AtomicU64,
 }
 
 /// A running server: the listener, handler pool and batcher threads,
@@ -166,6 +192,8 @@ impl Server {
             metrics: Metrics::new(),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
+            lru_tick: AtomicU64::new(0),
+            resident_sessions: AtomicU64::new(0),
             config,
         });
 
@@ -378,8 +406,14 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/health") => health(shared),
         ("GET", "/metrics") => {
             let depth = shared.queue.lock().expect("queue poisoned").depth();
-            Response::text(200, shared.metrics.render(depth))
-                .with_header("Content-Type", "text/plain; version=0.0.4")
+            let pool = shared.server.engine().kv_pool();
+            Response::text(
+                200,
+                shared
+                    .metrics
+                    .render(depth, pool.pages_in_use(), pool.capacity_pages().unwrap_or(0)),
+            )
+            .with_header("Content-Type", "text/plain; version=0.0.4")
         }
         ("POST", "/v1/serve") => serve_endpoint(shared, request),
         ("POST", "/v1/decode") => decode_endpoint(shared, request),
@@ -469,6 +503,67 @@ fn decode_endpoint(shared: &Shared, request: &Request) -> Response {
     }
 }
 
+/// Evicts the least-recently-used resident session other than
+/// `exclude`, returning whether anything was evicted. Candidates are
+/// probed with `try_lock` (a locked session is mid-step and therefore
+/// hot); acquisition is also non-blocking, so two handlers evicting
+/// concurrently can never deadlock on each other's session locks.
+fn evict_coldest(shared: &Shared, exclude: Option<u64>) -> bool {
+    let mut candidates: Vec<(u64, Arc<Mutex<SessionState>>)> = {
+        let sessions = shared.sessions.lock().expect("sessions poisoned");
+        sessions
+            .iter()
+            .filter(|(&id, _)| Some(id) != exclude)
+            .filter_map(|(_, entry)| {
+                let state = entry.try_lock().ok()?;
+                matches!(state.slot, SessionSlot::Resident(_))
+                    .then(|| (state.last_used, Arc::clone(entry)))
+            })
+            .collect()
+    };
+    candidates.sort_by_key(|&(tick, _)| tick);
+    for (_, entry) in candidates {
+        let Ok(mut state) = entry.try_lock() else {
+            continue; // grabbed by a step since the probe: hot again
+        };
+        match std::mem::replace(&mut state.slot, SessionSlot::Vacant) {
+            SessionSlot::Resident(session) => {
+                state.slot = SessionSlot::Evicted(Box::new(session.evict()));
+                shared
+                    .metrics
+                    .sessions_evicted
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .resident_sessions
+                    .fetch_sub(1, Ordering::Relaxed);
+                return true;
+            }
+            other => state.slot = other, // rehydration won the race
+        }
+    }
+    false
+}
+
+/// Parks cold sessions until at most `max_resident_sessions` hold
+/// pages (no-op when unconfigured).
+fn enforce_resident_cap(shared: &Shared, exclude: Option<u64>) {
+    let Some(cap) = shared.config.max_resident_sessions else {
+        return;
+    };
+    while shared.resident_sessions.load(Ordering::Relaxed) > cap as u64 {
+        if !evict_coldest(shared, exclude) {
+            return; // everything else is locked or already evicted
+        }
+    }
+}
+
+/// The `409 Conflict` answer for a KV page pool that stayed exhausted
+/// even after evicting everything evictable.
+fn pool_exhausted(e: &SprintError) -> Response {
+    let body = Json::obj([("error", Json::Str(e.to_string()))]).to_string();
+    Response::json(409, body).with_header("Retry-After", "1")
+}
+
 fn decode_open(shared: &Shared, body: &Json) -> Response {
     if shared.queue.lock().expect("queue poisoned").is_closed() {
         return Response::json(503, r#"{"error":"server is draining"}"#)
@@ -494,29 +589,40 @@ fn decode_open(shared: &Shared, body: &Json) -> Response {
         Ok(trace) => trace,
         Err(e) => return bad_request(format!("trace synthesis failed: {e}")),
     };
-    let open = (|| -> Result<DecodeSession, SprintError> {
-        let prefill_k = trace.k().prefix_rows(prefill)?;
-        let prefill_v = trace.v().prefix_rows(prefill)?;
-        let session_request =
-            SessionRequest::new(&prefill_k, &prefill_v, trace.config(), trace.threshold())
-                .with_head_id(seed);
-        shared.server.engine().open_session(&session_request)
-    })();
-    let session = match open {
-        Ok(session) => session,
-        Err(e) => {
-            let body = Json::obj([("error", Json::Str(e.to_string()))]).to_string();
-            return Response::json(500, body);
+    let session = loop {
+        let open = (|| -> Result<DecodeSession, SprintError> {
+            let prefill_k = trace.k().prefix_rows(prefill)?;
+            let prefill_v = trace.v().prefix_rows(prefill)?;
+            let session_request =
+                SessionRequest::new(&prefill_k, &prefill_v, trace.config(), trace.threshold())
+                    .with_head_id(seed);
+            shared.server.engine().open_session(&session_request)
+        })();
+        match open {
+            Ok(session) => break session,
+            Err(e) if e.is_pool_exhausted() => {
+                // Page pressure is retryable: park the coldest open
+                // session and try again. 409 only when nothing is left
+                // to evict — the pool is truly exhausted.
+                if !evict_coldest(shared, None) {
+                    return pool_exhausted(&e);
+                }
+            }
+            Err(e) => {
+                let body = Json::obj([("error", Json::Str(e.to_string()))]).to_string();
+                return Response::json(500, body);
+            }
         }
     };
     let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
     shared.sessions.lock().expect("sessions poisoned").insert(
         id,
         Arc::new(Mutex::new(SessionState {
-            session,
+            slot: SessionSlot::Resident(Box::new(session)),
             trace,
             next_token: prefill,
             seq_len,
+            last_used: shared.lru_tick.fetch_add(1, Ordering::Relaxed),
         })),
     );
     shared
@@ -524,6 +630,8 @@ fn decode_open(shared: &Shared, body: &Json) -> Response {
         .sessions_opened
         .fetch_add(1, Ordering::Relaxed);
     shared.metrics.sessions_open.fetch_add(1, Ordering::Relaxed);
+    shared.resident_sessions.fetch_add(1, Ordering::Relaxed);
+    enforce_resident_cap(shared, Some(id));
     let body = Json::obj([
         ("session", Json::Int(id as i128)),
         ("position", Json::Int(prefill as i128)),
@@ -547,7 +655,7 @@ fn session_of(shared: &Shared, body: &Json) -> Result<(u64, Arc<Mutex<SessionSta
 }
 
 fn decode_step(shared: &Shared, body: &Json) -> Response {
-    let (_, entry) = match session_of(shared, body) {
+    let (id, entry) = match session_of(shared, body) {
         Ok(found) => found,
         Err(response) => return response,
     };
@@ -557,6 +665,41 @@ fn decode_step(shared: &Shared, body: &Json) -> Response {
             409,
             r#"{"error":"session exhausted its token stream; close it"}"#,
         );
+    }
+    state.last_used = shared.lru_tick.fetch_add(1, Ordering::Relaxed);
+    // Transparent rehydration: an evicted session rebuilds from its
+    // replayed trace history through the ordinary prefill path before
+    // the step serves. Pool pressure evicts a colder session and
+    // retries; 409 only when nothing else can be evicted.
+    while matches!(state.slot, SessionSlot::Evicted(_)) {
+        let resume = (|| -> Result<DecodeSession, SprintError> {
+            let SessionSlot::Evicted(stub) = &state.slot else {
+                unreachable!("guarded by the loop condition");
+            };
+            let k = state.trace.k().prefix_rows(state.next_token)?;
+            let v = state.trace.v().prefix_rows(state.next_token)?;
+            shared.server.engine().resume_session(stub, &k, &v)
+        })();
+        match resume {
+            Ok(session) => {
+                state.slot = SessionSlot::Resident(Box::new(session));
+                shared
+                    .metrics
+                    .sessions_rehydrated
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.resident_sessions.fetch_add(1, Ordering::Relaxed);
+                enforce_resident_cap(shared, Some(id));
+            }
+            Err(e) if e.is_pool_exhausted() => {
+                if !evict_coldest(shared, Some(id)) {
+                    return pool_exhausted(&e);
+                }
+            }
+            Err(e) => {
+                let body = Json::obj([("error", Json::Str(e.to_string()))]).to_string();
+                return Response::json(500, body);
+            }
+        }
     }
     let t = state.next_token;
     // Owned copies: the trace and the session live in the same entry,
@@ -571,11 +714,23 @@ fn decode_step(shared: &Shared, body: &Json) -> Response {
         k: &k,
         v: &v,
     };
-    let response = match state.session.step(&step) {
-        Ok(response) => response,
-        Err(e) => {
-            let body = Json::obj([("error", Json::Str(e.to_string()))]).to_string();
-            return Response::json(500, body);
+    let response = loop {
+        let SessionSlot::Resident(session) = &mut state.slot else {
+            unreachable!("rehydrated above");
+        };
+        match session.step(&step) {
+            Ok(response) => break response,
+            Err(e) if e.is_pool_exhausted() => {
+                // The history append needed a page the pool could not
+                // give; the failed push left the session untouched.
+                if !evict_coldest(shared, Some(id)) {
+                    return pool_exhausted(&e);
+                }
+            }
+            Err(e) => {
+                let body = Json::obj([("error", Json::Str(e.to_string()))]).to_string();
+                return Response::json(500, body);
+            }
         }
     };
     state.next_token += 1;
@@ -618,13 +773,22 @@ fn decode_close(shared: &Shared, body: &Json) -> Response {
     };
     shared.metrics.sessions_open.fetch_sub(1, Ordering::Relaxed);
     let state = entry.lock().expect("session poisoned");
-    let perf = state.session.perf();
+    let perf = match &state.slot {
+        SessionSlot::Resident(session) => {
+            shared.resident_sessions.fetch_sub(1, Ordering::Relaxed);
+            *session.perf()
+        }
+        SessionSlot::Evicted(stub) => *stub.perf(),
+        SessionSlot::Vacant => unreachable!("vacant only inside a held lock"),
+    };
     let body = Json::obj([
         ("session", Json::Int(id as i128)),
         ("tokens", Json::Int(perf.tokens as i128)),
         ("cycles", Json::Int(perf.cycles as i128)),
         ("kept_fraction", Json::Num(perf.kept_fraction())),
         ("recalibrations", Json::Int(perf.recalibrations as i128)),
+        ("evictions", Json::Int(perf.evictions as i128)),
+        ("rehydrations", Json::Int(perf.rehydrations as i128)),
         ("faults_detected", Json::Int(perf.faults_detected as i128)),
         ("fault_retries", Json::Int(perf.fault_retries as i128)),
         ("demoted", Json::Bool(perf.demoted)),

@@ -42,4 +42,6 @@ mod trace;
 
 pub use models::{Dataset, ModelConfig, ModelKind};
 pub use task::{ProxyTask, TaskScore};
-pub use trace::{Arrival, ArrivalShape, ArrivalSpec, HeadTrace, TraceGenerator, TraceSpec};
+pub use trace::{
+    Arrival, ArrivalShape, ArrivalSpec, ChurnEvent, ChurnSpec, HeadTrace, TraceGenerator, TraceSpec,
+};

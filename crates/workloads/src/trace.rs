@@ -542,6 +542,137 @@ impl TraceGenerator {
     }
 }
 
+/// One event of a session-churn schedule: the open/step/evict
+/// interleaving the paged-KV serving layers are exercised under.
+/// Sessions open implicitly at their first `Step` and close when their
+/// last one is served; an evicted session rehydrates transparently at
+/// its next `Step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// Decode one token on session `session`.
+    Step {
+        /// Session index in `0..spec.sessions`.
+        session: usize,
+    },
+    /// Drop session `session`'s KV pages back to the pool (its token
+    /// history survives outside the engine).
+    Evict {
+        /// Session index in `0..spec.sessions`.
+        session: usize,
+    },
+}
+
+impl ChurnEvent {
+    /// The session the event addresses.
+    pub fn session(&self) -> usize {
+        match *self {
+            ChurnEvent::Step { session } | ChurnEvent::Evict { session } => session,
+        }
+    }
+}
+
+/// Shape of a session-churn schedule
+/// ([`TraceGenerator::churn_schedule`]): `sessions` concurrent decode
+/// streams of `steps_per_session` tokens each, randomly interleaved,
+/// with evictions injected at `evict_fraction` per served step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Concurrent decode sessions.
+    pub sessions: usize,
+    /// Tokens each session decodes.
+    pub steps_per_session: usize,
+    /// Probability that an eviction of a random still-live session is
+    /// injected after each served step (`0.0..=1.0`).
+    pub evict_fraction: f64,
+}
+
+impl ChurnSpec {
+    /// Builds a churn shape.
+    pub fn new(sessions: usize, steps_per_session: usize, evict_fraction: f64) -> Self {
+        ChurnSpec {
+            sessions,
+            steps_per_session,
+            evict_fraction,
+        }
+    }
+
+    fn validate(&self) -> Result<(), AttentionError> {
+        if self.sessions == 0 {
+            return Err(AttentionError::InvalidDimension {
+                name: "sessions",
+                value: 0,
+            });
+        }
+        if self.steps_per_session == 0 {
+            return Err(AttentionError::InvalidDimension {
+                name: "steps per session",
+                value: 0,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.evict_fraction) || !self.evict_fraction.is_finite() {
+            return Err(AttentionError::InvalidQuantization(format!(
+                "evict fraction {} must lie in [0, 1]",
+                self.evict_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl TraceGenerator {
+    /// Draws one random open/step/evict interleaving from the
+    /// generator's randomness: every session serves exactly
+    /// `steps_per_session` steps in order, the interleaving across
+    /// sessions is uniform over the live set, and each served step
+    /// injects — with probability `evict_fraction` — an eviction of a
+    /// random session that still has steps left. Fully determined by
+    /// the generator seed and spec; sweeping seeds sweeps
+    /// interleavings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec fails validation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sprint_workloads::{ChurnEvent, ChurnSpec, TraceGenerator};
+    ///
+    /// let spec = ChurnSpec::new(4, 8, 0.25);
+    /// let schedule = TraceGenerator::new(7).churn_schedule(&spec).unwrap();
+    /// let steps = schedule
+    ///     .iter()
+    ///     .filter(|e| matches!(e, ChurnEvent::Step { .. }))
+    ///     .count();
+    /// assert_eq!(steps, 4 * 8);
+    /// let same = TraceGenerator::new(7).churn_schedule(&spec).unwrap();
+    /// assert_eq!(schedule, same, "same seed, same interleaving");
+    /// ```
+    pub fn churn_schedule(&mut self, spec: &ChurnSpec) -> Result<Vec<ChurnEvent>, AttentionError> {
+        spec.validate()?;
+        let mut remaining = vec![spec.steps_per_session; spec.sessions];
+        let mut live: Vec<usize> = (0..spec.sessions).collect();
+        let mut out = Vec::with_capacity(spec.sessions * spec.steps_per_session);
+        while !live.is_empty() {
+            let pick = self.rng.gen_range(0..live.len());
+            let session = live[pick];
+            out.push(ChurnEvent::Step { session });
+            remaining[session] -= 1;
+            if remaining[session] == 0 {
+                live.swap_remove(pick);
+            }
+            if !live.is_empty() && spec.evict_fraction > 0.0 {
+                let roll: f64 = self.rng.gen_range(0.0..1.0);
+                if roll < spec.evict_fraction {
+                    let victim = live[self.rng.gen_range(0..live.len())];
+                    out.push(ChurnEvent::Evict { session: victim });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// Binary-searches the salience blend λ so that the measured
 /// adjacent overlap on a calibration-size instance matches the
 /// target. Overlap is monotone in λ: more salience weight means
@@ -965,6 +1096,65 @@ mod tests {
             back < 0.5 * front,
             "ramp should compress gaps: front mean {front}, back mean {back}"
         );
+    }
+
+    #[test]
+    fn churn_schedule_serves_every_session_exactly_and_deterministically() {
+        let spec = ChurnSpec::new(6, 17, 0.3);
+        let a = TraceGenerator::new(11).churn_schedule(&spec).unwrap();
+        let b = TraceGenerator::new(11).churn_schedule(&spec).unwrap();
+        assert_eq!(a, b, "same seed, same interleaving");
+        let mut steps = vec![0usize; spec.sessions];
+        let mut evictions = 0usize;
+        for event in &a {
+            match *event {
+                ChurnEvent::Step { session } => {
+                    assert!(session < spec.sessions);
+                    steps[session] += 1;
+                }
+                ChurnEvent::Evict { session } => {
+                    assert!(
+                        steps[session] < spec.steps_per_session,
+                        "evicted session {session} had already finished"
+                    );
+                    evictions += 1;
+                }
+            }
+        }
+        assert!(steps.iter().all(|&s| s == spec.steps_per_session));
+        assert!(evictions > 0, "evict fraction 0.3 over 102 steps fired never");
+        // A different seed gives a different interleaving.
+        let c = TraceGenerator::new(12).churn_schedule(&spec).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn churn_schedule_with_zero_evict_fraction_is_pure_steps() {
+        let spec = ChurnSpec::new(3, 5, 0.0);
+        let events = TraceGenerator::new(2).churn_schedule(&spec).unwrap();
+        assert_eq!(events.len(), 15);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, ChurnEvent::Step { .. })));
+    }
+
+    #[test]
+    fn churn_spec_validation_rejects_degenerate_shapes() {
+        assert!(TraceGenerator::new(0)
+            .churn_schedule(&ChurnSpec::new(0, 4, 0.1))
+            .is_err());
+        assert!(TraceGenerator::new(0)
+            .churn_schedule(&ChurnSpec::new(4, 0, 0.1))
+            .is_err());
+        assert!(TraceGenerator::new(0)
+            .churn_schedule(&ChurnSpec::new(4, 4, -0.1))
+            .is_err());
+        assert!(TraceGenerator::new(0)
+            .churn_schedule(&ChurnSpec::new(4, 4, 1.5))
+            .is_err());
+        assert!(TraceGenerator::new(0)
+            .churn_schedule(&ChurnSpec::new(4, 4, f64::NAN))
+            .is_err());
     }
 
     #[test]

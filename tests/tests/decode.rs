@@ -10,13 +10,13 @@
 //! [`ExecutionMode`]s, across ragged session lengths and worker
 //! counts.
 
-use sprint_attention::Matrix;
+use sprint_attention::{Matrix, PagePool};
 use sprint_engine::{
-    DecodeLoop, DecodeStep, DecodeTask, Engine, ExecutionMode, HeadRequest, SessionRequest,
-    SprintConfig,
+    DecodeLoop, DecodeSession, DecodeStep, DecodeTask, Engine, EvictedSession, ExecutionMode,
+    HeadRequest, SessionRequest, SprintConfig,
 };
 use sprint_reram::{NoiseModel, ThresholdSpec};
-use sprint_workloads::{HeadTrace, ModelConfig, TraceGenerator};
+use sprint_workloads::{ChurnEvent, ChurnSpec, HeadTrace, ModelConfig, TraceGenerator};
 
 fn trace(seq: usize, seed: u64) -> HeadTrace {
     let spec = ModelConfig::bert_base()
@@ -189,6 +189,64 @@ fn range_widening_tokens_force_recalibration_and_still_match() {
 }
 
 #[test]
+fn rehydration_straddling_recalibration_rebuilds_the_running_max_from_history() {
+    // Amplified mid-stream tokens widen the per-column quantizer range
+    // (k at row 28, v at row 30 — both force requantization). Evicting
+    // and rehydrating just before, at, and just after those tokens must
+    // change nothing: the rebuilt cache derives its running max from
+    // the replayed history, never from a pre-eviction high-water mark.
+    let base = trace(36, 13);
+    let amplify = |m: &Matrix, row: usize| {
+        let mut data = m.as_slice().to_vec();
+        for x in &mut data[row * m.cols()..(row + 1) * m.cols()] {
+            *x *= 4.0;
+        }
+        Matrix::from_vec(m.rows(), m.cols(), data).unwrap()
+    };
+    let k = amplify(base.k(), 28);
+    let v = amplify(base.v(), 30);
+    let e = engine(ExecutionMode::Sprint);
+    let prefill = 24;
+    let (pk, pv) = (prefix(&k, prefill), prefix(&v, prefill));
+    let request = SessionRequest::new(&pk, &pv, base.config(), base.threshold()).with_head_id(1);
+    for evict_before in [[27usize, 29], [28, 31], [29, 30]] {
+        let mut twin = e.open_session(&request).unwrap();
+        let mut session = Some(e.open_session(&request).unwrap());
+        let mut recalibrated = 0u64;
+        for step in prefill..base.seq_len() {
+            if evict_before.contains(&step) {
+                let stub = session.take().unwrap().evict();
+                let (hk, hv) = (prefix(&k, step), prefix(&v, step));
+                session = Some(e.resume_session(&stub, &hk, &hv).unwrap());
+            }
+            let ds = DecodeStep {
+                q: base.q().row(step),
+                k: k.row(step),
+                v: v.row(step),
+            };
+            let got = session.as_mut().unwrap().step(&ds).unwrap();
+            let want = twin.step(&ds).unwrap();
+            assert_eq!(
+                got, want,
+                "evictions before steps {evict_before:?}: step {step} diverged"
+            );
+            recalibrated += u64::from(got.perf.recalibrated);
+        }
+        assert!(
+            recalibrated >= 1,
+            "the amplified tokens must have widened a quantizer range"
+        );
+        let survivor = session.unwrap();
+        assert_eq!(survivor.perf().rehydrations, 2);
+        assert_eq!(
+            survivor.perf().recalibrations,
+            twin.perf().recalibrations,
+            "evictions before steps {evict_before:?}: recalibration count diverged"
+        );
+    }
+}
+
+#[test]
 fn decode_loop_is_bit_identical_across_1_2_4_8_workers() {
     let e = engine(ExecutionMode::Sprint);
     let base = ModelConfig::bert_base().trace_spec();
@@ -265,6 +323,205 @@ fn decode_loop_sessions_match_manually_driven_sessions() {
         report.sessions[0].kept_fraction,
         session.perf().kept_fraction()
     );
+}
+
+#[test]
+fn random_evict_rehydrate_interleavings_stay_bit_identical_in_all_modes() {
+    // Drive a randomized open/step/evict/rehydrate schedule and hold
+    // every churned session to two references at once: a never-evicted
+    // twin stepped with the same rows, and a fresh full-prefix
+    // `run_head` oracle. Bit-identity (`f32::to_bits`) must survive
+    // arbitrary eviction points in all four execution modes.
+    enum Slot {
+        Live(Box<DecodeSession>),
+        Parked(Box<EvictedSession>),
+        Hole,
+    }
+    struct Churned {
+        trace: HeadTrace,
+        slot: Slot,
+        twin: DecodeSession,
+        cursor: usize,
+    }
+    let spec = ChurnSpec::new(3, 10, 0.4);
+    let prefills = [6usize, 1, 12];
+    for (mode_index, mode) in ExecutionMode::ALL.into_iter().enumerate() {
+        let e = engine(mode);
+        let schedule = TraceGenerator::new(401 + mode_index as u64)
+            .churn_schedule(&spec)
+            .unwrap();
+        let mut sessions: Vec<Churned> = prefills
+            .iter()
+            .enumerate()
+            .map(|(s, &prefill)| {
+                let trace = trace(prefill + spec.steps_per_session, 23 + s as u64);
+                let (pk, pv) = (prefix(trace.k(), prefill), prefix(trace.v(), prefill));
+                let request = SessionRequest::new(&pk, &pv, trace.config(), trace.threshold())
+                    .with_head_id(s as u64);
+                let slot = Slot::Live(Box::new(e.open_session(&request).unwrap()));
+                let twin = e.open_session(&request).unwrap();
+                Churned {
+                    trace,
+                    slot,
+                    twin,
+                    cursor: prefill,
+                }
+            })
+            .collect();
+        let mut evictions = 0u64;
+        for event in schedule {
+            let state = &mut sessions[event.session()];
+            match event {
+                ChurnEvent::Evict { .. } => {
+                    if matches!(state.slot, Slot::Live(_)) {
+                        let Slot::Live(live) = std::mem::replace(&mut state.slot, Slot::Hole)
+                        else {
+                            unreachable!()
+                        };
+                        state.slot = Slot::Parked(Box::new(live.evict()));
+                        evictions += 1;
+                    }
+                }
+                ChurnEvent::Step { session } => {
+                    if matches!(state.slot, Slot::Parked(_)) {
+                        let Slot::Parked(stub) = std::mem::replace(&mut state.slot, Slot::Hole)
+                        else {
+                            unreachable!()
+                        };
+                        let hk = prefix(state.trace.k(), state.cursor);
+                        let hv = prefix(state.trace.v(), state.cursor);
+                        state.slot = Slot::Live(Box::new(e.resume_session(&stub, &hk, &hv).unwrap()));
+                    }
+                    let Slot::Live(live) = &mut state.slot else {
+                        unreachable!()
+                    };
+                    let t = state.cursor;
+                    let step = DecodeStep {
+                        q: state.trace.q().row(t),
+                        k: state.trace.k().row(t),
+                        v: state.trace.v().row(t),
+                    };
+                    let got = live.step(&step).unwrap();
+                    let want = state.twin.step(&step).unwrap();
+                    assert_eq!(
+                        got, want,
+                        "{mode:?} session {session} step {t}: churned response \
+                         diverged from the never-evicted twin"
+                    );
+                    let got_bits: Vec<u32> = got.output.iter().map(|x| x.to_bits()).collect();
+                    let want_bits: Vec<u32> = want.output.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(got_bits, want_bits, "{mode:?} session {session} step {t}");
+                    let q1 = one_row(state.trace.q(), t);
+                    let hist_k = prefix(state.trace.k(), t + 1);
+                    let hist_v = prefix(state.trace.v(), t + 1);
+                    let oracle = e
+                        .run_head(
+                            &HeadRequest::new(
+                                &q1,
+                                &hist_k,
+                                &hist_v,
+                                state.trace.config(),
+                                state.trace.threshold(),
+                            )
+                            .with_head_id(session as u64),
+                        )
+                        .unwrap();
+                    let oracle_bits: Vec<u32> =
+                        oracle.output.row(0).iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(
+                        got_bits, oracle_bits,
+                        "{mode:?} session {session} step {t}: churned response \
+                         diverged from the fresh full-prefix oracle"
+                    );
+                    assert_eq!(got.decision, oracle.decisions[0]);
+                    state.cursor += 1;
+                }
+            }
+        }
+        assert!(evictions > 0, "{mode:?}: the schedule never evicted");
+        let mut rehydrations = 0u64;
+        for (s, state) in sessions.iter().enumerate() {
+            assert_eq!(
+                state.cursor,
+                prefills[s] + spec.steps_per_session,
+                "session {s} did not finish its token budget"
+            );
+            let Slot::Live(live) = &state.slot else {
+                panic!("session {s} ended parked despite stepping last");
+            };
+            rehydrations += live.perf().rehydrations;
+            assert_eq!(
+                live.perf().kept_fraction(),
+                state.twin.perf().kept_fraction(),
+                "{mode:?} session {s}: kept fraction diverged"
+            );
+        }
+        assert!(
+            rehydrations > 0,
+            "{mode:?}: no eviction landed mid-stream, the schedule is toothless"
+        );
+        // Live sessions still hold pages; dropping them must drain the
+        // pool completely — churn cannot leak page capacity.
+        assert!(e.kv_pool().pages_in_use() > 0);
+        drop(sessions);
+        assert_eq!(e.kv_pool().pages_in_use(), 0, "{mode:?}: pages leaked");
+    }
+}
+
+#[test]
+fn churn_loop_matches_the_never_evicted_loop_across_1_2_4_8_workers() {
+    // The same ragged task mix as the plain decode-loop sweep, but run
+    // through `run_churn_threads` over a tiny-page pool with a
+    // per-worker resident cap of one session: every SessionReport must
+    // still be bit-identical to the never-evicted single-worker loop.
+    let base = ModelConfig::bert_base().trace_spec();
+    let tasks: Vec<DecodeTask> = [
+        (32usize, 16usize, None),
+        (48, 8, Some(ExecutionMode::Oracle)),
+        (24, 20, Some(ExecutionMode::NoRecompute)),
+        (40, 1, None),
+        (16, 12, Some(ExecutionMode::Dense)),
+        (64, 32, None),
+    ]
+    .into_iter()
+    .map(|(seq, prefill, mode)| DecodeTask {
+        spec: base.with_seq_len(seq),
+        prefill,
+        mode,
+        threshold_spec: None,
+    })
+    .collect();
+    let reference = DecodeLoop::new(&engine(ExecutionMode::Sprint))
+        .run_threads(1, &tasks)
+        .unwrap();
+    assert_eq!(reference.evictions, 0);
+    for workers in [1usize, 2, 4, 8] {
+        let e = Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .mode(ExecutionMode::Sprint)
+            .seed(17)
+            .kv_pool(PagePool::unbounded(4 * 5 * 128))
+            .build()
+            .unwrap();
+        let run = DecodeLoop::new(&e).run_churn_threads(workers, &tasks, 1).unwrap();
+        assert_eq!(
+            run.sessions, reference.sessions,
+            "churn loop diverged from the never-evicted loop at {workers} workers"
+        );
+        if workers < tasks.len() {
+            assert!(
+                run.evictions > 0 && run.rehydrations > 0,
+                "{workers} workers over {} sessions at cap 1 must churn",
+                tasks.len()
+            );
+        }
+        assert_eq!(run.kv_pages_in_use, 0, "pages leaked at {workers} workers");
+        assert_eq!(
+            e.kv_pool().free_pages(),
+            e.kv_pool().peak_pages(),
+            "the pool must drain completely at {workers} workers"
+        );
+    }
 }
 
 #[test]

@@ -194,6 +194,216 @@ fn decode_sessions_match_direct_sessions_step_for_step() {
 }
 
 #[test]
+fn resident_cap_evicts_and_rehydrates_sessions_transparently() {
+    // Four concurrent decode streams over a cap of two resident
+    // sessions: every step beyond the cap forces an LRU eviction, and
+    // stepping an evicted session rehydrates it behind the same URL.
+    // The tracked stream must stay bit-identical to a direct in-process
+    // twin the whole time (under the ideal noise model — rehydration
+    // reprograms crossbars, so analog noise would re-draw there).
+    let engine = Engine::builder(SprintConfig::small())
+        .seed(7)
+        .noise(sprint_reram::NoiseModel::ideal())
+        .kv_pool(sprint_attention::PagePool::unbounded(640))
+        .build()
+        .unwrap();
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            max_resident_sessions: Some(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let mut client = client(&server);
+
+    let mut ids = Vec::new();
+    for seed in [11u64, 12, 13, 14] {
+        let open = client
+            .post_json(
+                "/v1/decode",
+                &format!(
+                    r#"{{"action":"open","model":"bert_base","seq_len":24,"prefill":16,"seed":{seed}}}"#
+                ),
+            )
+            .expect("open responds");
+        assert_eq!(open.status, 200, "{}", open.body_str());
+        ids.push(Json::parse(&open.body_str()).unwrap().u64_field("session").unwrap());
+    }
+
+    // Direct twin of the first stream (seed 11, head id 11), stepped in
+    // lockstep with the HTTP session.
+    let twin_engine = Engine::builder(SprintConfig::small())
+        .seed(7)
+        .noise(sprint_reram::NoiseModel::ideal())
+        .build()
+        .unwrap();
+    let mut spec = ModelConfig::bert_base().trace_spec().with_seq_len(24);
+    spec.padding_fraction = 0.0;
+    let trace = sprint_workloads::TraceGenerator::new(11)
+        .generate(&spec)
+        .unwrap();
+    let prefill_k = trace.k().prefix_rows(16).unwrap();
+    let prefill_v = trace.v().prefix_rows(16).unwrap();
+    let mut twin = twin_engine
+        .open_session(
+            &sprint_engine::SessionRequest::new(
+                &prefill_k,
+                &prefill_v,
+                trace.config(),
+                trace.threshold(),
+            )
+            .with_head_id(11),
+        )
+        .unwrap();
+
+    for t in 16..24 {
+        for (i, id) in ids.iter().enumerate() {
+            let step = client
+                .post_json(
+                    "/v1/decode",
+                    &format!(r#"{{"action":"step","session":{id}}}"#),
+                )
+                .expect("step responds");
+            assert_eq!(
+                step.status,
+                200,
+                "session {i} step {t}: {}",
+                step.body_str()
+            );
+            if i == 0 {
+                let expected = twin
+                    .step(&sprint_engine::DecodeStep {
+                        q: trace.q().row(t),
+                        k: trace.k().row(t),
+                        v: trace.v().row(t),
+                    })
+                    .unwrap();
+                let step_body = Json::parse(&step.body_str()).unwrap();
+                let output = match step_body.get("output") {
+                    Some(Json::Arr(values)) => values,
+                    other => panic!("output should be an array, got {other:?}"),
+                };
+                assert_eq!(output.len(), expected.output.len());
+                for (got, want) in output.iter().zip(&expected.output) {
+                    let got = got.as_f64().expect("output values are numbers");
+                    assert_eq!(
+                        got.to_bits(),
+                        f64::from(*want).to_bits(),
+                        "step {t}: rehydrated stream diverged from the direct twin"
+                    );
+                }
+            }
+        }
+    }
+
+    let mut evictions = 0u64;
+    let mut rehydrations = 0u64;
+    for id in &ids {
+        let close = client
+            .post_json(
+                "/v1/decode",
+                &format!(r#"{{"action":"close","session":{id}}}"#),
+            )
+            .unwrap();
+        assert_eq!(close.status, 200);
+        let body = Json::parse(&close.body_str()).unwrap();
+        assert_eq!(body.u64_field("tokens"), Some(8));
+        evictions += body.u64_field("evictions").unwrap();
+        rehydrations += body.u64_field("rehydrations").unwrap();
+    }
+    assert!(
+        evictions > 0 && rehydrations > 0,
+        "4 round-robin streams over a cap of 2 must churn \
+         (evictions {evictions}, rehydrations {rehydrations})"
+    );
+
+    let metrics = client.get("/metrics").unwrap().body_str();
+    let sample = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(&format!("{name} ")))
+            .and_then(|l| l.rsplit(' ').next()?.parse().ok())
+            .unwrap_or_else(|| panic!("missing {name} in:\n{metrics}"))
+    };
+    assert_eq!(sample("sprint_sessions_evicted_total"), evictions);
+    assert_eq!(sample("sprint_sessions_rehydrated_total"), rehydrations);
+    assert_eq!(sample("sprint_kv_pages_in_use"), 0, "all sessions closed");
+    assert_eq!(sample("sprint_kv_pages_capacity"), 0, "pool is unbounded");
+    server.shutdown();
+}
+
+#[test]
+fn pool_exhaustion_409s_only_when_nothing_is_evictable() {
+    // An 8-page pool at one token per page: sessions that fit keep
+    // being served by evicting colder ones; only a request that cannot
+    // fit even in an empty pool is refused, with 409 + Retry-After.
+    let engine = Engine::builder(SprintConfig::small())
+        .seed(7)
+        .kv_pool(sprint_attention::PagePool::bounded(640, 8))
+        .build()
+        .unwrap();
+    let server = Server::start(engine, ServerConfig::default()).expect("server binds");
+    let mut client = client(&server);
+    let open = |client: &mut minihttp::Client, seq: usize, prefill: usize, seed: u64| {
+        client
+            .post_json(
+                "/v1/decode",
+                &format!(
+                    r#"{{"action":"open","model":"bert_base","seq_len":{seq},"prefill":{prefill},"seed":{seed}}}"#
+                ),
+            )
+            .expect("open responds")
+    };
+
+    // Two 4-page prefills fill the pool exactly; the third open must
+    // evict one of them rather than fail.
+    let a = open(&mut client, 8, 4, 1);
+    assert_eq!(a.status, 200, "{}", a.body_str());
+    let a = Json::parse(&a.body_str()).unwrap().u64_field("session").unwrap();
+    assert_eq!(open(&mut client, 8, 4, 2).status, 200);
+    let c = open(&mut client, 8, 4, 3);
+    assert_eq!(
+        c.status,
+        200,
+        "a full pool with evictable sessions must make room: {}",
+        c.body_str()
+    );
+
+    // A 16-token prefill exceeds the 8-page pool outright: even after
+    // evicting everything there is no room, so this — and only this —
+    // is refused.
+    let refused = open(&mut client, 24, 16, 4);
+    assert_eq!(refused.status, 409, "{}", refused.body_str());
+    assert!(
+        refused.header("Retry-After").is_some(),
+        "pool-exhausted 409 must carry Retry-After"
+    );
+
+    // Session A was evicted above; stepping it rehydrates and serves.
+    for _ in 4..8 {
+        let step = client
+            .post_json("/v1/decode", &format!(r#"{{"action":"step","session":{a}}}"#))
+            .expect("step responds");
+        assert_eq!(step.status, 200, "{}", step.body_str());
+    }
+    let close = client
+        .post_json(
+            "/v1/decode",
+            &format!(r#"{{"action":"close","session":{a}}}"#),
+        )
+        .unwrap();
+    assert_eq!(close.status, 200);
+    let body = Json::parse(&close.body_str()).unwrap();
+    assert_eq!(body.u64_field("tokens"), Some(4));
+    assert!(
+        body.u64_field("rehydrations").unwrap() >= 1,
+        "session A must have been rebuilt after its eviction"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn overload_sheds_with_429_and_retry_after() {
     // One slow batch at a time (50 ms service delay), one-deep queues:
     // concurrent clients beyond ~3 in flight must see 429s.

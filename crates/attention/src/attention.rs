@@ -11,15 +11,26 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::matrix::matmul_transposed_scaled_into;
-use crate::{
-    quantize_matrix, softmax_inplace, AttentionError, Matrix, PruneDecision, SoftmaxLut, Workspace,
-};
+use crate::simd::{self, SimdTier};
+use crate::softmax::softmax_inplace_tier;
+use crate::{quantize_matrix, AttentionError, Matrix, PruneDecision, SoftmaxLut, Workspace};
 
 /// The "sufficiently large negative value" placed in padded positions
 /// before the softmax (§II-C3). Passing it through softmax drives the
 /// probability of padded positions to zero.
 pub const MASK_NEG: f32 = -1.0e9;
+
+/// Kept-fraction at or above which the pruned AV stage stops skipping
+/// pruned keys and streams every key instead. At low sparsity the
+/// per-key `p != 0` branch mispredicts and the strided skips defeat
+/// hardware prefetch, making the "sparse" walk *slower* than dense
+/// (BENCH_report.json showed `pruned/fused-rate50` behind
+/// `dense/fused`). Visiting a pruned key multiplies its exactly-zero
+/// probability into the accumulator — a bit-exact no-op for finite
+/// values (`0.0 * v + acc == acc` since softmax probabilities are
+/// non-negative), so the crossover never changes results; a regression
+/// test pins both AV walks bit-identical.
+pub(crate) const DENSE_AV_CROSSOVER: f32 = 0.35;
 
 /// Configuration of one attention head.
 ///
@@ -269,23 +280,30 @@ pub fn dense_attention_with(
     ws: &mut Workspace,
 ) -> Result<AttentionOutput, AttentionError> {
     check_shapes(q, k, v)?;
+    let tier = ws.simd_tier();
     let (s_q, s_k) = (q.rows(), k.rows());
     let d_v = v.cols();
     let mut scores = ws.zeroed_matrix(s_q, s_k)?;
-    matmul_transposed_scaled_into(q, k, cfg.scale(), 0..s_q, 0..s_k, &mut scores);
+    simd::matmul_transposed_scaled_into(tier, q, k, cfg.scale(), 0..s_q, 0..s_k, &mut scores);
     let mut probs = ws.zeroed_matrix(s_q, s_k)?;
     let mut output = ws.zeroed_matrix(s_q, d_v)?;
     for i in 0..s_q {
         let prow = probs.row_mut(i);
         prow.copy_from_slice(scores.row(i));
-        softmax_inplace(prow);
-        let orow = output.row_mut(i);
-        for (&p, v_row) in prow.iter().zip(v.as_slice().chunks_exact(d_v)) {
-            if p != 0.0 {
-                axpy(orow, p, v_row);
-            }
-        }
+        softmax_inplace_tier(prow, tier);
     }
+    // Dense rows have no pruned keys: stream every key rather than
+    // branching on `p != 0` per key (the crossover's dense walk). The
+    // matrix-level stage key-panels `V` across rows on the AVX2 tier;
+    // each row remains the tier's one per-row accumulation chain.
+    simd::av_rows(
+        tier,
+        &mut output,
+        &probs,
+        v.as_slice(),
+        d_v,
+        &vec![(s_k, false); s_q],
+    );
     Ok(AttentionOutput {
         scores,
         probs,
@@ -340,20 +358,40 @@ pub fn pruned_attention_with(
 ) -> Result<(AttentionOutput, Vec<PruneDecision>), AttentionError> {
     check_shapes(q, k, v)?;
     validate_padding(k, padding)?;
+    let tier = ws.simd_tier();
     let (s_q, s_k) = (q.rows(), k.rows());
     let live_k = padding.map_or(s_k, |p| p.live());
     let mut scores = ws.zeroed_matrix(s_q, s_k)?;
     // Blocked Q·Kᵀ over the live region only; padded rows/columns are
     // masked below without ever computing their dot products.
     match padding {
-        None => matmul_transposed_scaled_into(q, k, cfg.scale(), 0..s_q, 0..s_k, &mut scores),
+        None => {
+            simd::matmul_transposed_scaled_into(
+                tier,
+                q,
+                k,
+                cfg.scale(),
+                0..s_q,
+                0..s_k,
+                &mut scores,
+            );
+        }
         Some(p) => {
             let live_q = p.live().min(s_q);
-            matmul_transposed_scaled_into(q, k, cfg.scale(), 0..live_q, 0..live_k, &mut scores);
+            simd::matmul_transposed_scaled_into(
+                tier,
+                q,
+                k,
+                cfg.scale(),
+                0..live_q,
+                0..live_k,
+                &mut scores,
+            );
             if s_q > p.total() {
                 // Queries beyond the key mask are live (see
                 // `query_is_live`).
-                matmul_transposed_scaled_into(
+                simd::matmul_transposed_scaled_into(
+                    tier,
                     q,
                     k,
                     cfg.scale(),
@@ -368,10 +406,13 @@ pub fn pruned_attention_with(
     let d_v = v.cols();
     let mut output = ws.zeroed_matrix(s_q, d_v)?;
     let mut decisions = Vec::with_capacity(s_q);
+    // Per-row AV plans, filled as each row's keep rate becomes known;
+    // `(0, _)` (padded queries) leaves the output row untouched.
+    let mut av_plans = vec![(0usize, false); s_q];
     // Every padded query carries the same all-pruned decision; build it
     // once and share the storage (decision clones are Arc bumps).
     let mut all_pruned: Option<PruneDecision> = None;
-    for i in 0..s_q {
+    for (i, plan) in av_plans.iter_mut().enumerate() {
         if !query_is_live(i, padding) {
             // Padded query: everything pruned, zero prob/output rows.
             scores.row_mut(i).fill(f32::NEG_INFINITY);
@@ -385,40 +426,39 @@ pub fn pruned_attention_with(
         // One fused pass over the live keys: the pruned flag (Eq. 3,
         // `s < th` mirroring `PruneDecision::from_scores`), the -inf
         // masking of the scores row, and the staging of the masked row
-        // as the probability row — all branchless selects. Padded keys
-        // (always pruned) are handled by the `true`-initialized flag
-        // tail and a fill. The flag vector becomes the returned
-        // decision — the only per-query allocation left on this path.
+        // as the probability row — the tiered `prune_mask_row` scan,
+        // bit-identical across tiers. Padded keys (always pruned) are
+        // handled by the `true`-initialized flag tail and a fill. The
+        // flag vector becomes the returned decision — the only
+        // per-query allocation left on this path.
         let srow = scores.row_mut(i);
         let prow = probs.row_mut(i);
         let mut flags = vec![true; s_k];
-        for ((flag, s), p) in flags[..live_k]
-            .iter_mut()
-            .zip(&mut srow[..live_k])
-            .zip(&mut prow[..live_k])
-        {
-            let pruned = *s < threshold;
-            *flag = pruned;
-            let masked = if pruned { f32::NEG_INFINITY } else { *s };
-            *s = masked;
-            *p = masked;
-        }
+        let kept = simd::prune_mask_row(
+            tier,
+            &mut srow[..live_k],
+            &mut prow[..live_k],
+            &mut flags[..live_k],
+            threshold,
+        );
         srow[live_k..].fill(f32::NEG_INFINITY);
         // Padded keys get exactly zero probability; the exact softmax
         // runs in place over the live prefix only (-inf pruned entries
         // get zero — the masked softmax).
         prow[live_k..].fill(0.0);
-        softmax_inplace(&mut prow[..live_k]);
-        // Sparse AV: only surviving (live, kept) keys contribute to the
-        // output row — the work here scales with the keep rate.
-        let orow = output.row_mut(i);
-        for (&p, v_row) in prow[..live_k].iter().zip(v.as_slice().chunks_exact(d_v)) {
-            if p != 0.0 {
-                axpy(orow, p, v_row);
-            }
-        }
+        softmax_inplace_tier(&mut prow[..live_k], tier);
+        // AV plan for this row. Below the crossover the walk skips
+        // pruned (exactly-zero) probabilities so work scales with the
+        // keep rate; at low sparsity it streams every live key instead
+        // (see [`DENSE_AV_CROSSOVER`] — bit-identical either way).
+        let skip_zero = (kept as f32) < DENSE_AV_CROSSOVER * live_k as f32;
+        *plan = (live_k, skip_zero);
         decisions.push(PruneDecision::new(flags));
     }
+    // AV over surviving keys, all rows in one matrix-level stage (the
+    // AVX2 tier key-panels `V` across rows; padded queries keep a
+    // `live == 0` plan and an untouched all-zero output row).
+    simd::av_rows(tier, &mut output, &probs, v.as_slice(), d_v, &av_plans);
     Ok((
         AttentionOutput {
             scores,
@@ -485,6 +525,7 @@ pub fn quantized_attention_with(
     ws: &mut Workspace,
 ) -> Result<QuantizedAttentionOutput, AttentionError> {
     check_shapes(q, k, v)?;
+    let tier = ws.simd_tier();
     let (s_q, s_k) = (q.rows(), k.rows());
     validate_decisions(s_q, s_k, decisions)?;
 
@@ -498,6 +539,7 @@ pub fn quantized_attention_with(
     for i in 0..s_q {
         // Integer MAC: i8 x i8 accumulated in i32 (the QK-PU).
         quantized_score_row_into(
+            tier,
             qq.code_row(i),
             &qk,
             |j| decisions.map_or(true, |ds| ds[i].is_kept(j)),
@@ -511,7 +553,7 @@ pub fn quantized_attention_with(
     let mut max_offset = 1.0f32;
     for i in 0..s_q {
         let row = scores.row(i);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let max = simd::row_max(tier, row);
         if max == f32::NEG_INFINITY {
             continue;
         }
@@ -535,7 +577,7 @@ pub fn quantized_attention_with(
     let mut output = ws.zeroed_matrix(s_q, d_v)?;
     let acc = ws.acc_row(d_v);
     for i in 0..s_q {
-        vpu_row_into(probs.row(i), &qv, out_lsb, acc, output.row_mut(i));
+        vpu_row_into(tier, probs.row(i), &qv, out_lsb, acc, output.row_mut(i));
     }
 
     Ok(QuantizedAttentionOutput {
@@ -557,6 +599,7 @@ pub(crate) fn idot(a: &[i32], b: &[i32]) -> i32 {
 /// batch kernel and the single-query decode kernel, so their
 /// bit-identical contract holds by construction, not just by test.
 pub(crate) fn quantized_score_row_into(
+    tier: SimdTier,
     q_codes: &[i32],
     qk: &crate::QuantizedMatrix,
     kept: impl Fn(usize) -> bool,
@@ -565,7 +608,7 @@ pub(crate) fn quantized_score_row_into(
 ) {
     for (j, slot) in srow.iter_mut().enumerate() {
         *slot = if kept(j) {
-            idot(q_codes, qk.code_row(j)) as f32 * score_lsb
+            simd::idot(tier, q_codes, qk.code_row(j)) as f32 * score_lsb
         } else {
             f32::NEG_INFINITY
         };
@@ -577,6 +620,7 @@ pub(crate) fn quantized_score_row_into(
 /// clamped to 16 bits and dequantized into `out_row`. Shared by the
 /// batch and decode kernels like [`quantized_score_row_into`].
 pub(crate) fn vpu_row_into(
+    tier: SimdTier,
     probs_row: &[f32],
     qv: &crate::QuantizedMatrix,
     out_lsb: f32,
@@ -589,9 +633,7 @@ pub(crate) fn vpu_row_into(
         if p_code == 0 {
             continue;
         }
-        for (a, &vc) in acc.iter_mut().zip(qv.code_row(j)) {
-            *a += p_code * vc;
-        }
+        simd::vpu_accumulate(tier, acc, p_code, qv.code_row(j));
     }
     for (slot, &a) in out_row.iter_mut().zip(acc.iter()) {
         // Final attention value kept in 16 bits.
@@ -655,6 +697,63 @@ mod tests {
             assert!((sum - 1.0).abs() < 1e-5);
         }
         assert_eq!(out.output.shape(), (3, 4));
+    }
+
+    /// A deterministic low-entropy matrix so both crossover branches
+    /// are reachable by threshold choice alone.
+    fn wavy(rows: usize, cols: usize, phase: f32) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|t| ((t as f32) * 0.37 + phase).sin())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_av_crossover_is_bit_identical_to_the_sparse_walk() {
+        // Satellite regression for the rate-50 inversion: above the
+        // kept-fraction crossover the AV stage streams every key, and
+        // that walk must be bit-identical to the skip walk it replaces.
+        let cfg = AttentionConfig::new(16);
+        let (q, k, v) = (wavy(12, 16, 0.0), wavy(20, 16, 1.0), wavy(20, 16, 2.0));
+        for tier in [crate::SimdTier::Scalar, crate::SimdTier::Avx2] {
+            let mut ws = Workspace::new();
+            ws.set_simd_tier(tier);
+            // Thresholds landing on both sides of the 35% crossover.
+            for threshold in [-10.0f32, -0.05, 0.05, 0.2] {
+                let (out, _dec) =
+                    pruned_attention_with(&q, &k, &v, &cfg, threshold, None, &mut ws).unwrap();
+                // Oracle: the tier's own per-key skip walk over the
+                // kernel's probability rows (the tiers differ in the
+                // AV tolerance class, so each tier is checked against
+                // its own axpy chain).
+                for i in 0..q.rows() {
+                    let mut expected = vec![0.0f32; v.cols()];
+                    for (&p, v_row) in out
+                        .probs
+                        .row(i)
+                        .iter()
+                        .zip(v.as_slice().chunks_exact(v.cols()))
+                    {
+                        if p != 0.0 {
+                            crate::simd::axpy(ws.simd_tier(), &mut expected, p, v_row);
+                        }
+                    }
+                    assert_eq!(
+                        out.output
+                            .row(i)
+                            .iter()
+                            .map(|x| x.to_bits())
+                            .collect::<Vec<_>>(),
+                        expected.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "tier {tier} threshold {threshold} row {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

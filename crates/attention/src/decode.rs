@@ -23,9 +23,9 @@
 //! eviction safe: a rehydrated cache rebuilt from the same rows is the
 //! same cache, bit for bit.
 
-use crate::attention::{axpy, check_shapes};
-use crate::matrix::dot;
+use crate::attention::{check_shapes, DENSE_AV_CROSSOVER};
 use crate::paged::{PageBuffers, PagePool, DEFAULT_PAGE_BYTES};
+use crate::simd;
 use crate::{
     dense_attention_with, pruned_attention_with, quantize_matrix, AttentionConfig, AttentionError,
     Matrix, PruneDecision, QuantParams, SoftmaxLut, Workspace,
@@ -230,9 +230,7 @@ impl KvCache {
     /// mutation.
     fn append_row(&mut self, k_row: &[f32], v_row: &[f32]) -> Result<(), AttentionError> {
         if self.len == self.pages.len() * self.tokens_per_page {
-            let buf = self
-                .pool
-                .allocate(self.d, self.d_v, self.tokens_per_page)?;
+            let buf = self.pool.allocate(self.d, self.d_v, self.tokens_per_page)?;
             self.pages.push(Page {
                 buf,
                 k_params: self.k_params,
@@ -531,6 +529,7 @@ pub fn pruned_attention_decode_cached_with(
     ws: &mut Workspace,
 ) -> Result<(Vec<f32>, PruneDecision), AttentionError> {
     check_decode_query_cached(q, kv)?;
+    let tier = ws.simd_tier();
     let s_k = kv.len();
     let q_row = q.row(0);
     let mut scores = ws.zeroed_matrix(1, s_k)?;
@@ -540,34 +539,32 @@ pub fn pruned_attention_decode_cached_with(
     {
         let srow = scores.row_mut(0);
         for (j, slot) in srow.iter_mut().enumerate() {
-            *slot = cfg.scale() * dot(q_row, kv.k_row(j));
+            *slot = cfg.scale() * simd::dot(tier, q_row, kv.k_row(j));
         }
         let prow = probs.row_mut(0);
+        let mut kept = 0usize;
         for ((flag, s), p) in flags.iter_mut().zip(srow.iter_mut()).zip(prow.iter_mut()) {
             let pruned = *s < threshold;
             *flag = pruned;
+            kept += usize::from(!pruned);
             let masked = if pruned { f32::NEG_INFINITY } else { *s };
             *s = masked;
             *p = masked;
         }
-        crate::softmax_inplace(prow);
+        crate::softmax::softmax_inplace_tier(prow, tier);
+        // Same kept-fraction crossover as the batch kernel: at low
+        // sparsity stream every key (a visited zero probability is a
+        // bit-exact no-op), below it skip pruned keys.
+        let skip_zero = (kept as f32) < DENSE_AV_CROSSOVER * s_k as f32;
         for (j, &p) in prow.iter().enumerate() {
-            if p != 0.0 {
-                axpy(&mut output, p, kv.v_row(j));
+            if !skip_zero || p != 0.0 {
+                simd::axpy(tier, &mut output, p, kv.v_row(j));
             }
         }
     }
     ws.recycle(scores);
     ws.recycle(probs);
     Ok((output, PruneDecision::new(flags)))
-}
-
-/// Integer dot product against an 8-bit code row (the QK-PU MAC chain
-/// with the K side read from page storage). The widening makes it
-/// exactly [`crate::attention`]'s `idot` over the same code values.
-#[inline]
-fn idot_i8(a: &[i32], b: &[i8]) -> i32 {
-    a.iter().zip(b).map(|(&x, &y)| x * i32::from(y)).sum()
 }
 
 /// Single-query quantized (hardware-datapath) attention over a paged
@@ -593,6 +590,7 @@ pub fn quantized_attention_decode_with(
     ws: &mut Workspace,
 ) -> Result<Vec<f32>, AttentionError> {
     check_decode_query_cached(q, kv)?;
+    let tier = ws.simd_tier();
     let s_k = kv.len();
     if let Some(d) = decision {
         if d.len() != s_k {
@@ -617,7 +615,7 @@ pub fn quantized_attention_decode_with(
         let q_codes = qq.code_row(0);
         for (j, slot) in scores.row_mut(0).iter_mut().enumerate() {
             *slot = if decision.map_or(true, |d| d.is_kept(j)) {
-                idot_i8(q_codes, kv.k_code_row(j)) as f32 * score_lsb
+                simd::idot_i8(tier, q_codes, kv.k_code_row(j)) as f32 * score_lsb
             } else {
                 f32::NEG_INFINITY
             };
@@ -628,7 +626,7 @@ pub fn quantized_attention_decode_with(
     // kernel (largest finite score offset in this step's row).
     let mut max_offset = 1.0f32;
     let row = scores.row(0);
-    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max = simd::row_max(tier, row);
     if max != f32::NEG_INFINITY {
         for &s in row {
             if s != f32::NEG_INFINITY {
@@ -653,9 +651,7 @@ pub fn quantized_attention_decode_with(
         if p_code == 0 {
             continue;
         }
-        for (a, &vc) in acc.iter_mut().zip(kv.v_code_row(j)) {
-            *a += p_code * i32::from(vc);
-        }
+        simd::vpu_accumulate_i8(tier, acc, p_code, kv.v_code_row(j));
     }
     for (slot, &a) in output.iter_mut().zip(acc.iter()) {
         // Final attention value kept in 16 bits.
@@ -703,8 +699,16 @@ mod tests {
         for j in 0..cache.len() {
             let k_codes: Vec<i32> = cache.k_code_row(j).iter().map(|&c| i32::from(c)).collect();
             let v_codes: Vec<i32> = cache.v_code_row(j).iter().map(|&c| i32::from(c)).collect();
-            assert_eq!(k_codes.as_slice(), fresh_k.code_row(j), "{label}: k row {j}");
-            assert_eq!(v_codes.as_slice(), fresh_v.code_row(j), "{label}: v row {j}");
+            assert_eq!(
+                k_codes.as_slice(),
+                fresh_k.code_row(j),
+                "{label}: k row {j}"
+            );
+            assert_eq!(
+                v_codes.as_slice(),
+                fresh_v.code_row(j),
+                "{label}: v row {j}"
+            );
         }
     }
 
@@ -776,8 +780,12 @@ mod tests {
         let pool = PagePool::bounded(2 * 5 * 16, 3); // 2 tokens/page, 3 pages
         let k = random_matrix(4, 8, 9);
         let mut cache = KvCache::new_in(&pool, &k, &k).unwrap();
-        let victim = KvCache::new_in(&pool, &k.prefix_rows(2).unwrap(), &k.prefix_rows(2).unwrap())
-            .unwrap();
+        let victim = KvCache::new_in(
+            &pool,
+            &k.prefix_rows(2).unwrap(),
+            &k.prefix_rows(2).unwrap(),
+        )
+        .unwrap();
         assert_eq!(pool.pages_in_use(), 3, "pool fully committed");
         // The next push crosses a page boundary with nothing free:
         // atomic failure, cache untouched and still exact.

@@ -35,6 +35,7 @@ mod metrics;
 mod paged;
 mod pruning;
 pub mod reference;
+pub mod simd;
 mod softmax;
 mod workspace;
 
@@ -44,16 +45,18 @@ pub use attention::{
     QuantizedAttentionOutput, MASK_NEG,
 };
 pub use decode::{
-    dense_attention_decode_with, pruned_attention_decode_cached_with,
-    pruned_attention_decode_with, quantized_attention_decode_with, KvCache, KvDelta,
+    dense_attention_decode_with, pruned_attention_decode_cached_with, pruned_attention_decode_with,
+    quantized_attention_decode_with, KvCache, KvDelta,
 };
 pub use error::AttentionError;
 pub use fixed::{dequantize, quantize_matrix, quantize_value, QuantParams, QuantizedMatrix};
 pub use matrix::Matrix;
-pub use paged::{PagePool, DEFAULT_PAGE_BYTES};
 pub use metrics::{kl_divergence, mean_abs_error, prune_set_overlap, top1_agreement};
+pub use paged::{PagePool, DEFAULT_PAGE_BYTES};
 pub use pruning::{calibrate_threshold, pruning_stats, PruneDecision, PruningStats, ThresholdSet};
+pub use simd::{active_tier, avx2_available, sanitize_tier, ulp_distance, SimdTier};
 pub use softmax::{
-    softmax_exact, softmax_inplace, softmax_masked, softmax_masked_inplace, SoftmaxLut,
+    softmax_exact, softmax_inplace, softmax_inplace_tier, softmax_masked, softmax_masked_inplace,
+    SoftmaxLut,
 };
 pub use workspace::Workspace;

@@ -358,7 +358,15 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows)?;
-        matmul_transposed_scaled_into(self, rhs, 1.0, 0..self.rows, 0..rhs.rows, &mut out);
+        crate::simd::matmul_transposed_scaled_into(
+            crate::simd::active_tier(),
+            self,
+            rhs,
+            1.0,
+            0..self.rows,
+            0..rhs.rows,
+            &mut out,
+        );
         Ok(out)
     }
 
@@ -378,9 +386,12 @@ impl Matrix {
     }
 }
 
-/// Writes `out[i][j] = scale * (a.row(i) · b.row(j))` for every `i` in
-/// `rows` and `j` in `cols`, leaving the rest of `out` untouched (the
-/// pruned path computes only the live region and masks the remainder).
+/// Scalar-tier body of the region matmul: writes
+/// `out[i][j] = scale * (a.row(i) · b.row(j))` for every `i` in `rows`
+/// and `j` in `cols`, leaving the rest of `out` untouched (the pruned
+/// path computes only the live region and masks the remainder). Tiered
+/// callers go through [`crate::simd::matmul_transposed_scaled_into`],
+/// which falls back to this function on the scalar tier.
 ///
 /// Works directly on the row-major buffers with a four-lane inner loop
 /// — the same reduction order as [`dot`], but with the row slices
@@ -388,7 +399,7 @@ impl Matrix {
 /// vectorize. `a`'s current row stays register/L1-hot while `b` streams
 /// row-major (the cache-friendly `Q × Kᵀ` walk; `b` itself fits L2 at
 /// every sequence length this repo models).
-pub(crate) fn matmul_transposed_scaled_into(
+pub(crate) fn mt_scalar_into(
     a: &Matrix,
     b: &Matrix,
     scale: f32,
@@ -410,7 +421,7 @@ pub(crate) fn matmul_transposed_scaled_into(
     }
 }
 
-/// [`matmul_transposed_scaled_into`] body for a compile-time inner
+/// [`mt_scalar_into`] body for a compile-time inner
 /// dimension, register-blocked two query rows at a time: each `b` row
 /// is loaded once per row *pair*, and the eight live lane accumulators
 /// keep the FP pipelines full (~2x over the single-row walk). The
@@ -476,7 +487,7 @@ fn mt_fixed<const D: usize>(
     }
 }
 
-/// [`matmul_transposed_scaled_into`] body for arbitrary inner
+/// [`mt_scalar_into`] body for arbitrary inner
 /// dimensions. Same four-lane reduction order as [`dot`].
 fn mt_generic(
     a: &Matrix,
@@ -623,7 +634,7 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
         let b = a.clone();
         let mut out = Matrix::zeros(3, 3).unwrap();
-        matmul_transposed_scaled_into(&a, &b, 0.5, 0..2, 0..2, &mut out);
+        mt_scalar_into(&a, &b, 0.5, 0..2, 0..2, &mut out);
         assert!((out.get(0, 0) - 1.0).abs() < 1e-6);
         assert!((out.get(1, 1) - 4.0).abs() < 1e-6);
         assert_eq!(out.get(2, 2), 0.0, "outside the region stays zero");

@@ -11,12 +11,16 @@
 //!    `BENCH_report.json`).
 //!
 //! They are *not* the hot path; nothing outside tests and benches
-//! should call them.
+//! should call them. As the oracle they are pinned to the scalar
+//! kernel tier throughout — the per-pair dots use the scalar `dot`
+//! and the softmax runs [`crate::softmax_inplace_tier`] with
+//! [`SimdTier::Scalar`] — so their outputs never change with the
+//! process-wide [`crate::active_tier`].
 
 use crate::matrix::dot;
 use crate::{
-    quantize_matrix, softmax_exact, softmax_masked, AttentionError, AttentionOutput, Matrix,
-    PaddingMask, PruneDecision, QuantizedAttentionOutput, SoftmaxLut, MASK_NEG,
+    quantize_matrix, softmax_inplace_tier, AttentionError, AttentionOutput, Matrix, PaddingMask,
+    PruneDecision, QuantizedAttentionOutput, SimdTier, SoftmaxLut, MASK_NEG,
 };
 
 use crate::attention::{check_shapes, query_is_live, validate_decisions, validate_padding};
@@ -43,7 +47,8 @@ pub fn dense_attention_naive(
     }
     let mut probs = Matrix::zeros(s_q, s_k)?;
     for i in 0..s_q {
-        let p = softmax_exact(scores.row(i));
+        let mut p = scores.row(i).to_vec();
+        softmax_inplace_tier(&mut p, SimdTier::Scalar);
         probs.row_mut(i).copy_from_slice(&p);
     }
     let output = probs.matmul(v)?;
@@ -108,8 +113,13 @@ pub fn pruned_attention_naive(
                 },
             );
         }
-        let keep: Vec<bool> = (0..s_k).map(|j| decision.is_kept(j)).collect();
-        let p = softmax_masked(&row_scores, &keep)?;
+        let mut p = row_scores.clone();
+        for (s, j) in p.iter_mut().zip(0..s_k) {
+            if decision.is_pruned(j) {
+                *s = f32::NEG_INFINITY;
+            }
+        }
+        softmax_inplace_tier(&mut p, SimdTier::Scalar);
         probs.row_mut(i).copy_from_slice(&p);
         decisions.push(decision);
     }

@@ -1,0 +1,941 @@
+//! AVX2/FMA vector lanes behind [`super::SimdTier::Avx2`].
+//!
+//! Every function here carries `#[target_feature(enable = "avx2",
+//! enable = "fma")]` and must only be reached through the dispatchers
+//! in [`super`], which guarantee the features are present at runtime
+//! (forced tiers are sanitized against [`super::avx2_available`]).
+//!
+//! ## Equivalence classes (see `docs/simd.md`)
+//!
+//! * **Bit-identical to the scalar tier:** [`row_max`], [`scale_row`],
+//!   [`axpy`], [`av_row`], [`idot`], [`idot_i8`], [`vpu_accumulate`],
+//!   [`vpu_accumulate_i8`] — element-wise operations performed in the
+//!   scalar tier's per-element order (multiply *then* add, never a
+//!   fused multiply-add), or order-free integer / max reductions.
+//! * **≤ 4 ULP vs the scalar tier:** [`dot`] and the matmul built from
+//!   it ([`matmul_transposed_scaled_into`]) — the FMA reduction tree
+//!   reassociates the sum relative to the scalar four-lane reduction.
+//! * **Small relative error vs the scalar tier:** [`exp_rows`] — the
+//!   softmax exponent runs through the polynomial [`exp8`] (relative
+//!   error ≲ 2⁻²¹ of `f32::exp`) and an 8-lane partial sum, so
+//!   probabilities agree across tiers to ~1e-6 relative, not bitwise.
+//!   Masked `-inf` scores still produce exactly `0.0` in every tier.
+//!
+//! Within the AVX2 tier itself, the batch matmul computes every cell
+//! in the *same* fixed reduction order as [`dot`] (the column-blocked
+//! [`dot4`] interleaves four independent per-cell chains without
+//! changing any chain's association), so batch scores and the per-key
+//! decode scores agree bit for bit — the decode ≡ batch contract of
+//! `crate::decode` holds inside this tier by construction, exactly as
+//! it does in the scalar tier.
+//!
+//! Memory safety never depends on the shape preconditions: every trip
+//! count is derived from `min`s of the slice lengths involved, so all
+//! loads and stores are in bounds for arbitrary arguments. The shape
+//! preconditions are debug-asserted; the `unsafe` in these signatures
+//! is purely the CPU-feature requirement.
+
+use core::arch::x86_64::*;
+use std::ops::Range;
+
+use crate::Matrix;
+
+/// Loads 8 consecutive floats starting at `s[i]`.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA; `i + 8 <= s.len()` must hold (debug-asserted).
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn load8(s: &[f32], i: usize) -> __m256 {
+    debug_assert!(i + 8 <= s.len(), "load8 out of bounds");
+    // SAFETY: the caller guarantees `i + 8 <= s.len()`.
+    unsafe { _mm256_loadu_ps(s.as_ptr().add(i)) }
+}
+
+/// Horizontal sum of one `__m256` in the tier's fixed pairwise tree:
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`. This is exactly the
+/// per-cell association of the 4-wide transpose reduction in [`dot4`]
+/// (`hadd` sums adjacent pairs), so a standalone [`dot`] and a
+/// [`dot4`] lane reduce identically bit for bit.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn hsum(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let s = _mm_hadd_ps(lo, hi); // [l0+l1, l2+l3, l4+l5, l6+l7]
+    let s = _mm_hadd_ps(s, s); // [(l0+l1)+(l2+l3), (l4+l5)+(l6+l7), ...]
+    let s = _mm_add_ss(s, _mm_movehdup_ps(s));
+    _mm_cvtss_f32(s)
+}
+
+/// Horizontal sum of eight `i32` lanes (order-free: integer addition
+/// is associative).
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn hsum_epi32(v: __m256i) -> i32 {
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256::<1>(v);
+    let s = _mm_add_epi32(lo, hi);
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0x4E>(s));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0xB1>(s));
+    _mm_cvtsi128_si32(s)
+}
+
+/// FMA dot product with the tier's one fixed reduction order: two
+/// 8-lane accumulators over 16-float chunks, an optional trailing
+/// 8-chunk into the first accumulator, one [`hsum`], then a scalar
+/// `mul_add` tail. ≤ 4 ULP from the scalar tier's four-lane reduction;
+/// reused verbatim per matmul cell so decode ≡ batch inside this tier.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. Slices should have equal length
+/// (debug-asserted); the trip count is bounded by the shorter one.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    let n = a.len().min(b.len());
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= n {
+        // SAFETY: `i + 16 <= n` bounds all four loads.
+        unsafe {
+            acc0 = _mm256_fmadd_ps(load8(a, i), load8(b, i), acc0);
+            acc1 = _mm256_fmadd_ps(load8(a, i + 8), load8(b, i + 8), acc1);
+        }
+        i += 16;
+    }
+    if i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds both loads.
+        unsafe {
+            acc0 = _mm256_fmadd_ps(load8(a, i), load8(b, i), acc0);
+        }
+        i += 8;
+    }
+    let mut sum = hsum(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        sum = a[i].mul_add(b[i], sum);
+        i += 1;
+    }
+    sum
+}
+
+/// Four independent [`dot`] chains sharing one pass over `a`: each of
+/// the four results is produced in *exactly* the reduction order of a
+/// standalone [`dot`] call (two accumulators over 16-float chunks, an
+/// optional trailing 8-chunk into the first, one [`hsum`], scalar
+/// `mul_add` tail) — the chains are interleaved for throughput but
+/// never mixed, so `dot4(a, b0..b3)[k] == dot(a, bk)` bit for bit.
+/// This is what makes the blocked matmul below keep the decode ≡
+/// batch contract: sharing the `a` loads across four columns amortizes
+/// half the memory traffic and fills the FMA pipeline (eight live
+/// accumulators instead of two) without touching any cell's result.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. All five slices should have equal length
+/// (debug-asserted); the trip count is bounded by the shortest.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    debug_assert!(
+        a.len() == b0.len() && a.len() == b1.len() && a.len() == b2.len() && a.len() == b3.len(),
+        "dot4 of unequal lengths"
+    );
+    let n = a
+        .len()
+        .min(b0.len())
+        .min(b1.len())
+        .min(b2.len())
+        .min(b3.len());
+    if n == 64 {
+        // SAFETY: all five slices hold at least 64 floats.
+        return unsafe { dot4_64(a, b0, b1, b2, b3) };
+    }
+    let mut a00 = _mm256_setzero_ps();
+    let mut a01 = _mm256_setzero_ps();
+    let mut a10 = _mm256_setzero_ps();
+    let mut a11 = _mm256_setzero_ps();
+    let mut a20 = _mm256_setzero_ps();
+    let mut a21 = _mm256_setzero_ps();
+    let mut a30 = _mm256_setzero_ps();
+    let mut a31 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= n {
+        // SAFETY: `i + 16 <= n` bounds every load below.
+        unsafe {
+            let va0 = load8(a, i);
+            let va1 = load8(a, i + 8);
+            a00 = _mm256_fmadd_ps(va0, load8(b0, i), a00);
+            a01 = _mm256_fmadd_ps(va1, load8(b0, i + 8), a01);
+            a10 = _mm256_fmadd_ps(va0, load8(b1, i), a10);
+            a11 = _mm256_fmadd_ps(va1, load8(b1, i + 8), a11);
+            a20 = _mm256_fmadd_ps(va0, load8(b2, i), a20);
+            a21 = _mm256_fmadd_ps(va1, load8(b2, i + 8), a21);
+            a30 = _mm256_fmadd_ps(va0, load8(b3, i), a30);
+            a31 = _mm256_fmadd_ps(va1, load8(b3, i + 8), a31);
+        }
+        i += 16;
+    }
+    if i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds every load below.
+        unsafe {
+            let va0 = load8(a, i);
+            a00 = _mm256_fmadd_ps(va0, load8(b0, i), a00);
+            a10 = _mm256_fmadd_ps(va0, load8(b1, i), a10);
+            a20 = _mm256_fmadd_ps(va0, load8(b2, i), a20);
+            a30 = _mm256_fmadd_ps(va0, load8(b3, i), a30);
+        }
+        i += 8;
+    }
+    // 4-wide transpose reduction: `hadd` sums adjacent pairs, so each
+    // cell reduces as ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)) — the
+    // identical association [`hsum`] uses, one shuffle tree for all
+    // four cells instead of four.
+    let v0 = _mm256_add_ps(a00, a01);
+    let v1 = _mm256_add_ps(a10, a11);
+    let v2 = _mm256_add_ps(a20, a21);
+    let v3 = _mm256_add_ps(a30, a31);
+    let t0 = _mm256_hadd_ps(v0, v1);
+    let t1 = _mm256_hadd_ps(v2, v3);
+    let t2 = _mm256_hadd_ps(t0, t1);
+    let r = _mm_add_ps(_mm256_castps256_ps128(t2), _mm256_extractf128_ps::<1>(t2));
+    let mut out = [0.0f32; 4];
+    // SAFETY: `out` is a 4-float array, exactly one 128-bit store.
+    unsafe { _mm_storeu_ps(out.as_mut_ptr(), r) };
+    while i < n {
+        out[0] = a[i].mul_add(b0[i], out[0]);
+        out[1] = a[i].mul_add(b1[i], out[1]);
+        out[2] = a[i].mul_add(b2[i], out[2]);
+        out[3] = a[i].mul_add(b3[i], out[3]);
+        i += 1;
+    }
+    out
+}
+
+/// [`dot4`] specialized to `d == 64` (every studied head size): the
+/// loop fully unrolled with constant trip counts, the identical
+/// chunk-to-accumulator assignment (first accumulator takes offsets
+/// 0/16/32/48, second takes 8/24/40/56 — exactly the order the
+/// generic 16-float loop produces) and the identical transpose
+/// reduction, so results match the generic path and [`dot`] bit for
+/// bit.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA and at least 64 floats in every slice (checked
+/// by the caller).
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot4_64(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    debug_assert!(
+        a.len() >= 64 && b0.len() >= 64 && b1.len() >= 64 && b2.len() >= 64 && b3.len() >= 64
+    );
+    let mut a00 = _mm256_setzero_ps();
+    let mut a01 = _mm256_setzero_ps();
+    let mut a10 = _mm256_setzero_ps();
+    let mut a11 = _mm256_setzero_ps();
+    let mut a20 = _mm256_setzero_ps();
+    let mut a21 = _mm256_setzero_ps();
+    let mut a30 = _mm256_setzero_ps();
+    let mut a31 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < 64 {
+        // SAFETY: `i ∈ {0, 16, 32, 48}` and every slice holds ≥ 64.
+        unsafe {
+            let va0 = load8(a, i);
+            let va1 = load8(a, i + 8);
+            a00 = _mm256_fmadd_ps(va0, load8(b0, i), a00);
+            a01 = _mm256_fmadd_ps(va1, load8(b0, i + 8), a01);
+            a10 = _mm256_fmadd_ps(va0, load8(b1, i), a10);
+            a11 = _mm256_fmadd_ps(va1, load8(b1, i + 8), a11);
+            a20 = _mm256_fmadd_ps(va0, load8(b2, i), a20);
+            a21 = _mm256_fmadd_ps(va1, load8(b2, i + 8), a21);
+            a30 = _mm256_fmadd_ps(va0, load8(b3, i), a30);
+            a31 = _mm256_fmadd_ps(va1, load8(b3, i + 8), a31);
+        }
+        i += 16;
+    }
+    let v0 = _mm256_add_ps(a00, a01);
+    let v1 = _mm256_add_ps(a10, a11);
+    let v2 = _mm256_add_ps(a20, a21);
+    let v3 = _mm256_add_ps(a30, a31);
+    let t0 = _mm256_hadd_ps(v0, v1);
+    let t1 = _mm256_hadd_ps(v2, v3);
+    let t2 = _mm256_hadd_ps(t0, t1);
+    let r = _mm_add_ps(_mm256_castps256_ps128(t2), _mm256_extractf128_ps::<1>(t2));
+    let mut out = [0.0f32; 4];
+    // SAFETY: `out` is a 4-float array, exactly one 128-bit store.
+    unsafe { _mm_storeu_ps(out.as_mut_ptr(), r) };
+    out
+}
+
+/// Column-panel width of the blocked matmul: 32 key rows of up to
+/// `d = 128` floats is a 16 KiB panel that stays L1-resident across
+/// every query row of the sweep. Without panel blocking each query
+/// row re-streams the whole `K` from L2 and the kernel is
+/// bandwidth-bound rather than FMA-bound.
+const COL_PANEL: usize = 32;
+
+/// `out[i][j] = scale * dot(a.row(i), b.row(j))` over the requested
+/// region — column panels of [`COL_PANEL`] swept over all rows (so
+/// the panel of `b` rows stays cache-hot), four columns at a time
+/// through [`dot4`] (remainder columns through [`dot`]). Cells are
+/// independent, so neither the panel order nor the 4-blocking changes
+/// any cell's reduction order: every cell is the tier's one fixed
+/// [`dot`] chain, and batch scores agree with per-key decode scores
+/// bit for bit.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. The region must lie inside `a`/`b`/`out` (the
+/// row accessors bounds-check, so violations panic rather than read
+/// out of bounds).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn matmul_transposed_scaled_into(
+    a: &Matrix,
+    b: &Matrix,
+    scale: f32,
+    rows: Range<usize>,
+    cols: Range<usize>,
+    out: &mut Matrix,
+) {
+    debug_assert_eq!(a.cols(), b.cols(), "inner dimensions must agree");
+    debug_assert!(rows.end <= a.rows() && rows.end <= out.rows());
+    debug_assert!(cols.end <= b.rows() && cols.end <= out.cols());
+    let mut jb = cols.start;
+    while jb < cols.end {
+        let jend = (jb + COL_PANEL).min(cols.end);
+        for i in rows.clone() {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            let mut j = jb;
+            while j + 4 <= jend {
+                // SAFETY: AVX2+FMA hold for the whole function.
+                let cell =
+                    unsafe { dot4(a_row, b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3)) };
+                out_row[j] = scale * cell[0];
+                out_row[j + 1] = scale * cell[1];
+                out_row[j + 2] = scale * cell[2];
+                out_row[j + 3] = scale * cell[3];
+                j += 4;
+            }
+            while j < jend {
+                // SAFETY: AVX2+FMA hold for the whole function.
+                out_row[j] = scale * unsafe { dot(a_row, b.row(j)) };
+                j += 1;
+            }
+        }
+        jb = jend;
+    }
+}
+
+/// Eight-lane `exp` via the classic Cephes `expf` reduction: split off
+/// `n = round(x / ln 2)`, evaluate a degree-five polynomial on the
+/// remainder, scale by `2^n` through the exponent bits. Relative error
+/// ≲ 2⁻²¹ of `f32::exp` over the softmax-relevant domain. Lanes below
+/// the flush cutoff (`x < -87.0`, including `-inf` from masked
+/// scores) return *exactly* `0.0`, which the pruned AV walk's
+/// `p == 0.0` skip relies on.
+///
+/// The cutoff sits at `-87.0` rather than the true `expf` underflow
+/// boundary (`≈ -87.336`): for `x ≥ -87.0` the result is at least
+/// `e^-87 ≈ 1.64e-38`, safely above the smallest normal `f32`, so the
+/// final `p · 2^n` multiply can never produce a denormal. At the true
+/// boundary it does — and masked rows (75%+ `-inf` lanes under paper
+/// pruning rates) then pay the per-µop denormal assist on every lane,
+/// an ~8x softmax slowdown measured end to end. Scalar `exp` returns
+/// tiny subnormals (< 1.5e-38) in the flushed band `[-87.336, -87.0)`;
+/// the cross-tier difference is one subnormal of absolute error.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn exp8(x: __m256) -> __m256 {
+    const EXP_LO: f32 = -87.0; // flush-to-zero cutoff (see above)
+    const EXP_HI: f32 = 88.376_26; // above this, expf overflows to inf
+    const LOG2EF: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_4;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    const P0: f32 = 1.987_569_1e-4;
+    const P1: f32 = 1.398_199_9e-3;
+    const P2: f32 = 8.333_452e-3;
+    const P3: f32 = 4.166_579_6e-2;
+    const P4: f32 = 1.666_666_6e-1;
+    const P5: f32 = 5.000_000_3e-1;
+    let underflow = _mm256_cmp_ps::<_CMP_LT_OQ>(x, _mm256_set1_ps(EXP_LO));
+    let x = _mm256_min_ps(
+        _mm256_max_ps(x, _mm256_set1_ps(EXP_LO)),
+        _mm256_set1_ps(EXP_HI),
+    );
+    // n = floor(x * log2(e) + 0.5) — round-to-nearest in float form.
+    let n = _mm256_floor_ps(_mm256_fmadd_ps(
+        x,
+        _mm256_set1_ps(LOG2EF),
+        _mm256_set1_ps(0.5),
+    ));
+    // r = x - n*ln2, in two pieces for the low bits.
+    let r = _mm256_fnmadd_ps(n, _mm256_set1_ps(LN2_HI), x);
+    let r = _mm256_fnmadd_ps(n, _mm256_set1_ps(LN2_LO), r);
+    let r2 = _mm256_mul_ps(r, r);
+    let mut p = _mm256_set1_ps(P0);
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(P1));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(P2));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(P3));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(P4));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(P5));
+    p = _mm256_fmadd_ps(p, r2, r);
+    p = _mm256_add_ps(p, _mm256_set1_ps(1.0));
+    // 2^n through the exponent field (|n| ≤ 128 after the clamps).
+    let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+        _mm256_cvtps_epi32(n),
+        _mm256_set1_epi32(127),
+    )));
+    _mm256_andnot_ps(underflow, _mm256_mul_ps(p, pow2))
+}
+
+/// The softmax exponent pass: `row[t] = exp(row[t] - max)` with the
+/// sum of the results returned. Eight lanes at a time through [`exp8`]
+/// with an 8-lane partial sum (reduced by [`hsum`]), scalar `f32::exp`
+/// tail. `-inf` inputs (masked scores) become exactly `0.0` in both
+/// the vector body and the tail. Tolerance-class vs the scalar tier:
+/// the polynomial and the reassociated sum differ from sequential
+/// `f32::exp` by ~1e-6 relative.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. `max` must be finite (debug-asserted): the
+/// caller handles the all-`-inf` row before getting here.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn exp_rows(row: &mut [f32], max: f32) -> f32 {
+    debug_assert!(max.is_finite(), "exp_rows requires a finite max");
+    let n = row.len();
+    let vmax = _mm256_set1_ps(max);
+    let mut vsum = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds the load and store.
+        unsafe {
+            let e = exp8(_mm256_sub_ps(load8(row, i), vmax));
+            _mm256_storeu_ps(row.as_mut_ptr().add(i), e);
+            vsum = _mm256_add_ps(vsum, e);
+        }
+        i += 8;
+    }
+    let mut sum = hsum(vsum);
+    while i < n {
+        let s = row[i];
+        let e = if s == f32::NEG_INFINITY {
+            0.0
+        } else {
+            (s - max).exp()
+        };
+        row[i] = e;
+        sum += e;
+        i += 1;
+    }
+    sum
+}
+
+/// Expands the low 8 bits of a prune mask into 8 bytes of 0/1 (the
+/// in-memory representation of `bool`), bit `t` → byte `t`.
+const fn spread_mask_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut t = 0;
+        while t < 8 {
+            table[b] |= (((b >> t) & 1) as u64) << (8 * t);
+            t += 1;
+        }
+        b += 1;
+    }
+    table
+}
+
+/// Byte-spread lookup for [`prune_mask_row`]'s flag writes.
+static SPREAD_MASK: [u64; 256] = spread_mask_table();
+
+/// The fused prune scan of one scores row: per element, `pruned =
+/// s < threshold` (Eq. 3), the pruned positions masked to `-inf` in
+/// *both* the scores row and the probability staging row, the flag
+/// byte written, and the kept count returned. Comparison, select and
+/// stores are exact operations, so the results are bit-identical to
+/// the scalar tier's sequential loop (NaN scores compare false and
+/// stay kept in both tiers).
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. All three slices should have equal length
+/// (debug-asserted); the trip count is bounded by the shortest.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn prune_mask_row(
+    srow: &mut [f32],
+    prow: &mut [f32],
+    flags: &mut [bool],
+    threshold: f32,
+) -> usize {
+    debug_assert!(
+        srow.len() == prow.len() && srow.len() == flags.len(),
+        "prune_mask_row of unequal lengths"
+    );
+    let n = srow.len().min(prow.len()).min(flags.len());
+    let th = _mm256_set1_ps(threshold);
+    let ninf = _mm256_set1_ps(f32::NEG_INFINITY);
+    let mut kept = 0usize;
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds the loads, the two 8-float
+        // stores, and the 8-byte flag store.
+        unsafe {
+            let s = load8(srow, i);
+            let pruned = _mm256_cmp_ps::<_CMP_LT_OQ>(s, th);
+            let masked = _mm256_blendv_ps(s, ninf, pruned);
+            _mm256_storeu_ps(srow.as_mut_ptr().add(i), masked);
+            _mm256_storeu_ps(prow.as_mut_ptr().add(i), masked);
+            let bits = _mm256_movemask_ps(pruned) as u32 & 0xff;
+            kept += 8 - bits.count_ones() as usize;
+            // `bool` is guaranteed to be one byte holding 0 or 1; the
+            // table spreads bit t of the mask into byte t.
+            flags
+                .as_mut_ptr()
+                .add(i)
+                .cast::<u64>()
+                .write_unaligned(SPREAD_MASK[bits as usize]);
+        }
+        i += 8;
+    }
+    while i < n {
+        let s = srow[i];
+        let pruned = s < threshold;
+        flags[i] = pruned;
+        kept += usize::from(!pruned);
+        let masked = if pruned { f32::NEG_INFINITY } else { s };
+        srow[i] = masked;
+        prow[i] = masked;
+        i += 1;
+    }
+    kept
+}
+
+/// Maximum over a row. Bit-identical to the scalar fold for rows
+/// without NaN: `max` over a multiset does not depend on association
+/// order.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. `row` should be non-empty (debug-asserted; an
+/// empty row returns `-inf`).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn row_max(row: &[f32]) -> f32 {
+    debug_assert!(!row.is_empty(), "row_max of empty row");
+    let n = row.len();
+    let mut best = f32::NEG_INFINITY;
+    let mut i = 0;
+    if n >= 8 {
+        // SAFETY: `n >= 8` bounds the first load; `i + 8 <= n` the rest.
+        let mut m = unsafe { load8(row, 0) };
+        i = 8;
+        while i + 8 <= n {
+            m = _mm256_max_ps(m, unsafe { load8(row, i) });
+            i += 8;
+        }
+        let lo = _mm256_castps256_ps128(m);
+        let hi = _mm256_extractf128_ps::<1>(m);
+        let s = _mm_max_ps(lo, hi);
+        let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_max_ss(s, _mm_movehdup_ps(s));
+        best = _mm_cvtss_f32(s);
+    }
+    while i < n {
+        best = best.max(row[i]);
+        i += 1;
+    }
+    best
+}
+
+/// `row[t] *= factor` — element-wise, bit-identical to the scalar loop.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA (no shape precondition).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn scale_row(row: &mut [f32], factor: f32) {
+    let n = row.len();
+    let f = _mm256_set1_ps(factor);
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds the load and store.
+        unsafe {
+            let p = row.as_mut_ptr().add(i);
+            _mm256_storeu_ps(p, _mm256_mul_ps(_mm256_loadu_ps(p), f));
+        }
+        i += 8;
+    }
+    while i < n {
+        row[i] *= factor;
+        i += 1;
+    }
+}
+
+/// `out[t] = fma(a, x[t], out[t])` — one fused multiply-add per
+/// element, the same per-element chain as the tier's AV accumulators
+/// ([`av_row`]), so decode (per-key `axpy`) and batch (register-blocked
+/// [`av_row`]) produce bit-identical outputs within the tier. Versus
+/// the scalar tier's multiply-then-add the fused form keeps the full
+/// product before rounding: a ≤ 0.5 ULP difference per step, in the
+/// documented AV tolerance class.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. Slices should have equal length
+/// (debug-asserted); the trip count is bounded by the shorter one.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
+    debug_assert_eq!(out.len(), x.len(), "axpy of unequal lengths");
+    let n = out.len().min(x.len());
+    let va = _mm256_set1_ps(a);
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds the loads and the store.
+        unsafe {
+            let po = out.as_mut_ptr().add(i);
+            let vx = load8(x, i);
+            _mm256_storeu_ps(po, _mm256_fmadd_ps(va, vx, _mm256_loadu_ps(po)));
+        }
+        i += 8;
+    }
+    while i < n {
+        out[i] = a.mul_add(x[i], out[i]);
+        i += 1;
+    }
+}
+
+/// One output row of the AV stage over a contiguous row-major `V`:
+/// `out[t] += Σ_j probs[j] * v[j*d_v + t]`, ascending `j`, one fused
+/// multiply-add per element — the scalar tier's accumulation order
+/// with the multiply-round step fused away, so cross-tier results sit
+/// in the documented AV tolerance class while decode ([`axpy`] per
+/// key) and batch walks stay bit-identical *within* the tier. With
+/// `skip_zero`, keys whose probability is exactly `0.0` are skipped
+/// (the sparse pruned-AV contract); without it every key contributes
+/// (the dense-crossover path).
+///
+/// The `d_v == 64` case (every studied model) keeps the output row
+/// resident in eight `ymm` accumulators across all keys — one load
+/// and one store of the row total, instead of one per key.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. Expects `out.len() == d_v` and
+/// `probs.len() * d_v <= v.len()` (debug-asserted); trip counts are
+/// clamped to the slice lengths regardless.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn av_row(
+    out: &mut [f32],
+    probs: &[f32],
+    v: &[f32],
+    d_v: usize,
+    skip_zero: bool,
+) {
+    debug_assert_eq!(out.len(), d_v, "output row width");
+    debug_assert!(probs.len() * d_v <= v.len(), "V too short for probs");
+    if d_v == 64 && out.len() == 64 {
+        // SAFETY: AVX2+FMA hold for the whole function.
+        unsafe { av_row64(out, probs, v, skip_zero) };
+        return;
+    }
+    let keys = probs.len().min(v.len().checked_div(d_v).unwrap_or(0));
+    for (j, &p) in probs.iter().take(keys).enumerate() {
+        if skip_zero && p == 0.0 {
+            continue;
+        }
+        // SAFETY: `j < keys` bounds the V row; lengths match by slicing.
+        unsafe { axpy(out, p, &v[j * d_v..(j + 1) * d_v]) };
+    }
+}
+
+/// [`av_row`] specialized to `d_v == 64`: the output row lives in
+/// eight `ymm` accumulators across the whole key loop. Same
+/// per-element order (ascending `j`, one FMA per element) as the
+/// tier's generic path and [`axpy`].
+///
+/// # Safety
+///
+/// Requires AVX2+FMA and `out.len() == 64` (checked by the caller);
+/// the key count is clamped to `v.len() / 64`.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn av_row64(out: &mut [f32], probs: &[f32], v: &[f32], skip_zero: bool) {
+    debug_assert_eq!(out.len(), 64);
+    let keys = probs.len().min(v.len() / 64);
+    let mut acc = [_mm256_setzero_ps(); 8];
+    for (t, slot) in acc.iter_mut().enumerate() {
+        // SAFETY: `out.len() == 64` bounds every 8-float load.
+        *slot = unsafe { load8(out, t * 8) };
+    }
+    // SAFETY: `keys` is clamped so every V row in the span is in bounds.
+    unsafe { av_span64(&mut acc, probs, 0, keys, v, skip_zero) };
+    for (t, slot) in acc.iter().enumerate() {
+        // SAFETY: `out.len() == 64` bounds every 8-float store.
+        unsafe { _mm256_storeu_ps(out.as_mut_ptr().add(t * 8), *slot) };
+    }
+}
+
+/// Accumulates keys `[j0, j1)` into the 64-wide register-resident AV
+/// accumulators — the shared span walk of [`av_row64`] (one span) and
+/// [`av_rows64`] (one span per key panel). With `skip_zero` the span
+/// is scanned eight probabilities at a time (`p != 0.0` compare +
+/// movemask; NaN compares true, matching the scalar `p == 0.0` skip)
+/// and the surviving keys processed in ascending bit order — the
+/// identical keys in the identical order as the per-key branch, so the
+/// chunked scan never changes the accumulation chain.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA, `j1 <= probs.len()` and `j1 * 64 <= v.len()`.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn av_span64(
+    acc: &mut [__m256; 8],
+    probs: &[f32],
+    j0: usize,
+    j1: usize,
+    v: &[f32],
+    skip_zero: bool,
+) {
+    debug_assert!(j1 <= probs.len() && j1 * 64 <= v.len());
+    if skip_zero {
+        let zero = _mm256_setzero_ps();
+        let mut j = j0;
+        while j + 8 <= j1 {
+            // SAFETY: `j + 8 <= j1 <= probs.len()` bounds the load.
+            let vp8 = unsafe { load8(probs, j) };
+            let mut bits =
+                _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_NEQ_UQ>(vp8, zero)) as u32 & 0xff;
+            while bits != 0 {
+                let t = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // SAFETY: `j + t < j1` implies the V row is in bounds.
+                unsafe { av_key64(acc, probs[j + t], v, j + t) };
+            }
+            j += 8;
+        }
+        for (off, &p) in probs[j..j1].iter().enumerate() {
+            if p != 0.0 {
+                // SAFETY: `j + off < j1` bounds the V row.
+                unsafe { av_key64(acc, p, v, j + off) };
+            }
+        }
+    } else {
+        for (j, &p) in probs.iter().enumerate().take(j1).skip(j0) {
+            // SAFETY: `j < j1` bounds the V row.
+            unsafe { av_key64(acc, p, v, j) };
+        }
+    }
+}
+
+/// Key-panel width of the blocked matrix-level AV: 32 key rows of
+/// `d_v = 64` floats is an 8 KiB panel of `V` that stays L1-resident
+/// while every output row accumulates its contribution. The
+/// single-pass walk streams all of `V` from L2 once *per output row*
+/// and is bandwidth-bound; panel blocking streams it once per panel.
+const KEY_PANEL: usize = 32;
+
+/// Matrix-level AV for `d_v == 64`: every output row accumulates the
+/// current key panel before the sweep advances, with each row's
+/// partial sums spilled to and reloaded from the output row between
+/// panels. A register spill is exact, and within a row the keys are
+/// still visited in ascending order through the same [`av_key64`] FMA
+/// chain — so each row's result is bit-identical to a standalone
+/// [`av_row64`] call (asserted by the dispatch-layer tests).
+///
+/// `plans[i] = (live, skip_zero)` processes keys `0..live` of row `i`
+/// (`live == 0` leaves the row untouched), skipping exactly-zero
+/// probabilities when `skip_zero` is set.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. For every plan: `out.row(i)` and `probs.row(i)`
+/// must exist with `out.cols() == 64`, `live <= probs.cols()` and
+/// `live * 64 <= v.len()` (debug-asserted; row accessors bounds-check).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn av_rows64(
+    out: &mut Matrix,
+    probs: &Matrix,
+    v: &[f32],
+    plans: &[(usize, bool)],
+) {
+    debug_assert_eq!(out.cols(), 64);
+    debug_assert!(plans.len() <= out.rows() && plans.len() <= probs.rows());
+    let max_live = plans.iter().map(|p| p.0).max().unwrap_or(0);
+    debug_assert!(max_live <= probs.cols() && max_live * 64 <= v.len());
+    let mut jb = 0;
+    while jb < max_live {
+        let panel_end = (jb + KEY_PANEL).min(max_live);
+        for (i, &(live, skip_zero)) in plans.iter().enumerate() {
+            let end = live.min(panel_end);
+            if jb >= end {
+                continue;
+            }
+            let orow = out.row_mut(i);
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for (t, slot) in acc.iter_mut().enumerate() {
+                // SAFETY: `out.cols() == 64` bounds every 8-float load.
+                *slot = unsafe { load8(orow, t * 8) };
+            }
+            // SAFETY: `end <= live` is debug-asserted to bound both
+            // `probs.row(i)` and the V rows.
+            unsafe { av_span64(&mut acc, probs.row(i), jb, end, v, skip_zero) };
+            for (t, slot) in acc.iter().enumerate() {
+                // SAFETY: `out.cols() == 64` bounds every 8-float store.
+                unsafe { _mm256_storeu_ps(orow.as_mut_ptr().add(t * 8), *slot) };
+            }
+        }
+        jb = panel_end;
+    }
+}
+
+/// One key's contribution to the 64-wide register-resident AV
+/// accumulators: one FMA per element, matching [`axpy`]'s chain so
+/// decode and batch agree bitwise within the tier.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA and `(j + 1) * 64 <= v.len()` (callers bound `j`
+/// by the clamped key count).
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn av_key64(acc: &mut [__m256; 8], p: f32, v: &[f32], j: usize) {
+    let vp = _mm256_set1_ps(p);
+    let base = j * 64;
+    for (t, slot) in acc.iter_mut().enumerate() {
+        // SAFETY: the caller guarantees `base + 64 <= v.len()`.
+        let vx = unsafe { load8(v, base + t * 8) };
+        *slot = _mm256_fmadd_ps(vp, vx, *slot);
+    }
+}
+
+/// Integer dot product over `i32` code rows (the QK-PU MAC chain).
+/// Bit-identical to the scalar sum: integer addition is associative
+/// and 8-bit code products cannot overflow `i32`.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. Slices should have equal length
+/// (debug-asserted); the trip count is bounded by the shorter one.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn idot(a: &[i32], b: &[i32]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "idot of unequal lengths");
+    let n = a.len().min(b.len());
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds both 8-lane loads.
+        unsafe {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+            acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(va, vb));
+        }
+        i += 8;
+    }
+    let mut sum = hsum_epi32(acc);
+    while i < n {
+        sum = sum.wrapping_add(a[i].wrapping_mul(b[i]));
+        i += 1;
+    }
+    sum
+}
+
+/// [`idot`] with the right side widened from cached `i8` page codes
+/// (the decode QK-PU). Bit-identical to the scalar widening sum.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. Slices should have equal length
+/// (debug-asserted); the trip count is bounded by the shorter one.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn idot_i8(a: &[i32], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "idot_i8 of unequal lengths");
+    let n = a.len().min(b.len());
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds the 8-lane load and the 8-byte
+        // low-quadword load.
+        unsafe {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let vb = _mm256_cvtepi8_epi32(_mm_loadl_epi64(b.as_ptr().add(i).cast()));
+            acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(va, vb));
+        }
+        i += 8;
+    }
+    let mut sum = hsum_epi32(acc);
+    while i < n {
+        sum = sum.wrapping_add(a[i].wrapping_mul(i32::from(b[i])));
+        i += 1;
+    }
+    sum
+}
+
+/// One key's V-PU accumulation over `i32` value codes:
+/// `acc[t] += p_code * codes[t]` — element-wise, bit-identical to the
+/// scalar loop.
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. Slices should have equal length
+/// (debug-asserted); the trip count is bounded by the shorter one.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn vpu_accumulate(acc: &mut [i32], p_code: i32, codes: &[i32]) {
+    debug_assert_eq!(acc.len(), codes.len(), "vpu rows of unequal lengths");
+    let n = acc.len().min(codes.len());
+    let vp = _mm256_set1_epi32(p_code);
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds the loads and the store.
+        unsafe {
+            let pa: *mut __m256i = acc.as_mut_ptr().add(i).cast();
+            let vc = _mm256_loadu_si256(codes.as_ptr().add(i).cast());
+            let sum = _mm256_add_epi32(_mm256_loadu_si256(pa), _mm256_mullo_epi32(vp, vc));
+            _mm256_storeu_si256(pa, sum);
+        }
+        i += 8;
+    }
+    while i < n {
+        acc[i] = acc[i].wrapping_add(p_code.wrapping_mul(codes[i]));
+        i += 1;
+    }
+}
+
+/// [`vpu_accumulate`] over cached `i8` page codes (the decode V-PU).
+///
+/// # Safety
+///
+/// Requires AVX2+FMA. Slices should have equal length
+/// (debug-asserted); the trip count is bounded by the shorter one.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn vpu_accumulate_i8(acc: &mut [i32], p_code: i32, codes: &[i8]) {
+    debug_assert_eq!(acc.len(), codes.len(), "vpu rows of unequal lengths");
+    let n = acc.len().min(codes.len());
+    let vp = _mm256_set1_epi32(p_code);
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds the loads and the store.
+        unsafe {
+            let pa: *mut __m256i = acc.as_mut_ptr().add(i).cast();
+            let vc = _mm256_cvtepi8_epi32(_mm_loadl_epi64(codes.as_ptr().add(i).cast()));
+            let sum = _mm256_add_epi32(_mm256_loadu_si256(pa), _mm256_mullo_epi32(vp, vc));
+            _mm256_storeu_si256(pa, sum);
+        }
+        i += 8;
+    }
+    while i < n {
+        acc[i] = acc[i].wrapping_add(p_code.wrapping_mul(i32::from(codes[i])));
+        i += 1;
+    }
+}

@@ -52,29 +52,29 @@ pub fn softmax_exact(scores: &[f32]) -> Vec<f32> {
 /// assert_eq!(row[2], 0.0);
 /// ```
 pub fn softmax_inplace(row: &mut [f32]) {
+    softmax_inplace_tier(row, crate::active_tier());
+}
+
+/// [`softmax_inplace`] dispatching every stage — max scan, exponent
+/// pass, normalization — on an explicit kernel tier. The exponent pass
+/// is the tolerance-class stage of the cross-tier contract: the AVX2
+/// tier evaluates a polynomial `exp` eight lanes at a time, so
+/// probabilities agree across tiers to ~1e-6 relative rather than
+/// bitwise (see the table in [`crate::simd`]). Masked `-inf` entries
+/// become exactly `0.0` in every tier, and a row that is entirely
+/// `-inf` is all-zero, so pruning structure is tier-independent.
+pub fn softmax_inplace_tier(row: &mut [f32], tier: crate::SimdTier) {
     if row.is_empty() {
         return;
     }
-    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max = crate::simd::row_max(tier, row);
     if max == f32::NEG_INFINITY {
         // Every position masked: define the output as all-zero.
         row.fill(0.0);
         return;
     }
-    let mut sum = 0.0f32;
-    for s in row.iter_mut() {
-        let e = if *s == f32::NEG_INFINITY {
-            0.0
-        } else {
-            (*s - max).exp()
-        };
-        *s = e;
-        sum += e;
-    }
-    let inv = 1.0 / sum;
-    for s in row.iter_mut() {
-        *s *= inv;
-    }
+    let sum = crate::simd::exp_rows(tier, row, max);
+    crate::simd::scale_row(tier, row, 1.0 / sum);
 }
 
 /// Exact masked softmax computed in place: positions where `keep[i]` is

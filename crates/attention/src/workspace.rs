@@ -38,11 +38,23 @@
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Workspace {
     prob_row: Vec<f32>,
     acc_row: Vec<i32>,
     pool: Vec<Vec<f32>>,
+    tier: crate::SimdTier,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace {
+            prob_row: Vec::new(),
+            acc_row: Vec::new(),
+            pool: Vec::new(),
+            tier: crate::active_tier(),
+        }
+    }
 }
 
 /// Recycled matrix buffers kept per workspace. Three per kernel call
@@ -71,7 +83,21 @@ impl Workspace {
             prob_row: vec![0.0; s_k],
             acc_row: vec![0; d_v],
             pool: Vec::new(),
+            tier: crate::active_tier(),
         }
+    }
+
+    /// Forces the kernel tier every call through this workspace
+    /// dispatches on. Requests are sanitized to what the host supports
+    /// ([`crate::sanitize_tier`]), so forcing [`crate::SimdTier::Avx2`]
+    /// on a non-AVX2 host silently runs scalar rather than faulting.
+    pub fn set_simd_tier(&mut self, tier: crate::SimdTier) {
+        self.tier = crate::sanitize_tier(tier);
+    }
+
+    /// The kernel tier this workspace dispatches on.
+    pub fn simd_tier(&self) -> crate::SimdTier {
+        self.tier
     }
 
     /// Returns a matrix's backing buffer to the workspace pool, so the
@@ -144,9 +170,13 @@ impl Workspace {
     /// reset rather than reason about which buffers the interrupted
     /// call left mid-write — the pool contract already guarantees a
     /// reset workspace produces bit-identical results, just with cold
-    /// first allocations.
+    /// first allocations. A forced kernel tier survives the reset —
+    /// recovery must not silently change which tier a pipeline runs.
     pub fn reset(&mut self) {
-        *self = Workspace::default();
+        *self = Workspace {
+            tier: self.tier,
+            ..Workspace::default()
+        };
     }
 
     /// A zeroed probability staging row of length `n`.
@@ -238,6 +268,19 @@ mod tests {
         assert_eq!(ws.acc_row.capacity(), 0);
         // And it still works after the reset.
         assert_eq!(ws.prob_row(3), &[0.0; 3]);
+    }
+
+    #[test]
+    fn forced_tier_is_sanitized_and_survives_reset() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.simd_tier(), crate::active_tier());
+        ws.set_simd_tier(crate::SimdTier::Scalar);
+        assert_eq!(ws.simd_tier(), crate::SimdTier::Scalar);
+        ws.reset();
+        assert_eq!(ws.simd_tier(), crate::SimdTier::Scalar);
+        ws.set_simd_tier(crate::SimdTier::Avx2);
+        // Sanitized: Avx2 only sticks on hosts that can run it.
+        assert_eq!(ws.simd_tier(), crate::sanitize_tier(crate::SimdTier::Avx2));
     }
 
     #[test]

@@ -11,8 +11,8 @@ use sprint_attention::reference::{
     dense_attention_naive, pruned_attention_naive, quantized_attention_naive,
 };
 use sprint_attention::{
-    dense_attention, pruned_attention, quantized_attention, AttentionConfig, Matrix, PaddingMask,
-    PruneDecision, Workspace,
+    dense_attention, dense_attention_with, pruned_attention, pruned_attention_with,
+    quantized_attention, AttentionConfig, Matrix, PaddingMask, PruneDecision, Workspace,
 };
 
 /// Deterministic pseudo-random matrix from a seed (splitmix-style).
@@ -123,7 +123,10 @@ proptest! {
         // (register-blocked two rows at a time, with a single-row tail
         // for odd row counts); their reduction order matches `dot`
         // exactly, so fused and naive must agree BITWISE here — scores,
-        // probabilities and outputs alike.
+        // probabilities and outputs alike. This is a *scalar-tier*
+        // contract (the naive reference is scalar), so the workspace
+        // pins SimdTier::Scalar; the AVX2 tier is pinned against the
+        // scalar tier separately, by the simd differential harness.
         let d = [32usize, 64, 128][d_pick];
         let q = random_matrix(s, d, seed, 2.0);
         let k = random_matrix(s, d, seed ^ 1, 2.0);
@@ -131,13 +134,16 @@ proptest! {
         let cfg = AttentionConfig::new(d);
         let live = s - pad.min(s - 1);
         let mask = PaddingMask::new(s, live).unwrap();
-        let (fused, fd) = pruned_attention(&q, &k, &v, &cfg, threshold, Some(&mask)).unwrap();
+        let mut ws = Workspace::new();
+        ws.set_simd_tier(sprint_attention::SimdTier::Scalar);
+        let (fused, fd) =
+            pruned_attention_with(&q, &k, &v, &cfg, threshold, Some(&mask), &mut ws).unwrap();
         let (naive, nd) = pruned_attention_naive(&q, &k, &v, &cfg, threshold, Some(&mask)).unwrap();
         prop_assert_eq!(fd, nd);
         prop_assert_eq!(&fused.scores, &naive.scores);
         prop_assert_eq!(&fused.probs, &naive.probs);
         prop_assert_eq!(&fused.output, &naive.output);
-        let dense_fused = dense_attention(&q, &k, &v, &cfg).unwrap();
+        let dense_fused = dense_attention_with(&q, &k, &v, &cfg, &mut ws).unwrap();
         let dense_naive = dense_attention_naive(&q, &k, &v, &cfg).unwrap();
         prop_assert_eq!(&dense_fused.scores, &dense_naive.scores);
         prop_assert_eq!(&dense_fused.probs, &dense_naive.probs);

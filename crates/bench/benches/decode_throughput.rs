@@ -156,14 +156,17 @@ fn churn(c: &mut Criterion) {
             })
         },
     );
-    group.bench_function(&format!("churn_resident/{CHURN_SESSIONS}sess_s{CHURN_SEQ}"), |b| {
-        b.iter(|| {
-            let report = DecodeLoop::new(&resident)
-                .run_threads(1, &tasks)
-                .expect("resident run");
-            black_box(report.tokens)
-        })
-    });
+    group.bench_function(
+        &format!("churn_resident/{CHURN_SESSIONS}sess_s{CHURN_SEQ}"),
+        |b| {
+            b.iter(|| {
+                let report = DecodeLoop::new(&resident)
+                    .run_threads(1, &tasks)
+                    .expect("resident run");
+                black_box(report.tokens)
+            })
+        },
+    );
 
     // One counted run for the accounting pseudo-entries (the "samples"
     // are counts, not nanoseconds, like host/available_parallelism).

@@ -97,6 +97,7 @@ fn check_report(explicit: Option<&str>) -> Result<(), String> {
         }
     }
     check_scaling(&items)?;
+    check_simd(&items)?;
     check_fault_sweep(&text)?;
     check_server_stress(&items)?;
     check_decode_churn(&items)?;
@@ -180,6 +181,81 @@ fn check_scaling(items: &[String]) -> Result<(), String> {
             ));
         }
         println!("scaling: {prefix} workers4/workers1 ratio {ratio:.2} ok");
+    }
+    Ok(())
+}
+
+/// Minimum scalar-over-AVX2 speedup the `simd_kernels` fused rows must
+/// clear on AVX2 hosts (the ISSUE 10 tentpole floor). Measured
+/// medians sit around 2.2×; a regression of the vector lanes to
+/// scalar-equivalent speed (ratio ≈ 1.0) always fails.
+const SIMD_SPEEDUP_MIN: f64 = 2.0;
+
+/// How much slower than the dense fused kernel the 50 %-keep pruned
+/// kernel may run: the low-sparsity crossover (ISSUE 10 satellite)
+/// streams every key below the sparse-walk break-even, so rate50 must
+/// track dense instead of paying the skip walk's branchy tax.
+const CROSSOVER_RATIO_MAX: f64 = 1.05;
+
+/// Validates the SIMD-tier rows of `simd_kernels` plus the
+/// low-sparsity crossover floor:
+///
+/// * On hosts whose report carries `host/simd_avx2` = 1 (the bench
+///   records runtime AVX2+FMA detection as a 0/1 pseudo-row), the
+///   forced-scalar over forced-AVX2 ratio of the `dense-fused` and
+///   `pruned-fused` rows must clear [`SIMD_SPEEDUP_MIN`]. Hosts
+///   without AVX2 (or reports without the pseudo-row) skip with a
+///   note — the tiers are identical there by construction.
+/// * Whenever `pruned/fused-rate50` and `dense/fused` are both
+///   present, rate50 must stay within [`CROSSOVER_RATIO_MAX`] of
+///   dense — tier-independent, so never gated.
+///
+/// Absent rows are skipped with a note (CI's bench-smoke emits from a
+/// subset of benches).
+fn check_simd(items: &[String]) -> Result<(), String> {
+    use criterion::report::{string_field, u128_field};
+    let median_of = |id: &str| -> Option<u128> {
+        items
+            .iter()
+            .find(|item| string_field(item, "id").as_deref() == Some(id))
+            .and_then(|item| u128_field(item, "median_ns"))
+    };
+    match median_of("host/simd_avx2") {
+        None => println!("simd: no host/simd_avx2 row (speedup floors skipped)"),
+        Some(0) => println!("simd: host has no AVX2+FMA (speedup floors skipped)"),
+        Some(_) => {
+            for kernel in ["dense-fused", "pruned-fused"] {
+                let (scalar, avx2) = (
+                    median_of(&format!("simd/scalar/{kernel}")),
+                    median_of(&format!("simd/avx2/{kernel}")),
+                );
+                let (Some(scalar), Some(avx2)) = (scalar, avx2) else {
+                    println!("simd: {kernel} tier rows not in this report (skipped)");
+                    continue;
+                };
+                let speedup = scalar as f64 / avx2.max(1) as f64;
+                if speedup < SIMD_SPEEDUP_MIN {
+                    return Err(format!(
+                        "simd/{kernel}: avx2 tier is only {speedup:.2}x the scalar tier \
+                         (floor {SIMD_SPEEDUP_MIN}x) — the vector lanes regressed"
+                    ));
+                }
+                println!("simd: {kernel} scalar/avx2 speedup {speedup:.2}x ok");
+            }
+        }
+    }
+    let (rate50, dense) = (median_of("pruned/fused-rate50"), median_of("dense/fused"));
+    if let (Some(rate50), Some(dense)) = (rate50, dense) {
+        let ratio = rate50 as f64 / dense.max(1) as f64;
+        if ratio > CROSSOVER_RATIO_MAX {
+            return Err(format!(
+                "pruned/fused-rate50 is {ratio:.2}x dense/fused \
+                 (limit {CROSSOVER_RATIO_MAX}) — the low-sparsity crossover regressed"
+            ));
+        }
+        println!("simd: rate50/dense crossover ratio {ratio:.2} ok");
+    } else {
+        println!("simd: rate50 vs dense rows not in this report (crossover check skipped)");
     }
     Ok(())
 }
@@ -399,13 +475,16 @@ fn check_decode_churn(items: &[String]) -> Result<(), String> {
         }
         None => {
             return Err(
-                "decode churn: scenario row present but churn/pages_leaked missing".to_string()
+                "decode churn: scenario row present but churn/pages_leaked missing".to_string(),
             );
         }
     }
     for (id, what) in [
         ("decode_throughput/churn/evictions", "eviction"),
-        ("decode_throughput/churn/rehydrated_tokens", "rehydrated token"),
+        (
+            "decode_throughput/churn/rehydrated_tokens",
+            "rehydrated token",
+        ),
     ] {
         match median_of(id) {
             Some(0) => {
@@ -415,7 +494,11 @@ fn check_decode_churn(items: &[String]) -> Result<(), String> {
                 ));
             }
             Some(n) => println!("decode churn: {n} {what}s"),
-            None => return Err(format!("decode churn: scenario row present but {id} missing")),
+            None => {
+                return Err(format!(
+                    "decode churn: scenario row present but {id} missing"
+                ))
+            }
         }
     }
     if let (Some(peak), Some(cap)) = (

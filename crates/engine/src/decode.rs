@@ -26,7 +26,7 @@
 //! order than a fresh build, so equivalence is distributional.
 
 use sprint_attention::{
-    pruned_attention_decode_cached_with, quantized_attention_decode_with, softmax_inplace,
+    pruned_attention_decode_cached_with, quantized_attention_decode_with, softmax_inplace_tier,
     AttentionConfig, KvCache, Matrix, PruneDecision, Workspace,
 };
 use sprint_energy::{Category, EnergyBreakdown};
@@ -366,6 +366,15 @@ impl EvictedSession {
 }
 
 impl Engine {
+    /// A fresh per-session workspace dispatching on the engine's SIMD
+    /// kernel tier (sessions inherit the tier of the engine that opens
+    /// or resumes them, exactly like worker scratches).
+    fn session_workspace(&self) -> Workspace {
+        let mut ws = Workspace::new();
+        ws.set_simd_tier(self.simd_tier());
+        ws
+    }
+
     /// Opens a stateful [`DecodeSession`] seeded and configured from
     /// this engine's defaults (with the request's overrides), starting
     /// from the request's prefill history.
@@ -403,7 +412,7 @@ impl Engine {
             kv: KvCache::new_in(self.kv_pool(), request.k, request.v)?,
             pruner: None,
             controller: None,
-            ws: Workspace::new(),
+            ws: self.session_workspace(),
             q_step: None,
             perf: SessionPerf::default(),
             fault_model: self.fault_model(),
@@ -504,7 +513,7 @@ impl Engine {
             kv,
             pruner,
             controller: None,
-            ws: Workspace::new(),
+            ws: self.session_workspace(),
             q_step: None,
             perf,
             fault_model: stub.fault_model,
@@ -690,6 +699,7 @@ impl DecodeSession {
             } else {
                 // No recompute: softmax directly over the
                 // approximate analog scores of the kept keys.
+                let tier = self.ws.simd_tier();
                 let prow = self.ws.prob_row(s);
                 for (j, slot) in prow.iter_mut().enumerate() {
                     *slot = if decision.is_kept(j) {
@@ -698,7 +708,7 @@ impl DecodeSession {
                         f32::NEG_INFINITY
                     };
                 }
-                softmax_inplace(prow);
+                softmax_inplace_tier(prow, tier);
                 let mut out = vec![0.0f32; d_v];
                 for (j, &p) in prow.iter().enumerate() {
                     if p > 0.0 {

@@ -6,8 +6,8 @@ use std::sync::{Mutex, MutexGuard, TryLockError};
 use std::time::Instant;
 
 use sprint_attention::{
-    pruned_attention_with, quantized_attention_with, softmax_inplace, Matrix, PagePool,
-    PruneDecision, Workspace, DEFAULT_PAGE_BYTES,
+    pruned_attention_with, quantized_attention_with, softmax_inplace_tier, Matrix, PagePool,
+    PruneDecision, SimdTier, Workspace, DEFAULT_PAGE_BYTES,
 };
 use sprint_memory::MemoryController;
 use sprint_reram::{FaultModel, InMemoryPruner, NoiseModel, ThresholdSpec};
@@ -90,13 +90,16 @@ fn reject_duplicate_head_ids(requests: &[HeadRequest]) -> Result<(), SprintError
 /// Locks a scratch slot, recovering from a poisoned mutex: a panic in
 /// one worker must not take down unrelated callers, so the scratch is
 /// reset to its freshly-built state (every field rebuilds lazily on
-/// next use) and the poison flag is cleared.
-fn lock_scratch(slot: &Mutex<HeadScratch>) -> MutexGuard<'_, HeadScratch> {
+/// next use) and the poison flag is cleared. The engine's kernel tier
+/// is re-applied to the fresh workspace — recovery must not silently
+/// change which tier a pipeline runs.
+fn lock_scratch(slot: &Mutex<HeadScratch>, tier: SimdTier) -> MutexGuard<'_, HeadScratch> {
     match slot.lock() {
         Ok(guard) => guard,
         Err(poisoned) => {
             let mut guard = poisoned.into_inner();
             *guard = HeadScratch::default();
+            guard.ws.set_simd_tier(tier);
             slot.clear_poison();
             guard
         }
@@ -116,6 +119,7 @@ pub struct EngineBuilder {
     fault_model: Option<FaultModel>,
     fault_policy: FaultPolicy,
     kv_pool: Option<PagePool>,
+    simd_tier: Option<SimdTier>,
 }
 
 impl EngineBuilder {
@@ -194,6 +198,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Forces the SIMD kernel tier every workspace owned by this
+    /// engine (worker scratches and decode sessions) dispatches on
+    /// (default: [`sprint_attention::active_tier`] — the fastest tier
+    /// the host supports, or the `SPRINT_SIMD` environment override).
+    /// Requests are sanitized to host support, so forcing
+    /// [`SimdTier::Avx2`] on a non-AVX2 host runs scalar rather than
+    /// faulting. The differential test harness pins forced-`scalar`
+    /// and forced-`avx2` engines against each other with this knob.
+    #[must_use]
+    pub fn simd_tier(mut self, tier: SimdTier) -> Self {
+        self.simd_tier = Some(tier);
+        self
+    }
+
     /// Sets the shared KV page pool every decode session opened on
     /// this engine draws from (default: an unbounded private pool with
     /// [`DEFAULT_PAGE_BYTES`] pages). A bounded pool turns session
@@ -215,8 +233,15 @@ impl EngineBuilder {
     ///
     /// Propagates memory geometry/timing validation errors.
     pub fn build(self) -> Result<Engine, SprintError> {
+        let tier = sprint_attention::sanitize_tier(
+            self.simd_tier.unwrap_or_else(sprint_attention::active_tier),
+        );
         let mut scratches: Vec<Mutex<HeadScratch>> = (0..self.worker_slots)
-            .map(|_| Mutex::new(HeadScratch::default()))
+            .map(|_| {
+                let mut scratch = HeadScratch::default();
+                scratch.ws.set_simd_tier(tier);
+                Mutex::new(scratch)
+            })
             .collect();
         scratches[0].get_mut().expect("fresh mutex").controller = Some(MemoryController::new(
             self.config.memory_geometry(),
@@ -235,6 +260,7 @@ impl EngineBuilder {
             kv_pool: self
                 .kv_pool
                 .unwrap_or_else(|| PagePool::unbounded(DEFAULT_PAGE_BYTES)),
+            simd_tier: tier,
             next_slot: AtomicUsize::new(0),
         })
     }
@@ -342,6 +368,9 @@ pub struct Engine {
     fault_model: Option<FaultModel>,
     fault_policy: FaultPolicy,
     kv_pool: PagePool,
+    /// The sanitized SIMD kernel tier every workspace this engine owns
+    /// dispatches on (see [`EngineBuilder::simd_tier`]).
+    simd_tier: SimdTier,
     /// Rotates overflow callers (more concurrent `run_head`s than
     /// slots) across blocking locks — see [`Engine::with_scratch`].
     next_slot: AtomicUsize,
@@ -382,6 +411,7 @@ impl Engine {
             fault_model: None,
             fault_policy: FaultPolicy::default(),
             kv_pool: None,
+            simd_tier: None,
         }
     }
 
@@ -430,6 +460,12 @@ impl Engine {
     /// [`Engine::run_batch`]).
     pub fn worker_slots(&self) -> usize {
         self.scratches.len()
+    }
+
+    /// The sanitized SIMD kernel tier this engine's workspaces
+    /// dispatch on (see [`EngineBuilder::simd_tier`]).
+    pub fn simd_tier(&self) -> SimdTier {
+        self.simd_tier
     }
 
     /// Whether memory-controller accounting is enabled (decode
@@ -580,7 +616,7 @@ impl Engine {
         let (responses, worker_stats) =
             sprint_parallel::par_chunk_try_map_threads(workers, requests, |worker, i, request| {
                 let seed = derive_head_seed(self.seed, request.head_id().unwrap_or(i as u64));
-                let mut scratch = lock_scratch(&self.scratches[worker]);
+                let mut scratch = lock_scratch(&self.scratches[worker], self.simd_tier);
                 self.run_on_scratch(&mut scratch, request, seed)
             })?;
         Ok((
@@ -605,6 +641,7 @@ impl Engine {
                 Err(TryLockError::Poisoned(poisoned)) => {
                     let mut scratch = poisoned.into_inner();
                     *scratch = HeadScratch::default();
+                    scratch.ws.set_simd_tier(self.simd_tier);
                     slot.clear_poison();
                     return f(&mut scratch);
                 }
@@ -612,7 +649,7 @@ impl Engine {
             }
         }
         let i = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.scratches.len();
-        let mut scratch = lock_scratch(&self.scratches[i]);
+        let mut scratch = lock_scratch(&self.scratches[i], self.simd_tier);
         f(&mut scratch)
     }
 
@@ -781,10 +818,11 @@ impl Engine {
             // softmax and weighted sum directly; the workspace stages
             // each probability row.
             let mut out = Matrix::zeros(s_q, v.cols())?;
+            let tier = scratch.ws.simd_tier();
             let prow = scratch.ws.prob_row(s_k);
             for (i, row) in scratch.approx[..live_q].iter().enumerate() {
                 prow.copy_from_slice(row);
-                softmax_inplace(prow);
+                softmax_inplace_tier(prow, tier);
                 let orow = out.row_mut(i);
                 for (j, &p) in prow.iter().enumerate() {
                     if p > 0.0 {
@@ -935,6 +973,39 @@ mod tests {
             .seed(11)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn simd_tier_knob_is_sanitized_and_survives_poison_recovery() {
+        let default_tier = engine(ExecutionMode::Sprint).simd_tier();
+        assert_eq!(default_tier, sprint_attention::active_tier());
+        let forced = Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .simd_tier(SimdTier::Scalar)
+            .build()
+            .unwrap();
+        assert_eq!(forced.simd_tier(), SimdTier::Scalar);
+        for slot in &forced.scratches {
+            assert_eq!(slot.lock().unwrap().ws.simd_tier(), SimdTier::Scalar);
+        }
+        // An Avx2 request only sticks where the host supports it.
+        let avx2 = Engine::builder(SprintConfig::small())
+            .noise(NoiseModel::ideal())
+            .simd_tier(SimdTier::Avx2)
+            .build()
+            .unwrap();
+        assert_eq!(
+            avx2.simd_tier(),
+            sprint_attention::sanitize_tier(SimdTier::Avx2)
+        );
+        // Poison recovery rebuilds scratches on the engine's tier, not
+        // the process default.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = forced.scratches[0].lock().unwrap();
+            panic!("worker dies mid-head");
+        }));
+        let guard = lock_scratch(&forced.scratches[0], forced.simd_tier);
+        assert_eq!(guard.ws.simd_tier(), SimdTier::Scalar);
     }
 
     #[test]
@@ -1167,7 +1238,7 @@ mod tests {
                 panic!("again");
             }));
         }
-        let guard = lock_scratch(&e.scratches[0]);
+        let guard = lock_scratch(&e.scratches[0], e.simd_tier);
         drop(guard);
         assert!(!e.scratches[0].is_poisoned());
     }

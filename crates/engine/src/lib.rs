@@ -107,3 +107,4 @@ pub use serve::{
     DecodeLoop, DecodeReport, DecodeTask, ModelServer, ServeLoop, ServeStats, ServeSummary,
     SessionReport,
 };
+pub use sprint_attention::{active_tier, avx2_available, SimdTier};

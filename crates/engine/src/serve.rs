@@ -901,7 +901,9 @@ impl<'a> DecodeLoop<'a> {
             };
             let victim = lru.remove(pos);
             match std::mem::replace(&mut slots[victim].state, Slot::Unopened) {
-                Slot::Live(session) => slots[victim].state = Slot::Parked(Box::new(session.evict())),
+                Slot::Live(session) => {
+                    slots[victim].state = Slot::Parked(Box::new(session.evict()))
+                }
                 other => slots[victim].state = other, // unreachable by construction
             }
             true
@@ -1015,7 +1017,9 @@ impl<'a> DecodeLoop<'a> {
                 while lru.len() > cap {
                     let victim = lru.remove(0);
                     match std::mem::replace(&mut slots[victim].state, Slot::Unopened) {
-                        Slot::Live(session) => slots[victim].state = Slot::Parked(Box::new(session.evict())),
+                        Slot::Live(session) => {
+                            slots[victim].state = Slot::Parked(Box::new(session.evict()))
+                        }
                         other => slots[victim].state = other,
                     }
                 }
@@ -1459,7 +1463,9 @@ mod tests {
             .seed(21)
             .build()
             .unwrap();
-        let twin = DecodeLoop::new(&twin_engine).run_threads(1, &tasks).unwrap();
+        let twin = DecodeLoop::new(&twin_engine)
+            .run_threads(1, &tasks)
+            .unwrap();
         assert_eq!(twin.evictions, 0);
         assert_eq!(twin.rehydrations, 0);
 
@@ -1501,7 +1507,9 @@ mod tests {
             .seed(21)
             .build()
             .unwrap();
-        let twin = DecodeLoop::new(&twin_engine).run_threads(1, &tasks).unwrap();
+        let twin = DecodeLoop::new(&twin_engine)
+            .run_threads(1, &tasks)
+            .unwrap();
 
         // 12 pages of 4 tokens: the 40-token session alone needs 10,
         // so a cap-2 resident set (up to 16 pages) cannot fit — the

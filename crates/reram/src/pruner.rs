@@ -635,11 +635,7 @@ impl InMemoryPruner {
             let base = rt * ARRAY_ROWS;
             let codes: Vec<i32> = (0..arr.rows())
                 .map(|r| {
-                    round_msb_bits(
-                        self.k_params.quantize(key[base + r]),
-                        shift,
-                        self.cell_bits,
-                    )
+                    round_msb_bits(self.k_params.quantize(key[base + r]), shift, self.cell_bits)
                 })
                 .collect();
             arr.store_key(slot, &codes)?;

@@ -409,9 +409,11 @@ fn route(shared: &Shared, request: &Request) -> Response {
             let pool = shared.server.engine().kv_pool();
             Response::text(
                 200,
-                shared
-                    .metrics
-                    .render(depth, pool.pages_in_use(), pool.capacity_pages().unwrap_or(0)),
+                shared.metrics.render(
+                    depth,
+                    pool.pages_in_use(),
+                    pool.capacity_pages().unwrap_or(0),
+                ),
             )
             .with_header("Content-Type", "text/plain; version=0.0.4")
         }
@@ -533,9 +535,7 @@ fn evict_coldest(shared: &Shared, exclude: Option<u64>) -> bool {
                     .metrics
                     .sessions_evicted
                     .fetch_add(1, Ordering::Relaxed);
-                shared
-                    .resident_sessions
-                    .fetch_sub(1, Ordering::Relaxed);
+                shared.resident_sessions.fetch_sub(1, Ordering::Relaxed);
                 return true;
             }
             other => state.slot = other, // rehydration won the race

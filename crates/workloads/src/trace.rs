@@ -1122,7 +1122,10 @@ mod tests {
             }
         }
         assert!(steps.iter().all(|&s| s == spec.steps_per_session));
-        assert!(evictions > 0, "evict fraction 0.3 over 102 steps fired never");
+        assert!(
+            evictions > 0,
+            "evict fraction 0.3 over 102 steps fired never"
+        );
         // A different seed gives a different interleaving.
         let c = TraceGenerator::new(12).churn_schedule(&spec).unwrap();
         assert_ne!(a, c);
@@ -1133,9 +1136,7 @@ mod tests {
         let spec = ChurnSpec::new(3, 5, 0.0);
         let events = TraceGenerator::new(2).churn_schedule(&spec).unwrap();
         assert_eq!(events.len(), 15);
-        assert!(events
-            .iter()
-            .all(|e| matches!(e, ChurnEvent::Step { .. })));
+        assert!(events.iter().all(|e| matches!(e, ChurnEvent::Step { .. })));
     }
 
     #[test]

@@ -390,7 +390,8 @@ fn random_evict_rehydrate_interleavings_stay_bit_identical_in_all_modes() {
                         };
                         let hk = prefix(state.trace.k(), state.cursor);
                         let hv = prefix(state.trace.v(), state.cursor);
-                        state.slot = Slot::Live(Box::new(e.resume_session(&stub, &hk, &hv).unwrap()));
+                        state.slot =
+                            Slot::Live(Box::new(e.resume_session(&stub, &hk, &hv).unwrap()));
                     }
                     let Slot::Live(live) = &mut state.slot else {
                         unreachable!()
@@ -503,7 +504,9 @@ fn churn_loop_matches_the_never_evicted_loop_across_1_2_4_8_workers() {
             .kv_pool(PagePool::unbounded(4 * 5 * 128))
             .build()
             .unwrap();
-        let run = DecodeLoop::new(&e).run_churn_threads(workers, &tasks, 1).unwrap();
+        let run = DecodeLoop::new(&e)
+            .run_churn_threads(workers, &tasks, 1)
+            .unwrap();
         assert_eq!(
             run.sessions, reference.sessions,
             "churn loop diverged from the never-evicted loop at {workers} workers"

@@ -228,7 +228,12 @@ fn resident_cap_evicts_and_rehydrates_sessions_transparently() {
             )
             .expect("open responds");
         assert_eq!(open.status, 200, "{}", open.body_str());
-        ids.push(Json::parse(&open.body_str()).unwrap().u64_field("session").unwrap());
+        ids.push(
+            Json::parse(&open.body_str())
+                .unwrap()
+                .u64_field("session")
+                .unwrap(),
+        );
     }
 
     // Direct twin of the first stream (seed 11, head id 11), stepped in
@@ -360,7 +365,10 @@ fn pool_exhaustion_409s_only_when_nothing_is_evictable() {
     // evict one of them rather than fail.
     let a = open(&mut client, 8, 4, 1);
     assert_eq!(a.status, 200, "{}", a.body_str());
-    let a = Json::parse(&a.body_str()).unwrap().u64_field("session").unwrap();
+    let a = Json::parse(&a.body_str())
+        .unwrap()
+        .u64_field("session")
+        .unwrap();
     assert_eq!(open(&mut client, 8, 4, 2).status, 200);
     let c = open(&mut client, 8, 4, 3);
     assert_eq!(
@@ -383,7 +391,10 @@ fn pool_exhaustion_409s_only_when_nothing_is_evictable() {
     // Session A was evicted above; stepping it rehydrates and serves.
     for _ in 4..8 {
         let step = client
-            .post_json("/v1/decode", &format!(r#"{{"action":"step","session":{a}}}"#))
+            .post_json(
+                "/v1/decode",
+                &format!(r#"{{"action":"step","session":{a}}}"#),
+            )
             .expect("step responds");
         assert_eq!(step.status, 200, "{}", step.body_str());
     }
